@@ -1,0 +1,31 @@
+# Convenience targets for the citusgo reproduction.
+
+.PHONY: all build test bench figures examples vet fmt
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	go test ./...
+
+# one testing.B benchmark per paper figure (test scale)
+bench:
+	go test -bench=. -benchmem ./...
+
+# regenerate every figure of the paper's evaluation at the default scale
+figures:
+	go run ./cmd/citusbench -fig all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/multitenant
+	go run ./examples/realtime
+	go run ./examples/venicedb

@@ -1,0 +1,162 @@
+// Package citusgo's root benchmarks regenerate every figure of the paper's
+// evaluation (§4) through the internal/bench harness:
+//
+//	go test -bench=. -benchmem               # all figures, test scale
+//	go run ./cmd/citusbench -fig all         # larger default scale
+//
+// Each benchmark reports the figure's metric via b.ReportMetric, one
+// sub-benchmark per cluster configuration (PostgreSQL, Citus 0+1, 4+1,
+// 8+1), so `go test -bench` output is itself the reproduced series.
+package citusgo
+
+import (
+	"testing"
+
+	"citusgo/internal/bench"
+)
+
+// benchScale is slightly above Tiny so shapes are visible but the full
+// suite stays in CI-friendly territory.
+func benchScale() bench.Scale {
+	sc := bench.Tiny()
+	sc.Warehouses = 4
+	sc.TPCCUsers = 8
+	sc.Events = 2000
+	sc.Orders = 2000
+	sc.PgbenchRows = 500
+	sc.PgbenchConns = 8
+	sc.YCSBRows = 4000
+	sc.YCSBThreads = 8
+	return sc
+}
+
+func reportSeries(b *testing.B, s bench.Series, unit string) {
+	b.Helper()
+	for _, p := range s.Points {
+		b.Logf("%-12s %12.1f %s", p.Config, p.Value, unit)
+	}
+	if len(s.Points) > 0 {
+		b.ReportMetric(s.Points[len(s.Points)-1].Value, unit)
+	}
+}
+
+// BenchmarkFigure6_TPCC reproduces Figure 6 (HammerDB TPC-C NOPM).
+func BenchmarkFigure6_TPCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.Figure6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "NOPM")
+	}
+}
+
+// BenchmarkFigure7a_Copy reproduces Figure 7(a) (COPY with a GIN index).
+func BenchmarkFigure7a_Copy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.Figure7a(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "copy_ms")
+	}
+}
+
+// BenchmarkFigure7b_Dashboard reproduces Figure 7(b) (GIN dashboard query).
+func BenchmarkFigure7b_Dashboard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.Figure7b(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "query_ms")
+	}
+}
+
+// BenchmarkFigure7c_InsertSelect reproduces Figure 7(c) (INSERT..SELECT
+// transformation).
+func BenchmarkFigure7c_InsertSelect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.Figure7c(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "transform_ms")
+	}
+}
+
+// BenchmarkFigure8_TPCH reproduces Figure 8 (TPC-H queries per hour).
+func BenchmarkFigure8_TPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.Figure8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "qph")
+	}
+}
+
+// BenchmarkFigure9_DistributedTransactions reproduces Figure 9 (pgbench
+// two-update transaction, same vs different keys — the 2PC penalty).
+func BenchmarkFigure9_DistributedTransactions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Figure9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			b.Log(s.Metric)
+			reportSeries(b, s, "tps")
+		}
+	}
+}
+
+// BenchmarkFigure10_YCSB reproduces Figure 10 (YCSB workload A in MX mode).
+func BenchmarkFigure10_YCSB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.Figure10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "ops_per_s")
+	}
+}
+
+// BenchmarkAblationPlannerOverhead measures the §3.5 planner-cost ladder:
+// local < fast path/router < pushdown < join order.
+func BenchmarkAblationPlannerOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.AblationPlannerOverhead(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "us_per_query")
+	}
+}
+
+// BenchmarkAblationColumnar compares heap vs columnar storage for a wide
+// analytical scan under bounded memory (Table 2's DW capability).
+func BenchmarkAblationColumnar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.AblationColumnar(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "scan_ms")
+	}
+}
+
+// BenchmarkAblationSlowStart compares the adaptive executor's slow-start
+// ramp against instant fan-out (§3.6.1).
+func BenchmarkAblationSlowStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.AblationSlowStart(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			b.Log(s.Metric)
+			reportSeries(b, s, "latency")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command citusctl is the SQL shell / admin client: it speaks the wire
+// protocol to a citusd coordinator (or any node), in the role psql plays
+// against a Citus cluster.
+//
+//	citusctl -addr 127.0.0.1:7432                  # interactive shell
+//	citusctl -addr 127.0.0.1:7432 -c 'SELECT 1'    # one-shot
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7432", "node address")
+	command := flag.String("c", "", "run one statement and exit")
+	timing := flag.Bool("timing", false, "print per-statement wall time")
+	flag.Parse()
+
+	conn, err := wire.Dial(*addr, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connection to %s failed: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	if *command != "" {
+		if err := runStatement(conn, *command, *timing); err != nil {
+			fmt.Fprintln(os.Stderr, "ERROR:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("citusctl: connected to", *addr, `(end statements with ";", \q to quit)`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("citus=# ")
+		} else {
+			fmt.Print("citus-# ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if stmt != "" {
+				if err := runStatement(conn, stmt, *timing); err != nil {
+					fmt.Println("ERROR:", err)
+				}
+			}
+		}
+		prompt()
+	}
+}
+
+func runStatement(conn *wire.Conn, stmt string, timing bool) error {
+	start := time.Now()
+	res, err := conn.Query(stmt)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if timing {
+		fmt.Printf("Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
+	}
+	return nil
+}
+
+func printResult(res *engine.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Println(res.Tag)
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(res.Columns))
+		for i := range res.Columns {
+			v := "NULL"
+			if i < len(row) && row[i] != nil {
+				v = types.Format(row[i])
+			}
+			cells[r][i] = v
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range res.Columns {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	fmt.Println(sb.String())
+	sb.Reset()
+	for i := range res.Columns {
+		if i > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	fmt.Println(sb.String())
+	for _, row := range cells {
+		sb.Reset()
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], v)
+		}
+		fmt.Println(sb.String())
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

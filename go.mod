@@ -1,0 +1,3 @@
+module citusgo
+
+go 1.22

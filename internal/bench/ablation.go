@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"citusgo/internal/cluster"
+	"citusgo/internal/types"
+)
+
+// The ablations quantify the design choices §3 argues for:
+//
+//   - AblationPlannerOverhead: the cost ladder of the four-planner
+//     hierarchy (§3.5 — "there is an order of magnitude difference between
+//     each planner's overhead"), measured as single-query latency for a
+//     query each tier handles.
+//   - AblationColumnar: columnar vs heap ("row") storage for a wide-table
+//     analytical scan under bounded memory (§2.4 / Table 2 "Columnar
+//     storage" for data warehousing).
+//   - AblationSlowStart: the adaptive executor with and without the
+//     slow-start ramp for a short router query and a fan-out query
+//     (§3.6.1 — the latency/parallelism trade).
+
+// AblationPlannerOverhead measures per-tier planning+execution latency.
+func AblationPlannerOverhead(sc Scale) (Series, error) {
+	out := Series{Figure: "Ablation A1", Metric: "planner tier latency µs/query"}
+	c, err := cluster.New(cluster.Config{Workers: 4, ShardCount: sc.ShardCount})
+	if err != nil {
+		return out, err
+	}
+	defer c.Close()
+	s := c.Session()
+	setup := []string{
+		"CREATE TABLE pt (k bigint PRIMARY KEY, g bigint, v bigint)",
+		"SELECT create_distributed_table('pt', 'k')",
+		"CREATE TABLE pt2 (k2 bigint PRIMARY KEY, v bigint)",
+		"SELECT create_distributed_table('pt2', 'k2', colocate_with := 'none')",
+	}
+	for _, q := range setup {
+		if _, err := s.Exec(q); err != nil {
+			return out, err
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO pt (k, g, v) VALUES (%d, %d, %d)", i, i%10, i)); err != nil {
+			return out, err
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO pt2 (k2, v) VALUES (%d, %d)", i, i)); err != nil {
+			return out, err
+		}
+	}
+
+	tiers := []struct {
+		name string
+		q    string
+		runs int
+	}{
+		{"local (no Citus)", "SELECT 1", 500},
+		{"fast path/router", "SELECT v FROM pt WHERE k = 42", 500},
+		{"pushdown", "SELECT g, count(*) FROM pt GROUP BY g", 100},
+		{"join order", "SELECT count(*) FROM pt JOIN pt2 ON pt.v = pt2.k2", 20},
+	}
+	for _, tier := range tiers {
+		if _, err := s.Exec(tier.q); err != nil { // warm-up
+			return out, fmt.Errorf("%s: %w", tier.name, err)
+		}
+		start := time.Now()
+		for i := 0; i < tier.runs; i++ {
+			if _, err := s.Exec(tier.q); err != nil {
+				return out, err
+			}
+		}
+		perQuery := time.Since(start) / time.Duration(tier.runs)
+		out.Points = append(out.Points, Point{Config: tier.name, Value: float64(perQuery.Microseconds())})
+	}
+	return out, nil
+}
+
+// AblationColumnar compares a wide analytical scan over heap vs columnar
+// storage with bounded memory: columnar reads only the referenced column
+// chunks and its compression shrinks the page footprint.
+func AblationColumnar(sc Scale) (Series, error) {
+	out := Series{Figure: "Ablation A2", Metric: "wide-scan milliseconds (lower is better)"}
+	for _, variant := range []struct {
+		name  string
+		using string
+	}{
+		{"heap (row store)", ""},
+		{"columnar", " USING columnar"},
+	} {
+		c, err := cluster.New(cluster.Config{Workers: 0, ShardCount: sc.ShardCount})
+		if err != nil {
+			return out, err
+		}
+		s := c.Session()
+		ddl := "CREATE TABLE wide (k bigint, c1 bigint, c2 bigint, c3 bigint, c4 bigint, c5 bigint, c6 bigint, c7 bigint, c8 bigint, c9 bigint)" + variant.using
+		if _, err := s.Exec(ddl); err != nil {
+			c.Close()
+			return out, err
+		}
+		rows := make([]types.Row, 0, 1000)
+		total := sc.Orders * 4
+		for i := 0; i < total; i++ {
+			row := types.Row{int64(i)}
+			for j := 0; j < 9; j++ {
+				row = append(row, int64(i*j))
+			}
+			rows = append(rows, row)
+			if len(rows) == 1000 || i == total-1 {
+				if _, err := s.CopyFrom("wide", nil, rows); err != nil {
+					c.Close()
+					return out, err
+				}
+				rows = rows[:0]
+			}
+		}
+		boundMemory(c, sc)
+		start := time.Now()
+		const runs = 3
+		for i := 0; i < runs; i++ {
+			if _, err := s.Exec("SELECT sum(c1) FROM wide"); err != nil {
+				c.Close()
+				return out, err
+			}
+		}
+		out.Points = append(out.Points, Point{
+			Config: variant.name,
+			Value:  float64((time.Since(start) / runs).Microseconds()) / 1000,
+		})
+		c.Close()
+	}
+	return out, nil
+}
+
+// AblationSlowStart compares the adaptive executor's default slow-start
+// ramp against an immediate full fan-out, for a cheap router query (where
+// extra connections are waste) and an expensive fan-out query (where they
+// are the whole point).
+func AblationSlowStart(sc Scale) ([]Series, error) {
+	router := Series{Figure: "Ablation A3", Metric: "router query µs (per-query, concurrent)"}
+	fanout := Series{Figure: "Ablation A3", Metric: "fan-out query ms"}
+	for _, variant := range []struct {
+		name     string
+		interval time.Duration
+	}{
+		{"slow start 10ms", 10 * time.Millisecond},
+		{"no ramp (instant fan-out)", -1},
+	} {
+		c, err := cluster.New(cluster.Config{Workers: 2, ShardCount: sc.ShardCount})
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range c.Nodes {
+			n.Cfg.SlowStartInterval = variant.interval
+		}
+		s := c.Session()
+		if _, err := s.Exec("CREATE TABLE sst (k bigint PRIMARY KEY, v bigint)"); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if _, err := s.Exec("SELECT create_distributed_table('sst', 'k')"); err != nil {
+			c.Close()
+			return nil, err
+		}
+		rows := make([]types.Row, sc.Orders)
+		for i := range rows {
+			rows[i] = types.Row{int64(i), int64(i)}
+		}
+		if _, err := s.CopyFrom("sst", nil, rows); err != nil {
+			c.Close()
+			return nil, err
+		}
+		// router latency
+		start := time.Now()
+		const routerRuns = 300
+		for i := 0; i < routerRuns; i++ {
+			if _, err := s.Exec("SELECT v FROM sst WHERE k = $1", int64(i%sc.Orders)); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		router.Points = append(router.Points, Point{
+			Config: variant.name,
+			Value:  float64((time.Since(start) / routerRuns).Microseconds()),
+		})
+		// fan-out latency
+		start = time.Now()
+		const fanRuns = 10
+		for i := 0; i < fanRuns; i++ {
+			if _, err := s.Exec("SELECT count(*), sum(v) FROM sst"); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		fanout.Points = append(fanout.Points, Point{
+			Config: variant.name,
+			Value:  float64((time.Since(start) / fanRuns).Microseconds()) / 1000,
+		})
+		c.Close()
+	}
+	return []Series{router, fanout}, nil
+}

@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	sc := Tiny()
+	a1, err := AblationPlannerOverhead(sc)
+	if err != nil {
+		t.Fatalf("A1: %v", err)
+	}
+	t.Log("\n" + a1.String())
+	a2, err := AblationColumnar(sc)
+	if err != nil {
+		t.Fatalf("A2: %v", err)
+	}
+	t.Log("\n" + a2.String())
+	a3, err := AblationSlowStart(sc)
+	if err != nil {
+		t.Fatalf("A3: %v", err)
+	}
+	for _, s := range a3 {
+		t.Log("\n" + s.String())
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import "testing"
+
+// TestFigureShapes runs every figure at tiny scale and asserts the paper's
+// qualitative shapes hold (who wins; see DESIGN.md "Expected shapes").
+func TestFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench shapes skipped in -short mode")
+	}
+	sc := Tiny()
+
+	fig6, err := Figure6(sc)
+	if err != nil {
+		t.Fatalf("figure 6: %v", err)
+	}
+	t.Log("\n" + fig6.String())
+	if len(fig6.Points) != 4 {
+		t.Fatal("figure 6 incomplete")
+	}
+	for _, p := range fig6.Points {
+		if p.Value <= 0 {
+			t.Errorf("figure 6 %s produced no new orders", p.Config)
+		}
+	}
+
+	for name, f := range map[string]func(Scale) (Series, error){
+		"7a": Figure7a, "7b": Figure7b, "7c": Figure7c, "8": Figure8, "10": Figure10,
+	} {
+		s, err := f(sc)
+		if err != nil {
+			t.Fatalf("figure %s: %v", name, err)
+		}
+		t.Log("\n" + s.String())
+		if len(s.Points) != 4 {
+			t.Errorf("figure %s incomplete", name)
+		}
+	}
+
+	nine, err := Figure9(sc)
+	if err != nil {
+		t.Fatalf("figure 9: %v", err)
+	}
+	for _, s := range nine {
+		t.Log("\n" + s.String())
+	}
+}

@@ -1,0 +1,316 @@
+package citus
+
+import (
+	"fmt"
+
+	"citusgo/internal/catalog"
+	"citusgo/internal/citus/metadata"
+	"citusgo/internal/engine"
+	"citusgo/internal/expr"
+	"citusgo/internal/sql"
+	"citusgo/internal/types"
+	"citusgo/internal/wire"
+)
+
+// utilityHook intercepts utility statements on Citus tables (§3.8: "Citus
+// preserves [DDL as transactional, online operations] by taking the same
+// locks as PostgreSQL and propagating the DDL commands to shards via the
+// executor").
+func (n *Node) utilityHook(s *engine.Session, stmt sql.Statement) (bool, *engine.Result, error) {
+	switch st := stmt.(type) {
+	case *sql.CreateIndexStmt:
+		if !n.Meta.IsCitusTable(st.Table) {
+			return false, nil, nil
+		}
+		if err := n.propagateCreateIndex(s, st); err != nil {
+			return true, nil, err
+		}
+		// apply to the local shell table too, so future shards (rebalancer
+		// moves, new placements) inherit the index
+		if _, err := s.ExecUtilityLocal(st); err != nil {
+			return true, nil, err
+		}
+		return true, &engine.Result{Tag: "CREATE INDEX"}, nil
+	case *sql.TruncateStmt:
+		if !n.Meta.IsCitusTable(st.Name) {
+			return false, nil, nil
+		}
+		if err := n.forEachShardDDL(s, st.Name, func(sh *metadata.Shard) sql.Statement {
+			return &sql.TruncateStmt{Name: sh.ShardName()}
+		}); err != nil {
+			return true, nil, err
+		}
+		return true, &engine.Result{Tag: "TRUNCATE TABLE"}, nil
+	case *sql.DropTableStmt:
+		if !n.Meta.IsCitusTable(st.Name) {
+			return false, nil, nil
+		}
+		if err := n.forEachShardDDL(s, st.Name, func(sh *metadata.Shard) sql.Statement {
+			return &sql.DropTableStmt{Name: sh.ShardName(), IfExists: true}
+		}); err != nil {
+			return true, nil, err
+		}
+		n.Meta.RemoveTable(st.Name)
+		if _, err := s.ExecUtilityLocal(st); err != nil {
+			return true, nil, err
+		}
+		return true, &engine.Result{Tag: "DROP TABLE"}, nil
+	case *sql.AlterTableAddColumnStmt:
+		if !n.Meta.IsCitusTable(st.Table) {
+			return false, nil, nil
+		}
+		if err := n.forEachShardDDL(s, st.Table, func(sh *metadata.Shard) sql.Statement {
+			clone := *st
+			clone.Table = sh.ShardName()
+			return &clone
+		}); err != nil {
+			return true, nil, err
+		}
+		if _, err := s.ExecUtilityLocal(st); err != nil {
+			return true, nil, err
+		}
+		n.refreshSchemaSQL(st.Table)
+		return true, &engine.Result{Tag: "ALTER TABLE"}, nil
+	case *sql.VacuumStmt:
+		if st.Table == "" || !n.Meta.IsCitusTable(st.Table) {
+			return false, nil, nil
+		}
+		// VACUUM on a distributed table runs on all shards in parallel —
+		// the paper's point that sharding parallelizes auto-vacuum (§2.3)
+		if err := n.forEachShardDDL(s, st.Table, func(sh *metadata.Shard) sql.Statement {
+			return &sql.VacuumStmt{Table: sh.ShardName()}
+		}); err != nil {
+			return true, nil, err
+		}
+		return true, &engine.Result{Tag: "VACUUM"}, nil
+	case *sql.CallStmt:
+		return n.maybeDelegateCall(s, st)
+	}
+	return false, nil, nil
+}
+
+// forEachShardDDL fans a DDL statement out to every shard placement.
+func (n *Node) forEachShardDDL(s *engine.Session, table string, build func(*metadata.Shard) sql.Statement) error {
+	var tasks []task
+	for _, sh := range n.Meta.Shards(table) {
+		stmt := build(sh)
+		for _, nodeID := range n.Meta.Placements(sh.ID) {
+			tasks = append(tasks, task{
+				nodeID:     nodeID,
+				shardGroup: -1,
+				sql:        stmt.String(),
+			})
+		}
+	}
+	_, err := n.executeTasks(s, tasks)
+	return err
+}
+
+// propagateCreateIndex creates per-shard indexes (shard-suffixed names).
+func (n *Node) propagateCreateIndex(s *engine.Session, st *sql.CreateIndexStmt) error {
+	var tasks []task
+	for _, sh := range n.Meta.Shards(st.Table) {
+		clone := *st
+		clone.Name = fmt.Sprintf("%s_%d", st.Name, sh.ID)
+		clone.Table = sh.ShardName()
+		for _, nodeID := range n.Meta.Placements(sh.ID) {
+			tasks = append(tasks, task{nodeID: nodeID, shardGroup: -1, sql: clone.String()})
+		}
+	}
+	_, err := n.executeTasks(s, tasks)
+	return err
+}
+
+// maybeDelegateCall implements stored-procedure delegation (§3.8): a
+// procedure registered with a distribution argument is shipped to the
+// worker owning the matching shard, avoiding per-statement round trips.
+func (n *Node) maybeDelegateCall(s *engine.Session, st *sql.CallStmt) (bool, *engine.Result, error) {
+	spec, ok := n.distProcedure(st.Name)
+	if !ok || !n.canCoordinate() {
+		return false, nil, nil
+	}
+	if s.InTransaction() {
+		// inside a transaction block the coordinator keeps control
+		return false, nil, nil
+	}
+	if spec.ArgIndex >= len(st.Args) {
+		return false, nil, nil
+	}
+	ev, err := expr.Compile(st.Args[spec.ArgIndex], nil)
+	if err != nil {
+		return false, nil, nil // non-constant distribution argument
+	}
+	val, err := ev(&expr.Ctx{})
+	if err != nil || val == nil {
+		return false, nil, nil
+	}
+	sh, err := n.Meta.ShardForValue(spec.ColocatedWith, val)
+	if err != nil {
+		return true, nil, err
+	}
+	nodeID, err := n.Meta.PrimaryPlacement(sh.ID)
+	if err != nil {
+		return true, nil, err
+	}
+	if nodeID == n.ID {
+		return false, nil, nil // local shard: run the procedure here
+	}
+	dt, _ := n.Meta.Table(spec.ColocatedWith)
+	results, err := n.executeTasks(s, []task{{
+		nodeID:     nodeID,
+		shardGroup: metadata.ShardGroupID(dt.ColocationID, sh.Index),
+		sql:        st.String(),
+		isWrite:    true,
+	}})
+	if err != nil {
+		return true, nil, err
+	}
+	res := results[0]
+	if res == nil {
+		res = &engine.Result{Tag: "CALL"}
+	}
+	return true, res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shard creation
+
+// schemaStatements reconstructs a table's CREATE TABLE plus secondary
+// CREATE INDEX statements from the local catalog.
+func (n *Node) schemaStatements(table string) (*sql.CreateTableStmt, []*sql.CreateIndexStmt, error) {
+	tbl, ok := n.Eng.Catalog.Get(table)
+	if !ok {
+		return nil, nil, fmt.Errorf("relation %q does not exist", table)
+	}
+	ct := &sql.CreateTableStmt{Name: tbl.Name, Using: tbl.Using}
+	pk := map[int]bool{}
+	for _, ord := range tbl.PrimaryKey {
+		pk[ord] = true
+	}
+	for i, c := range tbl.Columns {
+		ct.Columns = append(ct.Columns, sql.ColumnDef{
+			Name:    c.Name,
+			Type:    c.Type,
+			NotNull: c.NotNull,
+			Default: c.Default,
+		})
+		_ = i
+	}
+	for _, ord := range tbl.PrimaryKey {
+		ct.PrimaryKey = append(ct.PrimaryKey, tbl.Columns[ord].Name)
+	}
+	var indexes []*sql.CreateIndexStmt
+	for _, idx := range tbl.Indexes {
+		if idx.Name == tbl.Name+"_pkey" {
+			continue
+		}
+		indexes = append(indexes, &sql.CreateIndexStmt{
+			Name:   idx.Name,
+			Table:  idx.Table,
+			Using:  idx.Using,
+			Exprs:  idx.Exprs,
+			Unique: idx.Unique,
+		})
+	}
+	return ct, indexes, nil
+}
+
+// refreshSchemaSQL re-captures the shell table's schema into the metadata
+// after ALTER TABLE.
+func (n *Node) refreshSchemaSQL(table string) {
+	if ct, _, err := n.schemaStatements(table); err == nil {
+		if dt, ok := n.Meta.Table(table); ok {
+			dt.SchemaSQL = ct.String()
+		}
+	}
+}
+
+// createShardOnNode creates one shard table (and its secondary indexes) on
+// a node.
+func (n *Node) createShardOnNode(s *engine.Session, nodeID int, shard *metadata.Shard, ct *sql.CreateTableStmt, indexes []*sql.CreateIndexStmt) error {
+	shardCT := *ct
+	shardCT.Name = shard.ShardName()
+	stmts := []string{shardCT.String()}
+	for _, idx := range indexes {
+		shardIdx := *idx
+		shardIdx.Name = fmt.Sprintf("%s_%d", idx.Name, shard.ID)
+		shardIdx.Table = shard.ShardName()
+		stmts = append(stmts, shardIdx.String())
+	}
+	var tasks []task
+	for _, q := range stmts {
+		tasks = append(tasks, task{nodeID: nodeID, shardGroup: -1, sql: q})
+	}
+	// DDL tasks run sequentially on one connection: the index depends on
+	// the table existing.
+	for _, t := range tasks {
+		if _, err := n.executeTasks(s, []task{t}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotLocalRows captures the shell table's rows before the metadata is
+// registered (afterwards a SELECT would route to the still-empty shards).
+func (n *Node) snapshotLocalRows(s *engine.Session, table string) ([]types.Row, error) {
+	res, err := s.Exec("SELECT * FROM " + table)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// moveLocalDataToShards routes the shell table's existing rows to the new
+// shards (create_distributed_table preserves existing data).
+func (n *Node) moveLocalDataToShards(s *engine.Session, table string, dt *metadata.DistTable, rows []types.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	tbl, _ := n.Eng.Catalog.Get(table)
+	distOrd := tbl.ColumnIndex(dt.DistColumn)
+	cols := tbl.ColumnNames()
+
+	shards := n.Meta.Shards(table)
+	byShard := map[int][]types.Row{}
+	for _, row := range rows {
+		if dt.Type == metadata.ReferenceTable {
+			byShard[0] = append(byShard[0], row)
+			continue
+		}
+		sh, err := n.Meta.ShardForValue(table, row[distOrd])
+		if err != nil {
+			return err
+		}
+		byShard[sh.Index] = append(byShard[sh.Index], row)
+	}
+	for idx, rows := range byShard {
+		sh := shards[idx]
+		for _, nodeID := range n.Meta.Placements(sh.ID) {
+			var copyErr error
+			n.withNodeConn(nodeID, func(c *wire.Conn) {
+				_, copyErr = c.Copy(sh.ShardName(), cols, rows)
+			})
+			if copyErr != nil {
+				return copyErr
+			}
+		}
+	}
+	// the shell table stays empty from here on
+	sess := n.Eng.NewSession()
+	_, err := sess.ExecUtilityLocal(&sql.TruncateStmt{Name: table})
+	return err
+}
+
+// localColumnType returns a column's type from the local catalog.
+func (n *Node) localColumnType(table, column string) (types.Type, *catalog.Table, error) {
+	tbl, ok := n.Eng.Catalog.Get(table)
+	if !ok {
+		return types.Unknown, nil, fmt.Errorf("relation %q does not exist", table)
+	}
+	ord := tbl.ColumnIndex(column)
+	if ord == -1 {
+		return types.Unknown, nil, fmt.Errorf("column %q of relation %q does not exist", column, table)
+	}
+	return tbl.Columns[ord].Type, tbl, nil
+}

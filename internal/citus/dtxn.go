@@ -1,0 +1,410 @@
+package citus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/wal"
+	"citusgo/internal/wire"
+)
+
+// registerTxnCallbacks hooks the distributed commit protocol into the
+// session's local transaction (the paper's transaction callbacks, §3.1 and
+// §3.7): pre-commit runs PREPARE TRANSACTION on every involved worker and
+// writes commit records; the end callback resolves the prepared
+// transactions on a best-effort basis, with the recovery daemon as backstop.
+func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
+	st.mu.Lock()
+	if st.registered {
+		st.mu.Unlock()
+		return
+	}
+	st.registered = true
+	st.distID = n.nextDistTxnID()
+	st.mu.Unlock()
+
+	t := s.Txn()
+	if t == nil {
+		// runPlan/WithTxn always ensure a transaction before execution
+		panic("citus: registerTxnCallbacks without a transaction")
+	}
+	t.DistID = st.distID
+	localXID := t.XID
+
+	type preparedConn struct {
+		wc  *workerConn
+		gid string
+	}
+	var prepared []preparedConn
+	committedRecords := false
+
+	t.OnPreCommit(func() error {
+		participants := st.txnConns()
+		if len(participants) == 0 {
+			return nil
+		}
+		writers := 0
+		for _, wc := range participants {
+			if wc.wrote {
+				writers++
+			}
+		}
+		// Single-node delegation (§3.7.1): with at most one writer there
+		// is nothing to make atomic across nodes — plain COMMIT suffices
+		// and the worker provides full ACID locally.
+		if writers <= 1 {
+			var firstErr error
+			for _, wc := range participants {
+				if _, err := wc.conn.Query("COMMIT"); err != nil {
+					wc.broken = true
+					if wc.wrote && firstErr == nil {
+						firstErr = err
+					}
+				}
+				wc.inTxn = false
+			}
+			return firstErr
+		}
+		// Two-phase commit (§3.7.2).
+		for i, wc := range participants {
+			if !wc.wrote {
+				continue
+			}
+			gid := fmt.Sprintf("citus_%d_%d_%d", n.ID, localXID, i)
+			if _, err := wc.conn.Query("PREPARE TRANSACTION " + types.QuoteString(gid)); err != nil {
+				wc.broken = true
+				// abort everything prepared or open so far
+				for _, p := range prepared {
+					_, _ = p.wc.conn.Query("ROLLBACK PREPARED " + types.QuoteString(p.gid))
+					p.wc.inTxn = false
+				}
+				prepared = nil
+				return fmt.Errorf("prepare on node %d failed: %w", wc.nodeID, err)
+			}
+			wc.inTxn = false
+			prepared = append(prepared, preparedConn{wc: wc, gid: gid})
+		}
+		// Read-only participants just commit.
+		for _, wc := range participants {
+			if wc.inTxn {
+				_, _ = wc.conn.Query("COMMIT")
+				wc.inTxn = false
+			}
+		}
+		// Write the commit records; their durability with the local commit
+		// decides the transaction's fate during recovery. commitMu also
+		// serializes against restore-point creation (§3.9).
+		n.commitMu.Lock()
+		for _, p := range prepared {
+			n.commitRecords[p.gid] = struct{}{}
+			n.Eng.WAL.Append(wal.Record{Type: wal.RecCommitRecord, GID: p.gid})
+		}
+		n.commitMu.Unlock()
+		committedRecords = true
+		return nil
+	})
+
+	t.OnEnd(func(committed bool) {
+		// Resolve prepared transactions best-effort; failures are left to
+		// the recovery daemon, guided by the commit records.
+		allResolved := true
+		for _, p := range prepared {
+			var err error
+			if committed && committedRecords {
+				_, err = p.wc.conn.Query("COMMIT PREPARED " + types.QuoteString(p.gid))
+			} else {
+				_, err = p.wc.conn.Query("ROLLBACK PREPARED " + types.QuoteString(p.gid))
+			}
+			if err != nil {
+				p.wc.broken = true
+				allResolved = false
+			}
+		}
+		if committedRecords && allResolved {
+			n.commitMu.Lock()
+			for _, p := range prepared {
+				delete(n.commitRecords, p.gid)
+			}
+			n.commitMu.Unlock()
+		}
+		// Abort any connection still holding an open transaction block
+		// (statement failure or local rollback).
+		for _, wc := range st.txnConns() {
+			if wc.inTxn {
+				if _, err := wc.conn.Query("ROLLBACK"); err != nil {
+					wc.broken = true
+				}
+				wc.inTxn = false
+			}
+		}
+		n.releaseSessionConns(st)
+	})
+}
+
+// txnConns flattens the session's pinned connections.
+func (st *sessState) txnConns() []*workerConn {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []*workerConn
+	for _, conns := range st.conns {
+		out = append(out, conns...)
+	}
+	return out
+}
+
+// releaseSessionConns returns the session's pinned connections to the
+// shared pools and resets per-transaction state.
+func (n *Node) releaseSessionConns(st *sessState) {
+	st.mu.Lock()
+	conns := st.conns
+	st.conns = make(map[int][]*workerConn)
+	st.groupConn = make(map[int64]*workerConn)
+	st.registered = false
+	st.distID = ""
+	st.mu.Unlock()
+	for nodeID, list := range conns {
+		p, err := n.poolFor(nodeID)
+		if err != nil {
+			continue
+		}
+		for _, wc := range list {
+			if wc.broken || wc.inTxn {
+				p.Discard(wc.conn)
+			} else {
+				p.Put(wc.conn)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// 2PC recovery daemon (§3.7.2)
+
+func (n *Node) recoveryLoop() {
+	ticker := time.NewTicker(n.Cfg.RecoveryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			n.RecoverTwoPhaseCommits()
+		}
+	}
+}
+
+// RecoverTwoPhaseCommits compares pending prepared transactions on every
+// node against the local commit records: "If a commit record is present for
+// a prepared transaction, the coordinator committed hence the prepared
+// transaction must also commit. Conversely, if no record is present for a
+// transaction that has ended, the prepared transaction must abort." Each
+// coordinator only recovers the transactions it initiated. Returns the
+// number of transactions resolved.
+func (n *Node) RecoverTwoPhaseCommits() int {
+	myPrefix := fmt.Sprintf("citus_%d_", n.ID)
+	resolved := 0
+	for _, node := range n.Meta.Nodes() {
+		n.withNodeConn(node.ID, func(c *wire.Conn) {
+			pendings, err := c.ListPrepared()
+			if err != nil {
+				return
+			}
+			for _, p := range pendings {
+				if !strings.HasPrefix(p.GID, myPrefix) {
+					continue
+				}
+				// still running locally? (the transaction may be between
+				// prepare and commit-prepared right now)
+				if xid, ok := gidLocalXID(p.GID); ok {
+					if _, active := n.Eng.Txns.Active(xid); active {
+						continue
+					}
+				}
+				n.commitMu.Lock()
+				_, committed := n.commitRecords[p.GID]
+				n.commitMu.Unlock()
+				var qerr error
+				if committed {
+					_, qerr = c.Query("COMMIT PREPARED " + types.QuoteString(p.GID))
+				} else {
+					_, qerr = c.Query("ROLLBACK PREPARED " + types.QuoteString(p.GID))
+				}
+				if qerr == nil {
+					resolved++
+				}
+			}
+		})
+	}
+	return resolved
+}
+
+// gidLocalXID parses the coordinator-local XID out of a 2PC gid.
+func gidLocalXID(gid string) (uint64, bool) {
+	parts := strings.Split(gid, "_")
+	if len(parts) != 4 {
+		return 0, false
+	}
+	xid, err := strconv.ParseUint(parts[2], 10, 64)
+	return xid, err == nil
+}
+
+// withNodeConn borrows a pooled connection to a node.
+func (n *Node) withNodeConn(nodeID int, fn func(*wire.Conn)) {
+	p, err := n.poolFor(nodeID)
+	if err != nil {
+		return
+	}
+	c, err := p.Get()
+	if err != nil {
+		return
+	}
+	fn(c)
+	p.Put(c)
+}
+
+// ---------------------------------------------------------------------------
+// Distributed deadlock detection (§3.7.3)
+
+func (n *Node) deadlockLoop() {
+	ticker := time.NewTicker(n.Cfg.DeadlockInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			n.CheckDistributedDeadlock()
+		}
+	}
+}
+
+// CheckDistributedDeadlock polls every node's waits-for edges, merges the
+// processes that belong to the same distributed transaction, and cancels
+// the youngest distributed transaction of any cycle. Returns the cancelled
+// distributed transaction id, or "".
+func (n *Node) CheckDistributedDeadlock() string {
+	type edge struct{ from, to string }
+	var edges []edge
+	vertexName := func(nodeID int, xid uint64, dist string) string {
+		if dist != "" {
+			return "d:" + dist
+		}
+		return fmt.Sprintf("l:%d:%d", nodeID, xid)
+	}
+	collect := func(nodeID int, les []engine.LockEdge) {
+		for _, le := range les {
+			edges = append(edges, edge{
+				from: vertexName(nodeID, le.WaiterXID, le.WaiterDist),
+				to:   vertexName(nodeID, le.HolderXID, le.HolderDist),
+			})
+		}
+	}
+	collect(n.ID, n.Eng.LockGraph())
+	for _, node := range n.Meta.Nodes() {
+		if node.ID == n.ID {
+			continue
+		}
+		n.withNodeConn(node.ID, func(c *wire.Conn) {
+			les, err := c.LockGraph()
+			if err == nil {
+				collect(node.ID, les)
+			}
+		})
+	}
+
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	cycle := findCycleStr(adj)
+	if len(cycle) == 0 {
+		return ""
+	}
+	// choose the youngest distributed transaction in the cycle (greatest
+	// start timestamp embedded in the dist id)
+	victim := ""
+	var victimTS int64 = -1
+	for _, v := range cycle {
+		if !strings.HasPrefix(v, "d:") {
+			continue
+		}
+		dist := v[2:]
+		parts := strings.Split(dist, ":")
+		if len(parts) != 3 {
+			continue
+		}
+		ts, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		if ts > victimTS {
+			victimTS = ts
+			victim = dist
+		}
+	}
+	if victim == "" {
+		return "" // purely local cycle: the node-local detector handles it
+	}
+	n.Eng.CancelByDistID(victim)
+	for _, node := range n.Meta.Nodes() {
+		if node.ID == n.ID {
+			continue
+		}
+		n.withNodeConn(node.ID, func(c *wire.Conn) {
+			_, _ = c.CancelDistTxn(victim)
+		})
+	}
+	return victim
+}
+
+// findCycleStr finds one cycle in a string-keyed digraph.
+func findCycleStr(adj map[string][]string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var cycle []string
+	var dfs func(u string) bool
+	dfs = func(u string) bool {
+		color[u] = gray
+		stack = append(stack, u)
+		for _, v := range adj[u] {
+			switch color[v] {
+			case white:
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == v {
+						break
+					}
+				}
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+		return false
+	}
+	keys := make([]string, 0, len(adj))
+	for k := range adj {
+		keys = append(keys, k)
+	}
+	for _, u := range keys {
+		if color[u] == white {
+			if dfs(u) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package citus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/pool"
+	"citusgo/internal/types"
+)
+
+// task is one query against one shard placement — the unit of distributed
+// execution (§3.5: "a distributed query plan consists of a set of tasks").
+type task struct {
+	nodeID     int
+	shardGroup int64 // co-located shard group for connection affinity; -1 none
+	sql        string
+	params     []types.Datum
+	isWrite    bool
+}
+
+// executeTasks is the adaptive executor (§3.6.1). It runs tasks over the
+// session's per-worker connections, combining:
+//
+//   - slow start: one connection per worker initially, allowing one more
+//     new connection per SlowStartInterval, so short index lookups finish
+//     on a single connection while long analytical tasks fan out;
+//   - the shared connection limit, enforced by the per-node pools;
+//   - task↔connection affinity: within a transaction, a co-located shard
+//     group always reuses the connection that first accessed it, keeping
+//     uncommitted writes and locks visible.
+func (n *Node) executeTasks(s *engine.Session, tasks []task) ([]*engine.Result, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	st := n.state(s)
+
+	writeTasks := 0
+	for i := range tasks {
+		if tasks[i].isWrite {
+			writeTasks++
+			if tasks[i].shardGroup >= 0 {
+				n.fenceWait(tasks[i].shardGroup)
+			}
+		}
+	}
+	// Transaction blocks are needed inside an explicit transaction (for
+	// locks/visibility across statements) and for multi-shard writes in a
+	// single statement (atomicity via 2PC at commit).
+	txnMode := s.InTransaction() || writeTasks > 1
+	if txnMode {
+		n.registerTxnCallbacks(s, st)
+	}
+
+	// Fast path: a single task outside a multi-connection transaction
+	// round-trips on one connection with minimal overhead.
+	results := make([]*engine.Result, len(tasks))
+
+	byNode := make(map[int][]int) // node -> task indexes
+	for i := range tasks {
+		byNode[tasks[i].nodeID] = append(byNode[tasks[i].nodeID], i)
+	}
+
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for nodeID, idxs := range byNode {
+		wg.Add(1)
+		go func(nodeID int, idxs []int) {
+			defer wg.Done()
+			if err := n.runNodeTasks(s, st, nodeID, idxs, tasks, results, txnMode); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}(nodeID, idxs)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runNodeTasks schedules one worker node's tasks across its connections.
+func (n *Node) runNodeTasks(s *engine.Session, st *sessState, nodeID int, idxs []int, tasks []task, results []*engine.Result, txnMode bool) error {
+	p, err := n.poolFor(nodeID)
+	if err != nil {
+		return err
+	}
+
+	// Split tasks into per-connection assigned queues (transaction
+	// affinity) and the general pool for this worker.
+	st.mu.Lock()
+	assigned := make(map[*workerConn][]int)
+	var general []int
+	for _, i := range idxs {
+		if g := tasks[i].shardGroup; g >= 0 {
+			if wc, ok := st.groupConn[g]; ok && wc.nodeID == nodeID {
+				assigned[wc] = append(assigned[wc], i)
+				continue
+			}
+		}
+		general = append(general, i)
+	}
+	pinned := append([]*workerConn(nil), st.conns[nodeID]...)
+	st.mu.Unlock()
+
+	var remaining atomic.Int64
+	remaining.Store(int64(len(general)))
+	taskCh := make(chan int, len(general))
+	for _, i := range general {
+		taskCh <- i
+	}
+	close(taskCh)
+
+	var mu sync.Mutex
+	var runErr error
+	var aborted atomic.Bool
+	noteErr := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
+		aborted.Store(true)
+	}
+
+	runOn := func(wc *workerConn, private []int) {
+		for _, i := range private {
+			if aborted.Load() {
+				return
+			}
+			if err := n.runTask(s, st, wc, &tasks[i], results, i, txnMode); err != nil {
+				noteErr(err)
+				return
+			}
+		}
+		for i := range taskCh {
+			if aborted.Load() {
+				remaining.Add(-1)
+				continue
+			}
+			err := n.runTask(s, st, wc, &tasks[i], results, i, txnMode)
+			remaining.Add(-1)
+			if err != nil {
+				noteErr(err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	var newConns []*workerConn
+	var newMu sync.Mutex
+	startConn := func(wc *workerConn, private []int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runOn(wc, private)
+		}()
+	}
+
+	// Existing pinned/assigned connections start immediately.
+	started := 0
+	startedSet := map[*workerConn]bool{}
+	for wc, private := range assigned {
+		startConn(wc, private)
+		startedSet[wc] = true
+		started++
+	}
+	for _, wc := range pinned {
+		if !startedSet[wc] {
+			startConn(wc, nil)
+			startedSet[wc] = true
+			started++
+		}
+	}
+
+	openNew := func() bool {
+		wc, err := n.acquireConn(p, nodeID, started == 0)
+		if err != nil {
+			if errors.Is(err, pool.ErrLimit) {
+				return false
+			}
+			noteErr(err)
+			return false
+		}
+		newMu.Lock()
+		newConns = append(newConns, wc)
+		newMu.Unlock()
+		startConn(wc, nil)
+		started++
+		return true
+	}
+
+	// Slow start: n=1 connection may be opened now; every interval the
+	// allowance grows by one, and we open min(allowance, pending tasks).
+	// A negative interval disables the ramp entirely (instant fan-out, the
+	// ablation baseline).
+	if started == 0 && (len(general) > 0 || txnMode) {
+		openNew()
+	}
+	if n.Cfg.SlowStartInterval < 0 {
+		for started < len(general) && !aborted.Load() {
+			if !openNew() {
+				break
+			}
+		}
+	}
+	stopRamp := make(chan struct{})
+	var rampWg sync.WaitGroup
+	if n.Cfg.SlowStartInterval > 0 && len(general) > 1 {
+		rampWg.Add(1)
+		go func() {
+			defer rampWg.Done()
+			allowance := 1
+			ticker := time.NewTicker(n.Cfg.SlowStartInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopRamp:
+					return
+				case <-ticker.C:
+					allowance++
+					pendingTasks := int(remaining.Load())
+					want := allowance
+					if pendingTasks-started < want {
+						want = pendingTasks - started
+					}
+					for k := 0; k < want; k++ {
+						if aborted.Load() || !openNew() {
+							break
+						}
+					}
+					if remaining.Load() == 0 {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stopRamp)
+	rampWg.Wait()
+
+	// Connection disposition: transactional connections pin to the
+	// session; others return to the shared pool.
+	newMu.Lock()
+	opened := newConns
+	newMu.Unlock()
+	st.mu.Lock()
+	for _, wc := range opened {
+		if wc.inTxn {
+			st.conns[nodeID] = append(st.conns[nodeID], wc)
+		} else if wc.broken {
+			st.mu.Unlock()
+			p.Discard(wc.conn)
+			st.mu.Lock()
+		} else {
+			st.mu.Unlock()
+			p.Put(wc.conn)
+			st.mu.Lock()
+		}
+	}
+	st.mu.Unlock()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return runErr
+}
+
+// acquireConn gets a connection from the pool, waiting under the shared
+// limit only when the caller has no connection at all (must ≥ 1 to make
+// progress; the wait is how connection slots converge to a fair division
+// between concurrent distributed queries, §3.6.1).
+func (n *Node) acquireConn(p *pool.NodePool, nodeID int, mustHave bool) (*workerConn, error) {
+	for {
+		c, err := p.Get()
+		if err == nil {
+			return &workerConn{conn: c, nodeID: nodeID}, nil
+		}
+		if !errors.Is(err, pool.ErrLimit) || !mustHave {
+			return nil, err
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// runTask executes one task on one connection, opening a remote
+// transaction block first when in transactional mode.
+func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task, results []*engine.Result, i int, txnMode bool) error {
+	if txnMode && !wc.inTxn {
+		if _, err := wc.conn.Query("BEGIN"); err != nil {
+			wc.broken = true
+			return fmt.Errorf("opening transaction block on node %d: %w", wc.nodeID, err)
+		}
+		if _, err := wc.conn.Query(fmt.Sprintf("SET citus.dist_txn_id = '%s'", st.distID)); err != nil {
+			wc.broken = true
+			return err
+		}
+		wc.inTxn = true
+	}
+	res, err := wc.conn.Query(t.sql, t.params...)
+	if err != nil {
+		return fmt.Errorf("task on node %d failed: %w", wc.nodeID, err)
+	}
+	results[i] = res
+	if t.isWrite {
+		wc.wrote = true
+	}
+	if txnMode && t.shardGroup >= 0 {
+		st.mu.Lock()
+		if _, ok := st.groupConn[t.shardGroup]; !ok {
+			st.groupConn[t.shardGroup] = wc
+		}
+		st.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package citus
+
+import (
+	"fmt"
+
+	"citusgo/internal/citus/metadata"
+	"citusgo/internal/engine"
+	"citusgo/internal/sql"
+	"citusgo/internal/types"
+)
+
+// planInsertSelect picks among the three INSERT..SELECT strategies of §3.8:
+//
+//  1. co-located: source and destination share a co-location group and the
+//     SELECT is pushdownable without a merge step — each shard pair runs
+//     "INSERT INTO dest_shard SELECT ... FROM src_shard" in parallel;
+//  2. repartition: no merge step needed but not co-located — the SELECT
+//     result is repartitioned by the destination's distribution column
+//     before insertion;
+//  3. via coordinator: the SELECT needs a coordinator merge — run it as a
+//     distributed SELECT and route the rows back into the destination.
+func (n *Node) planInsertSelect(ins *sql.InsertStmt, dt *metadata.DistTable, params []types.Datum) (engine.Plan, error) {
+	if n.colocatedInsertSelectOK(ins, dt) {
+		return n.planColocatedInsertSelect(ins, dt, params)
+	}
+	if plan, err := n.planRepartitionInsertSelect(ins, dt, params); plan != nil || err != nil {
+		return plan, err
+	}
+	return n.planInsertSelectViaCoordinator(ins, params)
+}
+
+// colocatedInsertSelectOK checks strategy 1's preconditions.
+func (n *Node) colocatedInsertSelectOK(ins *sql.InsertStmt, dt *metadata.DistTable) bool {
+	if dt.Type != metadata.DistributedTable {
+		return false
+	}
+	sel := ins.Select
+	dist, _ := n.citusTablesIn(sel)
+	if len(dist) == 0 {
+		return false
+	}
+	for _, src := range dist {
+		if !n.Meta.Colocated(src, dt.Name) {
+			return false
+		}
+	}
+	if !n.joinsAreColocated(sel) || n.subqueriesPushdownable(sel) != nil {
+		return false
+	}
+	// the SELECT must not need a merge step
+	hasAgg := len(sel.GroupBy) > 0
+	for _, it := range sel.Columns {
+		if it.Star {
+			hasAgg = hasAgg || false
+			continue
+		}
+		if containsAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg && !n.groupByIncludesDistCol(sel) {
+		return false
+	}
+	if sel.Limit != nil || sel.Offset != nil {
+		return false
+	}
+	// the destination's distribution column must be fed by a source
+	// distribution column so rows stay within the shard pair
+	pos := n.destDistColumnPosition(ins, dt)
+	if pos == -1 || pos >= len(sel.Columns) {
+		return false
+	}
+	item := sel.Columns[pos]
+	if item.Star {
+		return false
+	}
+	src := item.Expr
+	cr, ok := src.(*sql.ColumnRef)
+	if !ok {
+		return false
+	}
+	for _, tbl := range dist {
+		sdt, _ := n.Meta.Table(tbl)
+		if sdt.DistColumn == cr.Name {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAgg(e sql.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	var walk func(x sql.Expr)
+	walk = func(x sql.Expr) {
+		if fc, ok := x.(*sql.FuncCall); ok {
+			switch fc.Name {
+			case "count", "sum", "avg", "min", "max":
+				found = true
+			}
+			for _, a := range fc.Args {
+				walk(a)
+			}
+			return
+		}
+		switch t := x.(type) {
+		case *sql.BinaryExpr:
+			walk(t.L)
+			walk(t.R)
+		case *sql.UnaryExpr:
+			walk(t.E)
+		case *sql.CastExpr:
+			walk(t.E)
+		case *sql.CaseExpr:
+			if t.Operand != nil {
+				walk(t.Operand)
+			}
+			for _, w := range t.Whens {
+				walk(w.When)
+				walk(w.Then)
+			}
+			if t.Else != nil {
+				walk(t.Else)
+			}
+		}
+	}
+	walk(e)
+	return found
+}
+
+// destDistColumnPosition finds the destination distribution column's index
+// in the INSERT column list.
+func (n *Node) destDistColumnPosition(ins *sql.InsertStmt, dt *metadata.DistTable) int {
+	cols := ins.Columns
+	if len(cols) == 0 {
+		cols = n.tableColumnsFromSchema(dt)
+	}
+	for i, c := range cols {
+		if c == dt.DistColumn {
+			return i
+		}
+	}
+	return -1
+}
+
+// planColocatedInsertSelect builds strategy 1: one task per shard pair,
+// fully parallel ("Otherwise, the INSERT..SELECT is performed directly on
+// the co-located shards in parallel").
+func (n *Node) planColocatedInsertSelect(ins *sql.InsertStmt, dt *metadata.DistTable, params []types.Datum) (engine.Plan, error) {
+	shards := n.Meta.Shards(dt.Name)
+	var tasks []task
+	for _, sh := range shards {
+		clone, err := sql.CloneStatement(ins)
+		if err != nil {
+			return nil, err
+		}
+		sql.RewriteTables(clone, n.shardNameRewriter(sh.Index))
+		nodeID, err := n.Meta.PrimaryPlacement(sh.ID)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, task{
+			nodeID:     nodeID,
+			shardGroup: metadata.ShardGroupID(dt.ColocationID, sh.Index),
+			sql:        clone.String(),
+			params:     params,
+			isWrite:    true,
+		})
+	}
+	return &distPlan{
+		node:  n,
+		tasks: tasks,
+		isDML: true,
+		tag:   "INSERT 0",
+		explain: []string{
+			"Custom Scan (Citus INSERT ... SELECT)",
+			fmt.Sprintf("  INSERT/SELECT method: pushdown (co-located), %d tasks", len(tasks)),
+		},
+	}, nil
+}
+
+// planRepartitionInsertSelect builds strategy 2: the pushdownable SELECT
+// runs per source shard, its rows are repartitioned by the destination's
+// distribution column into intermediate results on the destination's
+// placement nodes, and per-shard INSERT ... SELECT FROM intermediate tasks
+// complete the move.
+func (n *Node) planRepartitionInsertSelect(ins *sql.InsertStmt, dt *metadata.DistTable, params []types.Datum) (engine.Plan, error) {
+	if dt.Type != metadata.DistributedTable {
+		return nil, nil
+	}
+	sel := ins.Select
+	dist, _ := n.citusTablesIn(sel)
+	if len(dist) == 0 {
+		return nil, nil
+	}
+	if !n.joinsAreColocated(sel) || n.subqueriesPushdownable(sel) != nil {
+		return nil, nil
+	}
+	hasAgg := len(sel.GroupBy) > 0
+	for _, it := range sel.Columns {
+		if !it.Star && containsAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg && !n.groupByIncludesDistCol(sel) {
+		return nil, nil // needs a merge step: via-coordinator strategy
+	}
+	if sel.Limit != nil || sel.Offset != nil || sel.Distinct {
+		return nil, nil
+	}
+	pos := n.destDistColumnPosition(ins, dt)
+	if pos == -1 {
+		return nil, nil
+	}
+	cols := ins.Columns
+	if len(cols) == 0 {
+		cols = n.tableColumnsFromSchema(dt)
+	}
+	prefix := fmt.Sprintf("citus_isrepart_%d", n.distSeq.Add(1))
+
+	srcTable := dist[0]
+	srcShards := n.Meta.Shards(srcTable)
+	plan := &distPlan{
+		node:          n,
+		isDML:         true,
+		tag:           "INSERT 0",
+		cleanupPrefix: prefix,
+		explain: []string{
+			"Custom Scan (Citus INSERT ... SELECT)",
+			"  INSERT/SELECT method: repartition",
+		},
+	}
+	for _, node := range n.Meta.Nodes() {
+		plan.cleanupNodes = append(plan.cleanupNodes, node.ID)
+	}
+	plan.prepare = func(s *engine.Session, params []types.Datum) ([]task, error) {
+		// phase 1: run the SELECT per source shard and collect rows
+		var selTasks []task
+		for _, sh := range srcShards {
+			clone, err := sql.CloneStatement(sel)
+			if err != nil {
+				return nil, err
+			}
+			sql.RewriteTables(clone, n.shardNameRewriter(sh.Index))
+			nodeID, err := n.Meta.PrimaryPlacement(sh.ID)
+			if err != nil {
+				return nil, err
+			}
+			selTasks = append(selTasks, task{nodeID: nodeID, shardGroup: -1, sql: clone.String(), params: params})
+		}
+		results, err := n.executeTasks(s, selTasks)
+		if err != nil {
+			return nil, err
+		}
+		var rows []types.Row
+		for _, r := range results {
+			if r != nil {
+				rows = append(rows, r.Rows...)
+			}
+		}
+		// phase 2: repartition rows by the destination distribution column
+		// and build the insert tasks
+		return n.buildInsertTasks(ins.Table, dt, cols, rows, nil)
+	}
+	return plan, nil
+}
+
+// planInsertSelectViaCoordinator builds strategy 3: distributed SELECT,
+// then route the rows into the destination within the same distributed
+// transaction.
+func (n *Node) planInsertSelectViaCoordinator(ins *sql.InsertStmt, params []types.Datum) (engine.Plan, error) {
+	return &insertSelectCoordinatorPlan{node: n, ins: ins}, nil
+}
+
+type insertSelectCoordinatorPlan struct {
+	node *Node
+	ins  *sql.InsertStmt
+}
+
+func (p *insertSelectCoordinatorPlan) Columns() []string { return nil }
+func (p *insertSelectCoordinatorPlan) ExplainLines() []string {
+	return []string{
+		"Custom Scan (Citus INSERT ... SELECT)",
+		"  INSERT/SELECT method: pull to coordinator",
+	}
+}
+
+func (p *insertSelectCoordinatorPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Result, error) {
+	res, err := s.ExecStmt(p.ins.Select, params)
+	if err != nil {
+		return nil, err
+	}
+	cols := p.ins.Columns
+	n := p.node
+	if dt, ok := n.Meta.Table(p.ins.Table); ok {
+		if len(cols) == 0 {
+			cols = n.tableColumnsFromSchema(dt)
+		}
+		if len(res.Rows) > 0 && len(res.Rows[0]) != len(cols) {
+			return nil, fmt.Errorf("INSERT has %d target columns but SELECT returns %d", len(cols), len(res.Rows[0]))
+		}
+		tasks, err := n.buildInsertTasks(p.ins.Table, dt, cols, res.Rows, nil)
+		if err != nil {
+			return nil, err
+		}
+		results, err := n.executeTasks(s, tasks)
+		if err != nil {
+			return nil, err
+		}
+		out := &engine.Result{}
+		for _, r := range results {
+			if r != nil {
+				out.Affected += r.Affected
+			}
+		}
+		out.Tag = fmt.Sprintf("INSERT 0 %d", out.Affected)
+		return out, nil
+	}
+	// destination is a plain local table
+	ncopied, err := s.CopyFrom(p.ins.Table, cols, res.Rows)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Result{Tag: fmt.Sprintf("INSERT 0 %d", ncopied), Affected: ncopied}, nil
+}

@@ -1,0 +1,328 @@
+// Package metadata implements the distributed metadata catalog — the
+// equivalent of Citus' pg_dist_partition, pg_dist_shard, pg_dist_placement,
+// pg_dist_colocation, and pg_dist_node tables. The coordinator owns the
+// authoritative copy; in MX mode the catalog is synced to worker nodes so
+// any node can plan and coordinate distributed queries (paper §3.2.1).
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"citusgo/internal/types"
+)
+
+// TableType distinguishes the two Citus table types (§3.3).
+type TableType int
+
+const (
+	// DistributedTable is hash-partitioned on a distribution column.
+	DistributedTable TableType = iota
+	// ReferenceTable is replicated to every node.
+	ReferenceTable
+)
+
+// DistTable is one row of pg_dist_partition.
+type DistTable struct {
+	Name         string
+	Type         TableType
+	DistColumn   string // "" for reference tables
+	DistColType  types.Type
+	ColocationID int
+	ShardCount   int
+	SchemaSQL    string // CREATE TABLE text used to create shards
+}
+
+// Shard is one row of pg_dist_shard.
+type Shard struct {
+	ID    int64
+	Table string
+	Index int // shard index within the table (0..ShardCount-1)
+	Range types.ShardRange
+}
+
+// ShardName returns the physical table name of a shard, e.g.
+// "orders_102008" — the name the deparsed task queries reference.
+func (s *Shard) ShardName() string { return fmt.Sprintf("%s_%d", s.Table, s.ID) }
+
+// Node is one row of pg_dist_node.
+type Node struct {
+	ID   int
+	Name string
+	// IsCoordinator marks the node clients connect to by default.
+	IsCoordinator bool
+	// HasMetadata reports whether the distributed metadata is synced to
+	// this node (MX), letting it coordinate distributed queries itself.
+	HasMetadata bool
+}
+
+// firstShardID matches the shard id space Citus starts at.
+const firstShardID = 102008
+
+// Catalog is the distributed metadata store.
+type Catalog struct {
+	mu sync.RWMutex
+
+	tables     map[string]*DistTable
+	shards     map[string][]*Shard // by table, ordered by shard index
+	shardByID  map[int64]*Shard
+	placements map[int64][]int // shard id -> node ids (reference tables have many)
+	nodes      map[int]*Node
+
+	nextShard      int64
+	nextColocation int
+	colocationRef  map[int]colocationGroup
+}
+
+type colocationGroup struct {
+	shardCount  int
+	distColType types.Type
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:         make(map[string]*DistTable),
+		shards:         make(map[string][]*Shard),
+		shardByID:      make(map[int64]*Shard),
+		placements:     make(map[int64][]int),
+		nodes:          make(map[int]*Node),
+		nextShard:      firstShardID,
+		nextColocation: 1,
+		colocationRef:  make(map[int]colocationGroup),
+	}
+}
+
+// AddNode registers a node.
+func (c *Catalog) AddNode(n *Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[n.ID] = n
+}
+
+// Nodes returns all nodes ordered by id.
+func (c *Catalog) Nodes() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WorkerNodes returns the nodes that store shards: all workers, or the
+// coordinator itself when it is the only node (the "smallest possible Citus
+// cluster is a single server", §3.2).
+func (c *Catalog) WorkerNodes() []*Node {
+	all := c.Nodes()
+	var workers []*Node
+	for _, n := range all {
+		if !n.IsCoordinator {
+			workers = append(workers, n)
+		}
+	}
+	if len(workers) == 0 {
+		return all
+	}
+	return workers
+}
+
+// SetHasMetadata flips a node's metadata-sync flag (MX mode).
+func (c *Catalog) SetHasMetadata(nodeID int, v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.nodes[nodeID]; ok {
+		n.HasMetadata = v
+	}
+}
+
+// NewColocationGroup allocates a co-location group id.
+func (c *Catalog) NewColocationGroup(shardCount int, distColType types.Type) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextColocation
+	c.nextColocation++
+	c.colocationRef[id] = colocationGroup{shardCount: shardCount, distColType: distColType}
+	return id
+}
+
+// FindColocationGroup returns an existing group with matching shard count
+// and distribution column type — the automatic co-location the paper
+// describes for users who do not pass colocate_with (§3.3.2).
+func (c *Catalog) FindColocationGroup(shardCount int, distColType types.Type) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]int, 0, len(c.colocationRef))
+	for id := range c.colocationRef {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		g := c.colocationRef[id]
+		if g.shardCount == shardCount && g.distColType == distColType {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// AddTable registers a distributed or reference table with its shards and
+// placements. For co-located tables the caller passes the same shard ranges
+// as the existing table in the group.
+func (c *Catalog) AddTable(t *DistTable, shards []*Shard, placements map[int64][]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[t.Name]; exists {
+		return fmt.Errorf("table %q is already distributed", t.Name)
+	}
+	c.tables[t.Name] = t
+	c.shards[t.Name] = shards
+	for _, sh := range shards {
+		c.shardByID[sh.ID] = sh
+		c.placements[sh.ID] = placements[sh.ID]
+	}
+	return nil
+}
+
+// RemoveTable drops a table's distributed metadata (undistribute / DROP).
+func (c *Catalog) RemoveTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sh := range c.shards[name] {
+		delete(c.shardByID, sh.ID)
+		delete(c.placements, sh.ID)
+	}
+	delete(c.shards, name)
+	delete(c.tables, name)
+}
+
+// NextShardID allocates n consecutive shard ids.
+func (c *Catalog) NextShardID(n int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextShard
+	c.nextShard += int64(n)
+	return id
+}
+
+// Table looks up distributed metadata for a table.
+func (c *Catalog) Table(name string) (*DistTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// IsCitusTable reports whether the name is a distributed or reference table.
+func (c *Catalog) IsCitusTable(name string) bool {
+	_, ok := c.Table(name)
+	return ok
+}
+
+// Tables returns all distributed-table metadata sorted by name.
+func (c *Catalog) Tables() []*DistTable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*DistTable, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Shards returns a table's shards ordered by shard index.
+func (c *Catalog) Shards(table string) []*Shard {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Shard(nil), c.shards[table]...)
+}
+
+// ShardByID resolves a shard id.
+func (c *Catalog) ShardByID(id int64) (*Shard, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sh, ok := c.shardByID[id]
+	return sh, ok
+}
+
+// Placements returns the node ids storing a shard (one for distributed
+// shards, all nodes for reference shards).
+func (c *Catalog) Placements(shardID int64) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]int(nil), c.placements[shardID]...)
+}
+
+// PrimaryPlacement returns the first placement node of a shard.
+func (c *Catalog) PrimaryPlacement(shardID int64) (int, error) {
+	p := c.Placements(shardID)
+	if len(p) == 0 {
+		return 0, fmt.Errorf("shard %d has no placements", shardID)
+	}
+	return p[0], nil
+}
+
+// MovePlacement reassigns a shard to another node (rebalancer metadata
+// update).
+func (c *Catalog) MovePlacement(shardID int64, from, to int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nodes := c.placements[shardID]
+	for i, n := range nodes {
+		if n == from {
+			nodes[i] = to
+			return nil
+		}
+	}
+	return fmt.Errorf("shard %d has no placement on node %d", shardID, from)
+}
+
+// ShardForValue routes a distribution column value to its shard by hash.
+func (c *Catalog) ShardForValue(table string, v types.Datum) (*Shard, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("table %q is not distributed", table)
+	}
+	if t.Type == ReferenceTable {
+		shards := c.shards[table]
+		if len(shards) == 0 {
+			return nil, fmt.Errorf("reference table %q has no shard", table)
+		}
+		return shards[0], nil
+	}
+	h := types.HashDatum(v)
+	for _, sh := range c.shards[table] {
+		if sh.Range.Contains(h) {
+			return sh, nil
+		}
+	}
+	return nil, fmt.Errorf("no shard covers hash %d of table %q", h, table)
+}
+
+// Colocated reports whether two citus tables are in the same co-location
+// group (reference tables co-locate with everything — they are replicated
+// everywhere).
+func (c *Catalog) Colocated(a, b string) bool {
+	ta, oka := c.Table(a)
+	tb, okb := c.Table(b)
+	if !oka || !okb {
+		return false
+	}
+	if ta.Type == ReferenceTable || tb.Type == ReferenceTable {
+		return true
+	}
+	return ta.ColocationID == tb.ColocationID
+}
+
+// ShardGroupID identifies the co-located shard group of (colocationID,
+// shardIndex) — the unit of transaction connection affinity in the adaptive
+// executor.
+func ShardGroupID(colocationID, shardIndex int) int64 {
+	return int64(colocationID)<<20 | int64(shardIndex)
+}

@@ -1,0 +1,330 @@
+// Package citus implements the paper's primary contribution: the
+// distributed database layer that turns a fleet of single-node SQL engines
+// into one distributed database. It plugs into the engine's hook points the
+// way the Citus extension plugs into PostgreSQL (§3.1):
+//
+//   - the planner hook intercepts statements referencing distributed or
+//     reference tables and produces distributed query plans through a
+//     four-planner hierarchy (fast path → router → logical pushdown →
+//     logical join-order, §3.5);
+//   - the adaptive executor runs plan tasks over per-worker connection
+//     pools with slow-start and a shared connection limit (§3.6);
+//   - transaction callbacks implement two-phase commit with commit records
+//     and recovery (§3.7.2), and a background daemon detects distributed
+//     deadlocks by merging worker lock graphs (§3.7.3);
+//   - the utility hook propagates DDL and fans out COPY (§3.8).
+package citus
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"citusgo/internal/citus/metadata"
+	"citusgo/internal/engine"
+	"citusgo/internal/pool"
+	"citusgo/internal/wal"
+	"citusgo/internal/wire"
+)
+
+// Config tunes a Citus node.
+type Config struct {
+	// ShardCount is the default shard count for new distributed tables
+	// (citus.shard_count; Citus defaults to 32).
+	ShardCount int
+	// MaxSharedPoolSize caps outgoing connections per worker node
+	// (citus.max_shared_pool_size). 0 = 64.
+	MaxSharedPoolSize int
+	// SlowStartInterval is the adaptive executor's ramp-up period between
+	// connection-count increases (citus.executor_slow_start_interval,
+	// 10ms in the paper).
+	SlowStartInterval time.Duration
+	// DeadlockInterval is the distributed deadlock detector's polling
+	// period (2s in the paper; tests use a few ms). Negative disables.
+	DeadlockInterval time.Duration
+	// RecoveryInterval is the 2PC prepared-transaction recovery period.
+	// Negative disables.
+	RecoveryInterval time.Duration
+	// BroadcastRowThreshold is the size under which the join-order planner
+	// prefers broadcasting a relation over repartitioning (rows).
+	BroadcastRowThreshold int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShardCount <= 0 {
+		c.ShardCount = 32
+	}
+	if c.MaxSharedPoolSize <= 0 {
+		c.MaxSharedPoolSize = 64
+	}
+	if c.SlowStartInterval == 0 {
+		c.SlowStartInterval = 10 * time.Millisecond
+	}
+	if c.DeadlockInterval == 0 {
+		c.DeadlockInterval = 2 * time.Second
+	}
+	if c.RecoveryInterval == 0 {
+		c.RecoveryInterval = 30 * time.Second
+	}
+	if c.BroadcastRowThreshold <= 0 {
+		c.BroadcastRowThreshold = 10000
+	}
+	return c
+}
+
+// Node is one server with the Citus extension loaded: an engine plus the
+// distributed layer. Every node in a cluster is a Node; whether it can
+// coordinate distributed queries depends on it having the metadata
+// (the coordinator always does; workers after metadata sync / MX).
+type Node struct {
+	ID   int
+	Eng  *engine.Engine
+	Meta *metadata.Catalog
+	Cfg  Config
+
+	mu      sync.Mutex
+	dialers map[int]pool.Dialer
+	pools   map[int]*pool.NodePool
+	peers   map[int]*engine.Engine
+
+	// pg_dist_transaction: commit records for 2PC recovery. commitMu also
+	// serializes record writes against restore-point creation (§3.9).
+	commitMu      sync.Mutex
+	commitRecords map[string]struct{}
+
+	distSeq  atomic.Uint64
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	// stats
+	copyStatementsTotal atomic.Int64
+
+	// procedures with a distribution argument (§3.8 stored procedure
+	// delegation): name -> spec
+	procMu    sync.Mutex
+	distProcs map[string]DistProcedure
+
+	// shard-move write fences (rebalancer)
+	fenceMu sync.Mutex
+	fences  map[int64]chan struct{}
+}
+
+// DistProcedure marks a stored procedure as delegatable to the worker that
+// owns the shard of its distribution argument.
+type DistProcedure struct {
+	// ArgIndex is the 0-based position of the distribution argument.
+	ArgIndex int
+	// ColocatedWith is the distributed table whose shards the argument
+	// routes against.
+	ColocatedWith string
+}
+
+// NewNode attaches the Citus layer to an engine.
+func NewNode(id int, eng *engine.Engine, meta *metadata.Catalog, cfg Config) *Node {
+	n := &Node{
+		ID:            id,
+		Eng:           eng,
+		Meta:          meta,
+		Cfg:           cfg.withDefaults(),
+		dialers:       make(map[int]pool.Dialer),
+		pools:         make(map[int]*pool.NodePool),
+		commitRecords: make(map[string]struct{}),
+		stopCh:        make(chan struct{}),
+		distProcs:     make(map[string]DistProcedure),
+		fences:        make(map[int64]chan struct{}),
+	}
+	eng.PlannerHook = n.plannerHook
+	eng.UtilityHook = n.utilityHook
+	eng.CopyHook = n.copyHook
+	return n
+}
+
+// SetDialer installs the connection factory for a peer node (the cluster
+// orchestrator wires this; it is the analog of node connection info in
+// pg_dist_node).
+func (n *Node) SetDialer(nodeID int, d pool.Dialer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dialers[nodeID] = d
+}
+
+// poolFor returns the shared connection pool toward a node.
+func (n *Node) poolFor(nodeID int) (*pool.NodePool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.pools[nodeID]; ok {
+		return p, nil
+	}
+	d, ok := n.dialers[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("no connection information for node %d", nodeID)
+	}
+	p := pool.New(fmt.Sprintf("node-%d", nodeID), n.Cfg.MaxSharedPoolSize, d)
+	n.pools[nodeID] = p
+	return p, nil
+}
+
+// canCoordinate reports whether this node may plan distributed queries: it
+// must have the metadata (coordinator, or a worker after metadata sync).
+func (n *Node) canCoordinate() bool {
+	for _, node := range n.Meta.Nodes() {
+		if node.ID == n.ID {
+			return node.IsCoordinator || node.HasMetadata
+		}
+	}
+	return false
+}
+
+// StartDaemons launches the maintenance daemon: distributed deadlock
+// detection and 2PC recovery (the "background worker" of §3.1).
+func (n *Node) StartDaemons() {
+	if n.Cfg.DeadlockInterval > 0 {
+		go n.deadlockLoop()
+	}
+	if n.Cfg.RecoveryInterval > 0 {
+		go n.recoveryLoop()
+	}
+}
+
+// Close stops daemons and drops pooled connections.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.mu.Lock()
+	pools := make([]*pool.NodePool, 0, len(n.pools))
+	for _, p := range n.pools {
+		pools = append(pools, p)
+	}
+	n.mu.Unlock()
+	for _, p := range pools {
+		p.CloseAll()
+	}
+}
+
+// RegisterDistributedProcedure enables worker delegation for a stored
+// procedure previously registered on every node's engine.
+func (n *Node) RegisterDistributedProcedure(name string, spec DistProcedure) {
+	n.procMu.Lock()
+	defer n.procMu.Unlock()
+	n.distProcs[name] = spec
+}
+
+func (n *Node) distProcedure(name string) (DistProcedure, bool) {
+	n.procMu.Lock()
+	defer n.procMu.Unlock()
+	p, ok := n.distProcs[name]
+	return p, ok
+}
+
+// PoolStats reports (total, idle) connections toward a node.
+func (n *Node) PoolStats(nodeID int) (total, idle int) {
+	n.mu.Lock()
+	p, ok := n.pools[nodeID]
+	n.mu.Unlock()
+	if !ok {
+		return 0, 0
+	}
+	return p.Stats()
+}
+
+// AddCommitRecordForTest inserts a commit record directly (tests simulate a
+// coordinator that crashed between writing records and resolving 2PC).
+func (n *Node) AddCommitRecordForTest(gid string) {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	n.commitRecords[gid] = struct{}{}
+	n.Eng.WAL.Append(wal.Record{Type: wal.RecCommitRecord, GID: gid})
+}
+
+// RecoverCommitRecords rebuilds the commit-record table from WAL records
+// (restore/restart path): the records' WAL durability is what §3.7.2
+// relies on ("the commit records are durably stored").
+func (n *Node) RecoverCommitRecords(recs []wal.Record, upTo int64) {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	for _, r := range recs {
+		if r.Type != wal.RecCommitRecord {
+			continue
+		}
+		if upTo > 0 && r.LSN > upTo {
+			continue
+		}
+		n.commitRecords[r.GID] = struct{}{}
+	}
+}
+
+// nextDistTxnID mints a distributed transaction identifier. The encoded
+// timestamp lets the deadlock detector pick the youngest transaction in a
+// cycle as the victim.
+func (n *Node) nextDistTxnID() string {
+	return fmt.Sprintf("%d:%d:%d", n.ID, time.Now().UnixNano(), n.distSeq.Add(1))
+}
+
+// ---------------------------------------------------------------------------
+// Session state
+
+// sessState is the distributed layer's per-session state, stored in
+// engine.Session.Ext: the connection cache and per-transaction connection
+// assignments ("for every connection, Citus tracks which shards have been
+// accessed", §3.6.1).
+type sessState struct {
+	mu sync.Mutex
+
+	// conns are connections pinned to the current transaction, per node.
+	conns map[int][]*workerConn
+	// groupConn assigns a co-located shard group to the connection that
+	// already touched it in this transaction.
+	groupConn map[int64]*workerConn
+
+	distID     string
+	registered bool // transaction callbacks installed
+}
+
+// workerConn wraps a pooled connection with transaction state.
+type workerConn struct {
+	conn   *wire.Conn
+	nodeID int
+	inTxn  bool // BEGIN sent for the current distributed transaction
+	wrote  bool // performed a write in this transaction
+	broken bool // protocol error: discard instead of returning to pool
+}
+
+func (n *Node) state(s *engine.Session) *sessState {
+	if st, ok := s.Ext.(*sessState); ok {
+		return st
+	}
+	st := &sessState{
+		conns:     make(map[int][]*workerConn),
+		groupConn: make(map[int64]*workerConn),
+	}
+	s.Ext = st
+	return st
+}
+
+// fenceWait blocks while a shard group is fenced for a shard move.
+func (n *Node) fenceWait(group int64) {
+	for {
+		n.fenceMu.Lock()
+		ch, fenced := n.fences[group]
+		n.fenceMu.Unlock()
+		if !fenced {
+			return
+		}
+		<-ch
+	}
+}
+
+// fence blocks writers of a shard group; the returned release function
+// unblocks them (used by the rebalancer during the final catchup, §3.4).
+func (n *Node) fence(group int64) func() {
+	ch := make(chan struct{})
+	n.fenceMu.Lock()
+	n.fences[group] = ch
+	n.fenceMu.Unlock()
+	return func() {
+		n.fenceMu.Lock()
+		delete(n.fences, group)
+		n.fenceMu.Unlock()
+		close(ch)
+	}
+}

@@ -1,0 +1,672 @@
+package citus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"citusgo/internal/citus/metadata"
+	"citusgo/internal/engine"
+	"citusgo/internal/expr"
+	"citusgo/internal/sql"
+	"citusgo/internal/types"
+	"citusgo/internal/wire"
+)
+
+// distPlan is the distributed query plan a planner hook returns — the
+// equivalent of the CustomScan node Citus injects into the PostgreSQL plan
+// (§3.5): a set of tasks, optionally preceded by subplan phases (broadcast /
+// repartition data movement) and followed by a coordinator-side merge query
+// over the collected worker results.
+type distPlan struct {
+	node    *Node
+	columns []string
+	explain []string
+
+	// tasks, or prepare to build them at execution time (join-order plans
+	// move data first).
+	tasks   []task
+	prepare func(s *engine.Session, params []types.Datum) ([]task, error)
+
+	// DML plans sum affected rows instead of returning them.
+	isDML bool
+	tag   string
+
+	// merge: load task results into an intermediate result on the
+	// coordinator and run the merge ("master") query over it locally.
+	mergeName  string
+	mergeQuery string
+	mergeCols  []string
+
+	// cleanup of intermediate results on every involved node
+	cleanupPrefix string
+	cleanupNodes  []int
+
+	// reference-table writes run on every replica; report one count
+	// instead of the sum
+	dedupeReplicaCounts bool
+}
+
+func (p *distPlan) Columns() []string      { return p.columns }
+func (p *distPlan) ExplainLines() []string { return p.explain }
+
+func (p *distPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Result, error) {
+	tasks := p.tasks
+	if p.prepare != nil {
+		var err error
+		tasks, err = p.prepare(s, params)
+		if err != nil {
+			p.cleanup()
+			return nil, err
+		}
+	}
+	results, err := p.node.executeTasks(s, tasks)
+	if err != nil {
+		p.cleanup()
+		return nil, err
+	}
+	defer p.cleanup()
+
+	if p.isDML {
+		res := &engine.Result{}
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			if p.dedupeReplicaCounts {
+				if res.Affected == 0 {
+					res.Affected = r.Affected
+				}
+			} else {
+				res.Affected += r.Affected
+			}
+			// RETURNING rows pass through (replica writes return identical
+			// rows; keep the first set only)
+			if len(r.Rows) > 0 && len(r.Columns) > 0 && (!p.dedupeReplicaCounts || len(res.Rows) == 0) {
+				res.Columns = r.Columns
+				res.Rows = append(res.Rows, r.Rows...)
+			}
+		}
+		res.Tag = fmt.Sprintf("%s %d", p.tag, res.Affected)
+		return res, nil
+	}
+
+	if p.mergeQuery != "" {
+		var rows []types.Row
+		cols := p.mergeCols
+		for _, r := range results {
+			if r != nil {
+				if cols == nil {
+					cols = r.Columns
+				}
+				rows = append(rows, r.Rows...)
+			}
+		}
+		p.node.Eng.RegisterIntermediateResult(p.mergeName, &engine.IntermediateResult{
+			Columns: cols,
+			Rows:    rows,
+		})
+		defer p.node.Eng.DropIntermediateResults(p.mergeName)
+		res, err := s.Exec(p.mergeQuery, params...)
+		if err != nil {
+			return nil, fmt.Errorf("merge step failed: %w", err)
+		}
+		if p.columns != nil {
+			res.Columns = p.columns
+		}
+		res.Tag = ""
+		return res, nil
+	}
+
+	res := &engine.Result{Columns: p.columns}
+	for _, r := range results {
+		if r != nil {
+			res.Rows = append(res.Rows, r.Rows...)
+		}
+	}
+	return res, nil
+}
+
+func (p *distPlan) cleanup() {
+	if p.cleanupPrefix == "" {
+		return
+	}
+	for _, nodeID := range p.cleanupNodes {
+		if nodeID == p.node.ID {
+			p.node.Eng.DropIntermediateResults(p.cleanupPrefix)
+			continue
+		}
+		nodeID := nodeID
+		p.node.withNodeConn(nodeID, func(c *wire.Conn) {
+			_ = c.DropIntermediateResults(p.cleanupPrefix)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Planner hook
+
+// plannerHook is the entry point: it intercepts statements that reference
+// Citus tables and walks the planner hierarchy from cheapest to most
+// general — fast path, router, logical pushdown, logical join order (§3.5:
+// "Citus iterates over the four planners, from lowest to highest
+// overhead").
+func (n *Node) plannerHook(s *engine.Session, stmt sql.Statement, params []types.Datum) (engine.Plan, error) {
+	if plan, handled, err := n.matchUDF(s, stmt, params); handled {
+		return plan, err
+	}
+	// Route on FROM-clause tables only: a query whose distributed
+	// references live solely in expression subqueries runs locally, and
+	// each subquery is recursively planned as a distributed query when the
+	// engine executes it (the engine's subquery executor re-enters this
+	// hook).
+	names := sql.FromTables(stmt)
+	touchesCitus := false
+	for _, name := range names {
+		if n.Meta.IsCitusTable(name) {
+			touchesCitus = true
+			break
+		}
+	}
+	if !touchesCitus {
+		return nil, nil
+	}
+	if !n.canCoordinate() {
+		return nil, fmt.Errorf("node %d cannot plan distributed queries: metadata is not synced (run start_metadata_sync_to_node)", n.ID)
+	}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		return n.planDistSelect(st, params)
+	case *sql.InsertStmt:
+		return n.planDistInsert(st, params)
+	case *sql.UpdateStmt:
+		return n.planDistModify(st, st.Table, st.Where, params)
+	case *sql.DeleteStmt:
+		return n.planDistModify(st, st.Table, st.Where, params)
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Distribution-column filter extraction
+
+// distFilter records "range/table X has distribution column = const value".
+type distFilters map[string]types.Datum // range or table name (lower) -> value
+
+// collectDistFilters finds `col = const` conjuncts anywhere in the
+// statement for the given (rangeName -> tableName) map, keyed per citus
+// table. The router and fast-path planners both use it.
+func (n *Node) collectDistFilters(stmt sql.Statement, params []types.Datum) (map[string]types.Datum, map[string]string) {
+	// map range names to table names across all FROM clauses
+	ranges := map[string]string{}
+	sql.WalkTables(stmt, func(bt *sql.BaseTable) {
+		name := bt.Name
+		ranges[bt.RefName()] = name
+		ranges[name] = name
+	})
+
+	values := map[string]types.Datum{} // table name -> dist col value
+	record := func(qualifier, col string, val types.Datum) {
+		tryTable := func(tbl string) {
+			dt, ok := n.Meta.Table(tbl)
+			if !ok || dt.Type != metadata.DistributedTable || dt.DistColumn != col {
+				return
+			}
+			if _, exists := values[tbl]; !exists {
+				values[tbl] = val
+			}
+		}
+		if qualifier != "" {
+			if tbl, ok := ranges[qualifier]; ok {
+				tryTable(tbl)
+			}
+			return
+		}
+		for _, tbl := range ranges {
+			tryTable(tbl)
+		}
+	}
+
+	visitConjunct := func(e sql.Expr) {
+		b, ok := e.(*sql.BinaryExpr)
+		if !ok || b.Op != sql.OpEq {
+			return
+		}
+		cr, crOK := b.L.(*sql.ColumnRef)
+		other := b.R
+		if !crOK {
+			cr, crOK = b.R.(*sql.ColumnRef)
+			other = b.L
+		}
+		if !crOK {
+			return
+		}
+		ev, err := expr.Compile(other, nil)
+		if err != nil {
+			return
+		}
+		val, err := ev(&expr.Ctx{Params: params})
+		if err != nil || val == nil {
+			return
+		}
+		record(cr.Table, cr.Name, val)
+	}
+
+	var walkConjunctSources func(sel *sql.SelectStmt)
+	var visitTableRef func(tr sql.TableRef)
+	visitTableRef = func(tr sql.TableRef) {
+		switch t := tr.(type) {
+		case *sql.JoinRef:
+			visitTableRef(t.Left)
+			visitTableRef(t.Right)
+			for _, c := range splitAnd(t.On) {
+				visitConjunct(c)
+			}
+		case *sql.SubqueryRef:
+			walkConjunctSources(t.Select)
+		}
+	}
+	walkConjunctSources = func(sel *sql.SelectStmt) {
+		if sel == nil {
+			return
+		}
+		for _, c := range splitAnd(sel.Where) {
+			visitConjunct(c)
+		}
+		for _, tr := range sel.From {
+			visitTableRef(tr)
+		}
+	}
+
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		walkConjunctSources(st)
+	case *sql.UpdateStmt:
+		for _, c := range splitAnd(st.Where) {
+			visitConjunct(c)
+		}
+	case *sql.DeleteStmt:
+		for _, c := range splitAnd(st.Where) {
+			visitConjunct(c)
+		}
+	}
+	return values, ranges
+}
+
+func splitAnd(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sql.BinaryExpr); ok && b.Op == sql.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// citusTablesIn lists the distinct citus tables a statement references,
+// split by type.
+func (n *Node) citusTablesIn(stmt sql.Statement) (dist, ref []string) {
+	seen := map[string]bool{}
+	for _, name := range sql.StatementTables(stmt) {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		dt, ok := n.Meta.Table(name)
+		if !ok {
+			continue
+		}
+		if dt.Type == metadata.ReferenceTable {
+			ref = append(ref, name)
+		} else {
+			dist = append(dist, name)
+		}
+	}
+	return dist, ref
+}
+
+// shardNameRewriter builds the table→shard renaming for one shard index.
+func (n *Node) shardNameRewriter(shardIndex int) func(string) string {
+	return func(name string) string {
+		dt, ok := n.Meta.Table(name)
+		if !ok {
+			return name
+		}
+		shards := n.Meta.Shards(name)
+		if dt.Type == metadata.ReferenceTable {
+			return shards[0].ShardName()
+		}
+		if shardIndex < len(shards) {
+			return shards[shardIndex].ShardName()
+		}
+		return name
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Router planner (and fast path)
+
+// planRouter attempts to scope the whole statement to one co-located shard
+// group (§3.5). Returns nil when the query is not routable.
+func (n *Node) planRouter(stmt sql.Statement, params []types.Datum, isWrite bool, tag string) (*distPlan, error) {
+	dist, ref := n.citusTablesIn(stmt)
+
+	// Reference-table-only statements route to the local replica (reads)
+	// — writes to reference tables are handled by the DML planners.
+	if len(dist) == 0 {
+		clone, err := sql.CloneStatement(stmt)
+		if err != nil {
+			return nil, err
+		}
+		sql.RewriteTables(clone, n.shardNameRewriter(0))
+		return &distPlan{
+			node:    n,
+			tasks:   []task{{nodeID: n.ID, shardGroup: -1, sql: clone.String(), params: params, isWrite: isWrite}},
+			isDML:   isWrite,
+			tag:     tag,
+			explain: []string{"Custom Scan (Citus Router)", "  Task Count: 1 (reference table, local replica)"},
+		}, nil
+	}
+
+	values, _ := n.collectDistFilters(stmt, params)
+
+	// every distributed table needs a distribution column filter, all in
+	// the same co-location group, all landing on the same shard index
+	shardIndex := -1
+	colocation := -1
+	var groupShard *metadata.Shard
+	for _, tbl := range dist {
+		val, ok := values[tbl]
+		if !ok {
+			return nil, nil
+		}
+		dt, _ := n.Meta.Table(tbl)
+		if colocation == -1 {
+			colocation = dt.ColocationID
+		} else if dt.ColocationID != colocation {
+			return nil, nil
+		}
+		sh, err := n.Meta.ShardForValue(tbl, val)
+		if err != nil {
+			return nil, err
+		}
+		if shardIndex == -1 {
+			shardIndex = sh.Index
+			groupShard = sh
+		} else if sh.Index != shardIndex {
+			return nil, nil
+		}
+	}
+	_ = ref
+
+	nodeID, err := n.Meta.PrimaryPlacement(groupShard.ID)
+	if err != nil {
+		return nil, err
+	}
+	clone, err := sql.CloneStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	sql.RewriteTables(clone, n.shardNameRewriter(shardIndex))
+	group := metadata.ShardGroupID(colocation, shardIndex)
+	return &distPlan{
+		node: n,
+		tasks: []task{{
+			nodeID: nodeID, shardGroup: group,
+			sql: clone.String(), params: params, isWrite: isWrite,
+		}},
+		isDML: isWrite,
+		tag:   tag,
+		explain: []string{
+			"Custom Scan (Citus Router)",
+			fmt.Sprintf("  Task Count: 1 (shard group %d on node %d)", shardIndex, nodeID),
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// SELECT planning
+
+func (n *Node) planDistSelect(sel *sql.SelectStmt, params []types.Datum) (engine.Plan, error) {
+	// fast path / router
+	plan, err := n.planRouter(sel, params, false, "")
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		if sel.ForUpdate {
+			// SELECT ... FOR UPDATE takes row locks on the worker; treat
+			// the task as a write so it joins the distributed transaction
+			for i := range plan.tasks {
+				plan.tasks[i].isWrite = true
+			}
+			plan.isDML = false
+		}
+		return plan, nil
+	}
+	if sel.ForUpdate {
+		return nil, fmt.Errorf("SELECT FOR UPDATE requires a distribution column filter")
+	}
+	// logical pushdown
+	plan, err = n.planPushdown(sel, params)
+	if err != nil || plan != nil {
+		return plan, err
+	}
+	// logical join order (broadcast / repartition joins)
+	plan, err = n.planJoinOrder(sel, params)
+	if err != nil || plan != nil {
+		return plan, err
+	}
+	return nil, fmt.Errorf("complex distributed queries of this shape are not supported (non-co-located correlated subqueries are a known limitation, see paper §2.4)")
+}
+
+// ---------------------------------------------------------------------------
+// DML planning
+
+func (n *Node) planDistInsert(ins *sql.InsertStmt, params []types.Datum) (engine.Plan, error) {
+	dt, ok := n.Meta.Table(ins.Table)
+	if !ok {
+		// INSERT into a local table selecting from citus tables: run the
+		// distributed SELECT, then insert locally.
+		if ins.Select != nil {
+			return n.planInsertSelectViaCoordinator(ins, params)
+		}
+		return nil, nil
+	}
+	if ins.Select != nil {
+		return n.planInsertSelect(ins, dt, params)
+	}
+
+	if dt.Type == metadata.ReferenceTable {
+		return n.planReferenceWrite(ins, params, "INSERT")
+	}
+
+	// distributed VALUES insert: route each row by its distribution column
+	cols := ins.Columns
+	if len(cols) == 0 {
+		cols = n.tableColumnsFromSchema(dt)
+	}
+	distIdx := -1
+	for i, c := range cols {
+		if c == dt.DistColumn {
+			distIdx = i
+			break
+		}
+	}
+	if distIdx == -1 {
+		return nil, fmt.Errorf("INSERT into distributed table %q must provide the distribution column %q", ins.Table, dt.DistColumn)
+	}
+	ctx := &expr.Ctx{Params: params}
+	byShard := map[int][][]sql.Expr{}
+	for _, row := range ins.Rows {
+		if distIdx >= len(row) {
+			return nil, fmt.Errorf("INSERT row is missing the distribution column")
+		}
+		ev, err := expr.Compile(row[distIdx], nil)
+		if err != nil {
+			return nil, fmt.Errorf("distribution column value must be constant: %w", err)
+		}
+		val, err := ev(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if val == nil {
+			return nil, fmt.Errorf("cannot insert NULL into distribution column %q", dt.DistColumn)
+		}
+		sh, err := n.Meta.ShardForValue(ins.Table, val)
+		if err != nil {
+			return nil, err
+		}
+		byShard[sh.Index] = append(byShard[sh.Index], row)
+	}
+
+	shards := n.Meta.Shards(ins.Table)
+	var tasks []task
+	indexes := make([]int, 0, len(byShard))
+	for idx := range byShard {
+		indexes = append(indexes, idx)
+	}
+	sort.Ints(indexes)
+	for _, idx := range indexes {
+		rows := byShard[idx]
+		clone := &sql.InsertStmt{
+			Table:      shards[idx].ShardName(),
+			Columns:    cols,
+			Rows:       rows,
+			OnConflict: ins.OnConflict,
+			Returning:  ins.Returning,
+		}
+		nodeID, err := n.Meta.PrimaryPlacement(shards[idx].ID)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, task{
+			nodeID:     nodeID,
+			shardGroup: metadata.ShardGroupID(dt.ColocationID, idx),
+			sql:        clone.String(),
+			params:     params,
+			isWrite:    true,
+		})
+	}
+	return &distPlan{
+		node:  n,
+		tasks: tasks,
+		isDML: true,
+		tag:   "INSERT 0",
+		explain: []string{
+			"Custom Scan (Citus Router Insert)",
+			fmt.Sprintf("  Task Count: %d", len(tasks)),
+		},
+	}, nil
+}
+
+// planReferenceWrite replicates a write to every node's replica of a
+// reference table (§3.3.3: "writes to the reference table are replicated
+// to all nodes"), under 2PC.
+func (n *Node) planReferenceWrite(stmt sql.Statement, params []types.Datum, tag string) (engine.Plan, error) {
+	nodes := n.Meta.Nodes()
+	var tasks []task
+	for _, node := range nodes {
+		clone, err := sql.CloneStatement(stmt)
+		if err != nil {
+			return nil, err
+		}
+		sql.RewriteTables(clone, n.shardNameRewriter(0))
+		tasks = append(tasks, task{
+			nodeID: node.ID, shardGroup: -1,
+			sql: clone.String(), params: params, isWrite: true,
+		})
+	}
+	return &distPlan{
+		node:    n,
+		tasks:   tasks,
+		isDML:   true,
+		tag:     tag + " 0",
+		explain: []string{"Custom Scan (Citus Reference Table Write)", fmt.Sprintf("  Task Count: %d", len(tasks))},
+		// every replica reports the affected count; average them back by
+		// dividing later is unnecessary — report the first
+	}, nil
+}
+
+func (n *Node) planDistModify(stmt sql.Statement, table string, where sql.Expr, params []types.Datum) (engine.Plan, error) {
+	dt, ok := n.Meta.Table(table)
+	if !ok {
+		return nil, nil
+	}
+	tag := "UPDATE"
+	if _, isDel := stmt.(*sql.DeleteStmt); isDel {
+		tag = "DELETE"
+	}
+	if dt.Type == metadata.ReferenceTable {
+		plan, err := n.planReferenceWrite(stmt, params, tag)
+		if err != nil {
+			return nil, err
+		}
+		// replicas all report the same affected count; keep only one
+		p := plan.(*distPlan)
+		p.tag = tag
+		p.dedupeReplicaCounts = true
+		return p, nil
+	}
+
+	// router: single shard when the distribution column is pinned
+	plan, err := n.planRouter(stmt, params, true, tag)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		plan.tag = tag
+		return plan, nil
+	}
+
+	// multi-shard parallel DML (§3.8 / Table 2 "Parallel, distributed DML")
+	shards := n.Meta.Shards(table)
+	var tasks []task
+	for _, sh := range shards {
+		clone, err := sql.CloneStatement(stmt)
+		if err != nil {
+			return nil, err
+		}
+		sql.RewriteTables(clone, n.shardNameRewriter(sh.Index))
+		nodeID, err := n.Meta.PrimaryPlacement(sh.ID)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, task{
+			nodeID:     nodeID,
+			shardGroup: metadata.ShardGroupID(dt.ColocationID, sh.Index),
+			sql:        clone.String(),
+			params:     params,
+			isWrite:    true,
+		})
+	}
+	return &distPlan{
+		node:    n,
+		tasks:   tasks,
+		isDML:   true,
+		tag:     tag,
+		explain: []string{"Custom Scan (Citus Multi-Shard Modify)", fmt.Sprintf("  Task Count: %d", len(tasks))},
+	}, nil
+}
+
+// tableColumnsFromSchema lists column names from the stored schema DDL.
+func (n *Node) tableColumnsFromSchema(dt *metadata.DistTable) []string {
+	stmt, err := sql.Parse(dt.SchemaSQL)
+	if err != nil {
+		return nil
+	}
+	ct, ok := stmt.(*sql.CreateTableStmt)
+	if !ok {
+		return nil
+	}
+	cols := make([]string, len(ct.Columns))
+	for i, c := range ct.Columns {
+		cols[i] = c.Name
+	}
+	return cols
+}
+
+// quoteIdentList is a small deparse helper.
+func quoteIdentList(cols []string) string {
+	return strings.Join(cols, ", ")
+}

@@ -1,0 +1,314 @@
+package citus
+
+import (
+	"fmt"
+	"sort"
+
+	"citusgo/internal/citus/metadata"
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/wal"
+	"citusgo/internal/wire"
+)
+
+// RebalanceTableShards implements the shard rebalancer (§3.4): it moves
+// shards (together with their co-located shards) between worker nodes until
+// every worker holds an even number of shards. Returns the number of shard
+// moves performed.
+//
+// Shard moves reproduce the paper's logical-replication flow: a snapshot of
+// the shard is copied while it keeps serving reads and writes, then writes
+// are briefly blocked while the WAL delta since the snapshot is replayed on
+// the target ("the last few steps typically only take a few seconds, hence
+// there is minimal write downtime").
+func (n *Node) RebalanceTableShards(s *engine.Session) (int, error) {
+	workers := n.Meta.WorkerNodes()
+	if len(workers) < 2 {
+		return 0, nil
+	}
+	moves := 0
+	for {
+		move := n.planNextMove(workers)
+		if move == nil {
+			return moves, nil
+		}
+		if err := n.MoveShardPlacement(s, move.shardID, move.from, move.to); err != nil {
+			return moves, err
+		}
+		moves++
+	}
+}
+
+type shardMove struct {
+	shardID int64
+	from    int
+	to      int
+}
+
+// planNextMove finds the most imbalanced pair of workers and picks a shard
+// to move (the default "even number of shards" policy; custom cost and
+// capacity policies are future work, as in the paper's reference [7]).
+func (n *Node) planNextMove(workers []*metadata.Node) *shardMove {
+	counts := make(map[int]int)
+	shardOn := make(map[int][]int64)
+	for _, w := range workers {
+		counts[w.ID] = 0
+	}
+	for _, dt := range n.Meta.Tables() {
+		if dt.Type != metadata.DistributedTable {
+			continue
+		}
+		for _, sh := range n.Meta.Shards(dt.Name) {
+			nodeID, err := n.Meta.PrimaryPlacement(sh.ID)
+			if err != nil {
+				continue
+			}
+			counts[nodeID]++
+			shardOn[nodeID] = append(shardOn[nodeID], sh.ID)
+		}
+	}
+	ids := make([]int, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	maxNode, minNode := -1, -1
+	for _, id := range ids {
+		if maxNode == -1 || counts[id] > counts[maxNode] {
+			maxNode = id
+		}
+		if minNode == -1 || counts[id] < counts[minNode] {
+			minNode = id
+		}
+	}
+	if maxNode == -1 || counts[maxNode]-counts[minNode] <= 1 {
+		return nil
+	}
+	shards := shardOn[maxNode]
+	if len(shards) == 0 {
+		return nil
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+	return &shardMove{shardID: shards[0], from: maxNode, to: minNode}
+}
+
+// MoveShardPlacement moves one shard (and its co-located shards) from one
+// node to another.
+func (n *Node) MoveShardPlacement(s *engine.Session, shardID int64, from, to int) error {
+	sh, ok := n.Meta.ShardByID(shardID)
+	if !ok {
+		return fmt.Errorf("shard %d does not exist", shardID)
+	}
+	dt, ok := n.Meta.Table(sh.Table)
+	if !ok {
+		return fmt.Errorf("shard %d has no distributed table", shardID)
+	}
+	// move all co-located shards with the same index together, so joins
+	// and foreign keys on the distribution column stay local
+	group := []*metadata.Shard{sh}
+	for _, other := range n.Meta.Tables() {
+		if other.Name == dt.Name || other.Type != metadata.DistributedTable ||
+			other.ColocationID != dt.ColocationID {
+			continue
+		}
+		shards := n.Meta.Shards(other.Name)
+		if sh.Index < len(shards) {
+			group = append(group, shards[sh.Index])
+		}
+	}
+	for _, g := range group {
+		if err := n.moveOneShard(s, g, dt.ColocationID, from, to); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Node) moveOneShard(s *engine.Session, sh *metadata.Shard, colocationID, from, to int) error {
+	dt, _ := n.Meta.Table(sh.Table)
+	ct, indexes, err := n.schemaStatements(sh.Table)
+	if err != nil {
+		return err
+	}
+	_ = dt
+	// 1. create the target shard table
+	if err := n.createShardOnNode(s, to, sh, ct, indexes); err != nil {
+		return err
+	}
+	shardName := sh.ShardName()
+
+	// 2. snapshot copy while the source keeps serving traffic; remember
+	// the WAL position first so the delta can be replayed
+	walPos, err := n.remoteWALPosition(from)
+	if err != nil {
+		return err
+	}
+	if err := n.copyShardRows(from, to, shardName); err != nil {
+		return err
+	}
+
+	// 3. block writes briefly, replay the WAL delta, flip the metadata
+	release := n.fence(metadata.ShardGroupID(colocationID, sh.Index))
+	defer release()
+	if err := n.replayShardDelta(from, to, shardName, walPos); err != nil {
+		return err
+	}
+	if err := n.Meta.MovePlacement(sh.ID, from, to); err != nil {
+		return err
+	}
+	// 4. drop the source shard
+	var derr error
+	n.withNodeConn(from, func(c *wire.Conn) {
+		_, derr = c.Query("DROP TABLE IF EXISTS " + shardName)
+	})
+	return derr
+}
+
+// remoteWALPosition reads a node's current WAL length. For remote nodes we
+// use the record count exposed through the loopback engines (the cluster
+// runs in-process); a networked deployment would use a replication slot.
+func (n *Node) remoteWALPosition(nodeID int) (int64, error) {
+	eng, ok := n.peerEngine(nodeID)
+	if !ok {
+		return 0, fmt.Errorf("node %d engine is not reachable for replication", nodeID)
+	}
+	return int64(eng.WAL.Len()), nil
+}
+
+// RegisterPeerEngine exposes a peer node's engine for shard-move
+// replication (the in-process equivalent of a logical replication slot);
+// the cluster orchestrator wires it.
+func (n *Node) RegisterPeerEngine(id int, e *engine.Engine) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.peers == nil {
+		n.peers = make(map[int]*engine.Engine)
+	}
+	n.peers[id] = e
+}
+
+func (n *Node) peerEngine(nodeID int) (*engine.Engine, bool) {
+	if nodeID == n.ID {
+		return n.Eng, true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.peers[nodeID]
+	return e, ok
+}
+
+// copyShardRows streams the current contents of a shard to the target.
+func (n *Node) copyShardRows(from, to int, shardName string) error {
+	var rows []types.Row
+	var cols []string
+	var qerr error
+	n.withNodeConn(from, func(c *wire.Conn) {
+		var res *engine.Result
+		res, qerr = c.Query("SELECT * FROM " + shardName)
+		if qerr == nil {
+			rows, cols = res.Rows, res.Columns
+		}
+	})
+	if qerr != nil {
+		return qerr
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	var cerr error
+	n.withNodeConn(to, func(c *wire.Conn) {
+		_, cerr = c.Copy(shardName, cols, rows)
+	})
+	return cerr
+}
+
+// replayShardDelta applies committed WAL changes to the shard since pos —
+// the logical-replication catchup step.
+func (n *Node) replayShardDelta(from, to int, shardName string, pos int64) error {
+	src, ok := n.peerEngine(from)
+	if !ok {
+		return fmt.Errorf("node %d engine is not reachable for replication", from)
+	}
+	recs := src.WAL.Records()
+	var deltaIns, deltaDel []types.Row
+	for _, r := range recs {
+		if r.LSN <= pos || r.Table != shardName {
+			continue
+		}
+		switch r.Type {
+		case wal.RecInsert:
+			if committedInWAL(recs, r.XID) {
+				deltaIns = append(deltaIns, r.Row)
+			}
+		case wal.RecDelete:
+			if committedInWAL(recs, r.XID) {
+				deltaDel = append(deltaDel, r.Row)
+			}
+		}
+	}
+	if len(deltaIns) == 0 && len(deltaDel) == 0 {
+		return nil
+	}
+	var rerr error
+	n.withNodeConn(to, func(c *wire.Conn) {
+		for _, row := range deltaDel {
+			// delete by full-row image
+			_, rerr = c.Query(deleteByImageSQL(shardName, row, to, n))
+			if rerr != nil {
+				return
+			}
+		}
+		if len(deltaIns) > 0 {
+			var cols []string
+			if tbl, ok := n.Eng.Catalog.Get(shardTableBase(shardName)); ok {
+				cols = tbl.ColumnNames()
+			}
+			_, rerr = c.Copy(shardName, cols, deltaIns)
+		}
+	})
+	return rerr
+}
+
+// committedInWAL reports whether a transaction has a commit record.
+func committedInWAL(recs []wal.Record, xid uint64) bool {
+	for _, r := range recs {
+		if r.XID != xid {
+			continue
+		}
+		switch r.Type {
+		case wal.RecCommit, wal.RecCommitPrepared:
+			return true
+		}
+	}
+	return false
+}
+
+// shardTableBase strips the shard id suffix to find the logical table name.
+func shardTableBase(shardName string) string {
+	for i := len(shardName) - 1; i >= 0; i-- {
+		if shardName[i] == '_' {
+			return shardName[:i]
+		}
+	}
+	return shardName
+}
+
+// deleteByImageSQL builds a DELETE matching a full row image.
+func deleteByImageSQL(shardName string, row types.Row, nodeID int, n *Node) string {
+	tbl, ok := n.Eng.Catalog.Get(shardTableBase(shardName))
+	if !ok {
+		return "DELETE FROM " + shardName + " WHERE false"
+	}
+	q := "DELETE FROM " + shardName + " WHERE "
+	for i, c := range tbl.Columns {
+		if i > 0 {
+			q += " AND "
+		}
+		if i < len(row) && row[i] != nil {
+			q += c.Name + " = " + types.QuoteLiteral(row[i])
+		} else {
+			q += c.Name + " IS NULL"
+		}
+	}
+	return q
+}

@@ -1,0 +1,229 @@
+// Package cluster orchestrates a Citus cluster: it boots the node engines,
+// attaches the Citus layer to each, registers nodes in the distributed
+// metadata, wires inter-node connectivity (in-process with simulated
+// network latency, or real TCP), and starts the maintenance daemons.
+//
+// The benchmark harness builds the paper's four configurations through this
+// package: plain PostgreSQL (one engine, no Citus), Citus 0+1 (coordinator
+// doubling as the only worker), Citus 4+1, and Citus 8+1 (§4).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"citusgo/internal/bufpool"
+	"citusgo/internal/citus"
+	"citusgo/internal/citus/metadata"
+	"citusgo/internal/engine"
+	"citusgo/internal/wire"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Workers is the number of worker nodes; 0 means the coordinator also
+	// acts as the worker ("Citus 0+1").
+	Workers int
+	// ShardCount per distributed table (default 32).
+	ShardCount int
+	// NetworkRTT is the simulated round-trip time between distinct nodes
+	// (0 for none; loopback connections never pay it).
+	NetworkRTT time.Duration
+	// BufferPoolPages bounds each node's simulated buffer pool; 0 turns
+	// the memory/I/O simulation off.
+	BufferPoolPages int
+	// IOLatency is charged per buffer pool miss.
+	IOLatency time.Duration
+	// IOConcurrency bounds parallel simulated I/Os per node.
+	IOConcurrency int
+	// UseTCP runs the wire protocol over real TCP sockets instead of the
+	// in-process transport.
+	UseTCP bool
+	// SyncMetadata syncs the distributed metadata to all workers at
+	// startup (MX mode) so every node can coordinate (§3.2.1).
+	SyncMetadata bool
+	// Citus layer tuning; zero values use the defaults.
+	Citus citus.Config
+	// DeadlockInterval overrides the per-node local deadlock detector
+	// period (tests use small values).
+	LocalDeadlockInterval time.Duration
+	// AutoVacuumInterval for every node; 0 = 500ms (PostgreSQL-style
+	// autovacuum keeps MVCC chains short under sustained updates),
+	// negative disables.
+	AutoVacuumInterval time.Duration
+}
+
+// Cluster is a running set of nodes.
+type Cluster struct {
+	Meta    *metadata.Catalog
+	Engines []*engine.Engine
+	Nodes   []*citus.Node // Nodes[0] is the coordinator
+	servers []*wire.Server
+	cfg     Config
+}
+
+// New boots a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.ShardCount > 0 {
+		cfg.Citus.ShardCount = cfg.ShardCount
+	}
+	meta := metadata.NewCatalog()
+	total := cfg.Workers + 1
+	c := &Cluster{Meta: meta, cfg: cfg}
+
+	autovac := cfg.AutoVacuumInterval
+	if autovac == 0 {
+		autovac = 500 * time.Millisecond
+	} else if autovac < 0 {
+		autovac = 0
+	}
+
+	for i := 0; i < total; i++ {
+		name := "coordinator"
+		if i > 0 {
+			name = fmt.Sprintf("worker%d", i)
+		}
+		eng := engine.New(engine.Config{
+			Name: name,
+			BufferPool: bufpool.Config{
+				CapacityPages: cfg.BufferPoolPages,
+				IOLatency:     cfg.IOLatency,
+				IOConcurrency: cfg.IOConcurrency,
+			},
+			DeadlockInterval:   cfg.LocalDeadlockInterval,
+			AutoVacuumInterval: autovac,
+		})
+		c.Engines = append(c.Engines, eng)
+		node := citus.NewNode(i+1, eng, meta, cfg.Citus)
+		c.Nodes = append(c.Nodes, node)
+		meta.AddNode(&metadata.Node{
+			ID:            i + 1,
+			Name:          name,
+			IsCoordinator: i == 0,
+		})
+	}
+
+	// wire connectivity: every node can dial every node
+	var addrs []string
+	if cfg.UseTCP {
+		for _, eng := range c.Engines {
+			srv, err := wire.Serve(eng, "127.0.0.1:0")
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.servers = append(c.servers, srv)
+			addrs = append(addrs, srv.Addr())
+		}
+	}
+	for i, node := range c.Nodes {
+		for j := range c.Nodes {
+			i, j := i, j
+			target := c.Engines[j]
+			if cfg.UseTCP {
+				addr := addrs[j]
+				nodeName := target.Name
+				node.SetDialer(j+1, func() (*wire.Conn, error) {
+					return wire.Dial(addr, nodeName)
+				})
+			} else {
+				rtt := cfg.NetworkRTT
+				if i == j {
+					rtt = 0 // loopback: co-located coordinator/worker
+				}
+				node.SetDialer(j+1, func() (*wire.Conn, error) {
+					return wire.DialLocal(target, rtt), nil
+				})
+			}
+			node.RegisterPeerEngine(j+1, target)
+		}
+	}
+
+	if cfg.SyncMetadata {
+		for i := 1; i < total; i++ {
+			meta.SetHasMetadata(i+1, true)
+		}
+	}
+	for _, node := range c.Nodes {
+		node.StartDaemons()
+	}
+	return c, nil
+}
+
+// Coordinator returns the coordinator node.
+func (c *Cluster) Coordinator() *citus.Node { return c.Nodes[0] }
+
+// Session opens a session on the coordinator.
+func (c *Cluster) Session() *engine.Session { return c.Engines[0].NewSession() }
+
+// SessionOn opens a session on node i (0 = coordinator). With metadata
+// synced, worker sessions coordinate distributed queries themselves.
+func (c *Cluster) SessionOn(i int) *engine.Session { return c.Engines[i].NewSession() }
+
+// Conn opens a client connection to the coordinator over the wire
+// protocol.
+func (c *Cluster) Conn() *wire.Conn { return c.ConnTo(0) }
+
+// ConnTo opens a client connection to node i.
+func (c *Cluster) ConnTo(i int) *wire.Conn {
+	if c.cfg.UseTCP && i < len(c.servers) {
+		conn, err := wire.Dial(c.servers[i].Addr(), c.Engines[i].Name)
+		if err == nil {
+			return conn
+		}
+	}
+	return wire.DialLocal(c.Engines[i], 0)
+}
+
+// NumNodes returns the total node count.
+func (c *Cluster) NumNodes() int { return len(c.Nodes) }
+
+// RestoreToPoint rebuilds a fresh cluster of the same topology from every
+// node's WAL, replayed up to the named restore point — the §3.9 backup
+// story: "Restoring all servers to the same restore point guarantees that
+// all multi-node transactions are either fully committed or aborted in the
+// restored cluster, or can be completed by the coordinator through 2PC
+// recovery on startup." The distributed metadata catalog is carried over
+// (in PostgreSQL it lives in the coordinator's own WAL-logged tables);
+// commit records are rebuilt from the coordinator's WAL.
+func (c *Cluster) RestoreToPoint(name string) (*Cluster, error) {
+	restored, err := New(c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// the restored cluster keeps the same shard metadata
+	restored.Meta = c.Meta
+	for i, node := range restored.Nodes {
+		node.Meta = c.Meta
+		_ = i
+	}
+	for i, eng := range c.Engines {
+		lsn, err := eng.WAL.FindRestorePoint(name)
+		if err != nil {
+			restored.Close()
+			return nil, fmt.Errorf("node %s: %w", eng.Name, err)
+		}
+		if err := eng.WAL.ReplayInto(restored.Engines[i].ReplayTarget(), lsn); err != nil {
+			restored.Close()
+			return nil, fmt.Errorf("replaying node %s: %w", eng.Name, err)
+		}
+		// rebuild commit records from the replayed coordinator WAL
+		restored.Nodes[i].RecoverCommitRecords(eng.WAL.Records(), lsn)
+	}
+	// resolve prepared transactions left pending at the restore point
+	restored.Coordinator().RecoverTwoPhaseCommits()
+	return restored, nil
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.Close()
+	}
+	for _, s := range c.servers {
+		_ = s.Close()
+	}
+	for _, e := range c.Engines {
+		e.Close()
+	}
+}

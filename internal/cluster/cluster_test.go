@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"citusgo/internal/types"
+)
+
+func TestBootAndTopology(t *testing.T) {
+	c, err := New(Config{Workers: 3, ShardCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", c.NumNodes())
+	}
+	nodes := c.Meta.Nodes()
+	if len(nodes) != 4 || !nodes[0].IsCoordinator || nodes[1].IsCoordinator {
+		t.Fatalf("topology: %+v", nodes)
+	}
+	if c.Coordinator().ID != 1 {
+		t.Fatalf("coordinator id = %d", c.Coordinator().ID)
+	}
+	workers := c.Meta.WorkerNodes()
+	if len(workers) != 3 {
+		t.Fatalf("workers = %d", len(workers))
+	}
+}
+
+func TestZeroWorkerClusterUsesCoordinatorAsWorker(t *testing.T) {
+	c, err := New(Config{Workers: 0, ShardCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	workers := c.Meta.WorkerNodes()
+	if len(workers) != 1 || workers[0].ID != 1 {
+		t.Fatalf("0+1 cluster workers: %+v", workers)
+	}
+	s := c.Session()
+	if _, err := s.Exec("CREATE TABLE z (k bigint PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("SELECT create_distributed_table('z', 'k')"); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range c.Meta.Shards("z") {
+		nodeID, _ := c.Meta.PrimaryPlacement(sh.ID)
+		if nodeID != 1 {
+			t.Fatalf("shard placed on node %d in a 0+1 cluster", nodeID)
+		}
+	}
+}
+
+func TestNetworkRTTOnlyBetweenDistinctNodes(t *testing.T) {
+	c, err := New(Config{Workers: 1, ShardCount: 2, NetworkRTT: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// loopback (coordinator to itself) pays nothing
+	self := c.ConnTo(0)
+	defer self.Close()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := self.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) > time.Millisecond {
+		t.Fatal("loopback connection paid network RTT")
+	}
+}
+
+func TestSessionsAreIndependent(t *testing.T) {
+	c, err := New(Config{Workers: 1, ShardCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s1 := c.Session()
+	s2 := c.Session()
+	if _, err := s1.Exec("CREATE TABLE i (k bigint PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if s2.InTransaction() {
+		t.Fatal("transaction state leaked across sessions")
+	}
+	if _, err := s1.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnSpeaksToCluster(t *testing.T) {
+	c, err := New(Config{Workers: 2, ShardCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	conn := c.Conn()
+	defer conn.Close()
+	if _, err := conn.Query("CREATE TABLE viaconn (k bigint PRIMARY KEY, v text)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query("SELECT create_distributed_table('viaconn', 'k')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query("INSERT INTO viaconn (k, v) VALUES (5, 'five')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query("SELECT v FROM viaconn WHERE k = 5")
+	if err != nil || types.Format(res.Rows[0][0]) != "five" {
+		t.Fatalf("query via conn: %v %v", res, err)
+	}
+}

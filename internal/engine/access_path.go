@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"citusgo/internal/expr"
+	"citusgo/internal/sql"
+	"citusgo/internal/types"
+)
+
+// accessPath is the planner's choice of how to read a table.
+type accessPath struct {
+	idx              *btreeIndex
+	eqKey            []expr.Evaluator
+	rangeLo, rangeHi expr.Evaluator
+	loIncl, hiIncl   bool
+
+	gin        *ginIndex
+	ginPattern string
+}
+
+// isConstExpr reports whether e references no columns (it may reference
+// parameters) and returns its evaluator.
+func isConstExpr(e sql.Expr) (expr.Evaluator, bool) {
+	ev, err := expr.Compile(e, nil)
+	if err != nil {
+		return nil, false
+	}
+	return ev, true
+}
+
+// colBound is one "col <op> const" fact extracted from the WHERE clause.
+type colBound struct {
+	eq       expr.Evaluator
+	lo, hi   expr.Evaluator
+	loIncl   bool
+	hiIncl   bool
+	hasLo    bool
+	hasHi    bool
+	hasEqual bool
+}
+
+// chooseAccessPath inspects the conjuncts pushed into a scan and picks the
+// best available index: longest equality prefix on a btree, else a range on
+// a btree's first column, else a trigram GIN for %substring% patterns.
+func (s *Session) chooseAccessPath(st *storage, conjuncts []sql.Expr, sc *scope, params []types.Datum) (*accessPath, error) {
+	if st.col != nil || len(conjuncts) == 0 {
+		return nil, nil
+	}
+
+	// Extract per-column bounds.
+	bounds := make(map[int]*colBound)
+	getBound := func(ord int) *colBound {
+		b, ok := bounds[ord]
+		if !ok {
+			b = &colBound{}
+			bounds[ord] = b
+		}
+		return b
+	}
+	resolveCol := func(e sql.Expr) (int, bool) {
+		cr, ok := e.(*sql.ColumnRef)
+		if !ok {
+			return 0, false
+		}
+		ord, _, err := sc.Resolve(cr.Table, cr.Name)
+		if err != nil {
+			return 0, false
+		}
+		return ord, true
+	}
+	var likeConjuncts []*sql.LikeExpr
+	for _, c := range conjuncts {
+		switch n := c.(type) {
+		case *sql.BinaryExpr:
+			ord, isCol := resolveCol(n.L)
+			other := n.R
+			op := n.Op
+			if !isCol {
+				if ord, isCol = resolveCol(n.R); !isCol {
+					continue
+				}
+				other = n.L
+				// flip the comparison
+				switch op {
+				case sql.OpLt:
+					op = sql.OpGt
+				case sql.OpLe:
+					op = sql.OpGe
+				case sql.OpGt:
+					op = sql.OpLt
+				case sql.OpGe:
+					op = sql.OpLe
+				}
+			}
+			ev, isConst := isConstExpr(other)
+			if !isConst {
+				continue
+			}
+			b := getBound(ord)
+			switch op {
+			case sql.OpEq:
+				b.eq, b.hasEqual = ev, true
+			case sql.OpLt:
+				b.hi, b.hasHi, b.hiIncl = ev, true, false
+			case sql.OpLe:
+				b.hi, b.hasHi, b.hiIncl = ev, true, true
+			case sql.OpGt:
+				b.lo, b.hasLo, b.loIncl = ev, true, false
+			case sql.OpGe:
+				b.lo, b.hasLo, b.loIncl = ev, true, true
+			}
+		case *sql.BetweenExpr:
+			if n.Not {
+				continue
+			}
+			ord, isCol := resolveCol(n.E)
+			if !isCol {
+				continue
+			}
+			loEv, ok1 := isConstExpr(n.Lo)
+			hiEv, ok2 := isConstExpr(n.Hi)
+			if !ok1 || !ok2 {
+				continue
+			}
+			b := getBound(ord)
+			b.lo, b.hasLo, b.loIncl = loEv, true, true
+			b.hi, b.hasHi, b.hiIncl = hiEv, true, true
+		case *sql.LikeExpr:
+			if !n.Not {
+				likeConjuncts = append(likeConjuncts, n)
+			}
+		}
+	}
+
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	// Best btree: longest equality prefix.
+	var best *accessPath
+	bestLen := 0
+	for _, bidx := range st.btrees {
+		ords, ok := indexColumnOrds(bidx, sc)
+		if !ok {
+			continue
+		}
+		var eqKey []expr.Evaluator
+		for _, ord := range ords {
+			b := bounds[ord]
+			if b == nil || !b.hasEqual {
+				break
+			}
+			eqKey = append(eqKey, b.eq)
+		}
+		if len(eqKey) > bestLen {
+			best = &accessPath{idx: bidx, eqKey: eqKey}
+			bestLen = len(eqKey)
+		}
+		if len(eqKey) == 0 && best == nil {
+			if b := bounds[ords[0]]; b != nil && (b.hasLo || b.hasHi) {
+				best = &accessPath{
+					idx:     bidx,
+					rangeLo: b.lo, rangeHi: b.hi,
+					loIncl: b.loIncl, hiIncl: b.hiIncl,
+				}
+			}
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+
+	// Trigram GIN for ILIKE/LIKE '%...%' on the indexed expression.
+	for _, g := range st.gins {
+		indexedText := g.def.Exprs[0].String()
+		for _, lc := range likeConjuncts {
+			if lc.E.String() != indexedText {
+				continue
+			}
+			patEv, isConst := isConstExpr(lc.Pattern)
+			if !isConst {
+				continue
+			}
+			v, err := patEv(&expr.Ctx{Params: params})
+			if err != nil || v == nil {
+				continue
+			}
+			return &accessPath{gin: g, ginPattern: types.Format(v)}, nil
+		}
+	}
+	return nil, nil
+}
+
+// indexColumnOrds maps a btree index's key expressions to column ordinals;
+// ok=false when the index has non-column key expressions.
+func indexColumnOrds(bidx *btreeIndex, sc *scope) ([]int, bool) {
+	ords := make([]int, 0, len(bidx.def.Exprs))
+	for _, e := range bidx.def.Exprs {
+		cr, isCol := e.(*sql.ColumnRef)
+		if !isCol {
+			return nil, false
+		}
+		ord, _, err := sc.Resolve("", cr.Name)
+		if err != nil {
+			return nil, false
+		}
+		ords = append(ords, ord)
+	}
+	if len(ords) == 0 {
+		return nil, false
+	}
+	return ords, true
+}

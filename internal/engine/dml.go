@@ -1,0 +1,833 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"citusgo/internal/expr"
+	"citusgo/internal/heap"
+	"citusgo/internal/index"
+	"citusgo/internal/lock"
+	"citusgo/internal/sql"
+	"citusgo/internal/txn"
+	"citusgo/internal/types"
+	"citusgo/internal/wal"
+)
+
+// ---------------------------------------------------------------------------
+// INSERT
+
+func (s *Session) execInsert(st *sql.InsertStmt, params []types.Datum, t *txn.Txn) (*Result, error) {
+	store, ok := s.Eng.store(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist", st.Table)
+	}
+	cols := st.Columns
+	if len(cols) == 0 {
+		cols = store.table.ColumnNames()
+	}
+	colOrds := make([]int, len(cols))
+	for i, c := range cols {
+		ord := store.table.ColumnIndex(c)
+		if ord == -1 {
+			return nil, fmt.Errorf("column %q of relation %q does not exist", c, st.Table)
+		}
+		colOrds[i] = ord
+	}
+
+	var inputRows []types.Row
+	if st.Select != nil {
+		rows, err := s.runSubquery(st.Select, params)
+		if err != nil {
+			return nil, err
+		}
+		inputRows = rows
+	} else {
+		ctx := &expr.Ctx{Params: params, ExecSubquery: func(sel *sql.SelectStmt) ([]types.Row, error) {
+			return s.runSubquery(sel, params)
+		}}
+		for _, exprRow := range st.Rows {
+			if len(exprRow) != len(cols) {
+				return nil, fmt.Errorf("INSERT has %d expressions but %d target columns", len(exprRow), len(cols))
+			}
+			row := make(types.Row, len(exprRow))
+			for i, e := range exprRow {
+				ev, err := expr.Compile(e, nil)
+				if err != nil {
+					return nil, err
+				}
+				v, err := ev(ctx)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			inputRows = append(inputRows, row)
+		}
+	}
+
+	var returning []types.Row
+	inserted := 0
+	for _, in := range inputRows {
+		if len(in) != len(cols) {
+			return nil, fmt.Errorf("INSERT source row has %d columns, expected %d", len(in), len(cols))
+		}
+		full, err := s.buildFullRow(store, colOrds, in, params)
+		if err != nil {
+			return nil, err
+		}
+		ret, didInsert, err := s.insertRow(store, t, full, st.OnConflict, params)
+		if err != nil {
+			return nil, err
+		}
+		if didInsert {
+			inserted++
+		}
+		if len(st.Returning) > 0 && ret != nil {
+			row, err := s.evalReturning(store, st.Returning, ret, params)
+			if err != nil {
+				return nil, err
+			}
+			returning = append(returning, row)
+		}
+	}
+	res := &Result{Tag: fmt.Sprintf("INSERT 0 %d", inserted), Affected: inserted, Rows: returning}
+	if len(st.Returning) > 0 {
+		res.Columns = returningNames(st.Returning, store)
+	}
+	return res, nil
+}
+
+// buildFullRow maps the insert column list onto the table's full column
+// order, applying defaults and type coercion and checking NOT NULL.
+func (s *Session) buildFullRow(store *storage, colOrds []int, in types.Row, params []types.Datum) (types.Row, error) {
+	tbl := store.table
+	full := make(types.Row, len(tbl.Columns))
+	provided := make([]bool, len(tbl.Columns))
+	for i, ord := range colOrds {
+		full[ord] = in[i]
+		provided[ord] = true
+	}
+	ctx := &expr.Ctx{Params: params}
+	for i, col := range tbl.Columns {
+		if !provided[i] && col.Default != nil {
+			ev, err := expr.Compile(col.Default, nil)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ev(ctx)
+			if err != nil {
+				return nil, err
+			}
+			full[i] = v
+		}
+		if full[i] != nil {
+			v, err := expr.CastDatum(full[i], col.Type)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", col.Name, err)
+			}
+			full[i] = v
+		}
+		if full[i] == nil && col.NotNull {
+			return nil, fmt.Errorf("null value in column %q violates not-null constraint", col.Name)
+		}
+	}
+	return full, nil
+}
+
+// insertRow performs the physical insert: foreign key check, unique check
+// (with ON CONFLICT handling), heap/columnar write, index maintenance, WAL.
+// Returns the row to use for RETURNING and whether a row was inserted (or
+// updated via ON CONFLICT DO UPDATE).
+func (s *Session) insertRow(store *storage, t *txn.Txn, full types.Row, onConflict *sql.OnConflictClause, params []types.Datum) (types.Row, bool, error) {
+	if err := s.checkForeignKeys(store, t, full); err != nil {
+		return nil, false, err
+	}
+	if store.col != nil {
+		store.col.Insert(t.XID, full)
+		s.Eng.WAL.Append(wal.Record{Type: wal.RecInsert, XID: t.XID, Table: store.table.Name, Row: full})
+		return full, true, nil
+	}
+
+	// Unique checks are serialized per table; a concurrent in-progress
+	// insert of the same key counts as a conflict (pessimistic, see
+	// DESIGN.md).
+	store.mu.Lock()
+	conflictTID := heap.NilTID
+	for _, bidx := range store.btrees {
+		if !bidx.def.Unique {
+			continue
+		}
+		key, err := s.indexKey(bidx, full, params)
+		if err != nil {
+			store.mu.Unlock()
+			return nil, false, err
+		}
+		for _, tid := range bidx.tree.SearchEqual(key) {
+			latestTID, tup, ok := store.heap.LatestVersion(tid)
+			if !ok || tup.Dead {
+				continue
+			}
+			if s.Eng.Txns.Status(tup.Xmin) == txn.Aborted {
+				continue
+			}
+			if tup.Xmax != 0 && s.Eng.Txns.Status(tup.Xmax) != txn.Aborted {
+				continue // deleted
+			}
+			conflictTID = latestTID
+			break
+		}
+		if conflictTID != heap.NilTID {
+			break
+		}
+	}
+	if conflictTID != heap.NilTID {
+		store.mu.Unlock()
+		if onConflict == nil {
+			return nil, false, fmt.Errorf("duplicate key value violates unique constraint on %q", store.table.Name)
+		}
+		if len(onConflict.DoUpdate) == 0 {
+			return nil, false, nil // DO NOTHING
+		}
+		row, err := s.conflictUpdate(store, t, conflictTID, full, onConflict.DoUpdate, params)
+		if err != nil {
+			return nil, false, err
+		}
+		return row, true, nil
+	}
+	tid := store.heap.Insert(t.XID, full)
+	if err := s.insertIndexEntries(store, full, tid, params); err != nil {
+		store.mu.Unlock()
+		return nil, false, err
+	}
+	store.mu.Unlock()
+	s.Eng.WAL.Append(wal.Record{Type: wal.RecInsert, XID: t.XID, Table: store.table.Name, Row: full})
+	return full, true, nil
+}
+
+// conflictUpdate implements ON CONFLICT DO UPDATE: the conflicting row is
+// locked and updated; "excluded" refers to the row proposed for insertion.
+func (s *Session) conflictUpdate(store *storage, t *txn.Txn, tid heap.TID, excluded types.Row, set []sql.Assignment, params []types.Datum) (types.Row, error) {
+	latestTID, tup, exists, err := s.lockAndChase(store, t, tid)
+	if err != nil {
+		return nil, err
+	}
+	if !exists {
+		return nil, nil // row vanished: treat as DO NOTHING
+	}
+	// scope: table columns then excluded.*
+	sc := &scope{}
+	for _, c := range store.table.Columns {
+		sc.cols = append(sc.cols, scopeCol{table: store.table.Name, name: c.Name, typ: c.Type})
+	}
+	for _, c := range store.table.Columns {
+		sc.cols = append(sc.cols, scopeCol{table: "excluded", name: c.Name, typ: c.Type})
+	}
+	combined := append(append(types.Row{}, tup.Row...), excluded...)
+	newRow := tup.Row.Clone()
+	ctx := &expr.Ctx{Params: params, Row: combined}
+	for _, a := range set {
+		ord := store.table.ColumnIndex(a.Column)
+		if ord == -1 {
+			return nil, fmt.Errorf("column %q does not exist", a.Column)
+		}
+		ev, err := expr.Compile(a.Value, sc)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ev(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			if v, err = expr.CastDatum(v, store.table.Columns[ord].Type); err != nil {
+				return nil, err
+			}
+		}
+		newRow[ord] = v
+	}
+	return newRow, s.writeNewVersion(store, t, latestTID, newRow, params)
+}
+
+// checkForeignKeys validates column-level REFERENCES constraints on insert
+// (the same local enforcement Citus gets between co-located shards and
+// reference table replicas).
+func (s *Session) checkForeignKeys(store *storage, t *txn.Txn, row types.Row) error {
+	for _, fk := range store.table.ForeignKeys {
+		ord := store.table.ColumnIndex(fk.Column)
+		if ord == -1 || row[ord] == nil {
+			continue
+		}
+		ref, ok := s.Eng.store(fk.RefTable)
+		if !ok {
+			return fmt.Errorf("referenced relation %q does not exist", fk.RefTable)
+		}
+		refCol := fk.RefColumn
+		if refCol == "" {
+			if len(ref.table.PrimaryKey) != 1 {
+				continue
+			}
+			refCol = ref.table.Columns[ref.table.PrimaryKey[0]].Name
+		}
+		if !s.refExists(ref, t, refCol, row[ord]) {
+			return fmt.Errorf("insert on %q violates foreign key: %s=%s not present in %q",
+				store.table.Name, fk.Column, types.Format(row[ord]), fk.RefTable)
+		}
+	}
+	return nil
+}
+
+// refExists checks whether a referenced key is visible, preferring an index.
+func (s *Session) refExists(ref *storage, t *txn.Txn, col string, val types.Datum) bool {
+	snap := s.Eng.Txns.TakeSnapshot(t)
+	ord := ref.table.ColumnIndex(col)
+	if ord == -1 {
+		return false
+	}
+	ref.mu.RLock()
+	var viaIndex *btreeIndex
+	for _, bidx := range ref.btrees {
+		if cr, ok := bidx.def.Exprs[0].(*sql.ColumnRef); ok && cr.Name == col {
+			viaIndex = bidx
+			break
+		}
+	}
+	ref.mu.RUnlock()
+	if viaIndex != nil && ref.heap != nil {
+		var key index.Key
+		if len(viaIndex.def.Exprs) == 1 {
+			key = index.Key{val}
+			for _, tid := range viaIndex.tree.SearchEqual(key) {
+				if tup, ok := ref.heap.Get(tid); ok && heap.Visible(s.Eng.Txns, snap, tup) {
+					return true
+				}
+			}
+			return false
+		}
+		found := false
+		viaIndex.tree.SearchPrefix(index.Key{val}, func(_ index.Key, tids []heap.TID) bool {
+			for _, tid := range tids {
+				if tup, ok := ref.heap.Get(tid); ok && heap.Visible(s.Eng.Txns, snap, tup) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	found := false
+	if ref.heap != nil {
+		ref.heap.Scan(s.Eng.Txns, snap, func(_ heap.TID, row types.Row) bool {
+			if ord < len(row) && row[ord] != nil && types.Compare(row[ord], val) == 0 {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// indexKey computes a btree key for a table row.
+func (s *Session) indexKey(bidx *btreeIndex, row types.Row, params []types.Datum) (index.Key, error) {
+	ctx := &expr.Ctx{Params: params, Row: row}
+	key := make(index.Key, len(bidx.evals))
+	for i, ev := range bidx.evals {
+		v, err := ev(ctx)
+		if err != nil {
+			return nil, err
+		}
+		key[i] = v
+	}
+	return key, nil
+}
+
+// insertIndexEntries adds tid to every index. Caller holds store.mu.
+func (s *Session) insertIndexEntries(store *storage, row types.Row, tid heap.TID, params []types.Datum) error {
+	ctx := &expr.Ctx{Params: params, Row: row}
+	for _, bidx := range store.btrees {
+		key := make(index.Key, len(bidx.evals))
+		for i, ev := range bidx.evals {
+			v, err := ev(ctx)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		bidx.tree.Insert(key, tid)
+	}
+	for _, g := range store.gins {
+		v, err := g.eval(ctx)
+		if err != nil {
+			return err
+		}
+		if v != nil {
+			g.gin.Insert(types.Format(v), tid)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE / DELETE
+
+// dmlTarget is one row a DML statement will modify.
+type dmlTarget struct {
+	tid heap.TID
+	row types.Row
+}
+
+// collectTargets finds the visible rows matching WHERE, via an index when
+// possible.
+func (s *Session) collectTargets(store *storage, where sql.Expr, params []types.Datum, t *txn.Txn) ([]dmlTarget, *scope, error) {
+	if store.heap == nil {
+		return nil, nil, fmt.Errorf("%q is a columnar table: UPDATE/DELETE are not supported on columnar storage", store.table.Name)
+	}
+	sc := &scope{}
+	for _, c := range store.table.Columns {
+		sc.cols = append(sc.cols, scopeCol{table: store.table.Name, name: c.Name, typ: c.Type})
+	}
+	var filter expr.Evaluator
+	conjuncts := splitConjuncts(where)
+	if where != nil {
+		var err error
+		filter, err = expr.Compile(where, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	snap := s.Eng.Txns.TakeSnapshot(t)
+	ctx := &expr.Ctx{Params: params, ExecSubquery: func(sel *sql.SelectStmt) ([]types.Row, error) {
+		return s.runSubquery(sel, params)
+	}}
+	var targets []dmlTarget
+	var evalErr error
+	visit := func(tid heap.TID, row types.Row) bool {
+		if filter != nil {
+			ctx.Row = row
+			v, err := filter(ctx)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if b, ok := v.(bool); !ok || !b {
+				return true
+			}
+		}
+		targets = append(targets, dmlTarget{tid: tid, row: row})
+		return true
+	}
+
+	path, err := s.chooseAccessPath(store, conjuncts, sc, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	if path != nil && path.idx != nil && len(path.eqKey) > 0 {
+		key := make(index.Key, len(path.eqKey))
+		for i, ev := range path.eqKey {
+			v, err := ev(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			key[i] = v
+		}
+		var tids []heap.TID
+		if len(key) == len(path.idx.evals) {
+			tids = path.idx.tree.SearchEqual(key)
+		} else {
+			path.idx.tree.SearchPrefix(key, func(_ index.Key, ts []heap.TID) bool {
+				tids = append(tids, ts...)
+				return true
+			})
+		}
+		for _, tid := range tids {
+			tup, ok := store.heap.Get(tid)
+			if !ok || !heap.Visible(s.Eng.Txns, snap, tup) {
+				continue
+			}
+			if !visit(tid, tup.Row) {
+				break
+			}
+		}
+	} else {
+		store.heap.Scan(s.Eng.Txns, snap, visit)
+	}
+	if evalErr != nil {
+		return nil, nil, evalErr
+	}
+	return targets, sc, nil
+}
+
+// lockAndChase acquires the row lock on the version a DML statement will
+// modify, reproducing PostgreSQL's READ COMMITTED update semantics
+// (EvalPlanQual): when the version is being deleted/updated by a concurrent
+// in-progress transaction, we queue on its row lock and wait; when the
+// deleter committed, we follow the update chain to the successor version
+// and recheck there; when it aborted, we overwrite its xmax.
+func (s *Session) lockAndChase(store *storage, t *txn.Txn, tid heap.TID) (heap.TID, heap.Tuple, bool, error) {
+	cur := tid
+	for {
+		tup, ok := store.heap.Get(cur)
+		if !ok || tup.Dead {
+			return heap.NilTID, heap.Tuple{}, false, nil
+		}
+		// Every writer locks a version before stamping its xmax, so
+		// acquiring the lock both serializes writers and waits out any
+		// in-progress deleter of this version.
+		err := s.Eng.Locks.Acquire(context.Background(), t.XID,
+			lock.Key{Table: store.table.ID, Tuple: int64(cur)}, t.AbortCh())
+		if err != nil {
+			return heap.NilTID, heap.Tuple{}, false, err
+		}
+		tup, ok = store.heap.Get(cur) // re-read under the lock
+		if !ok || tup.Dead {
+			return heap.NilTID, heap.Tuple{}, false, nil
+		}
+		if s.Eng.Txns.Status(tup.Xmin) == txn.Aborted {
+			return heap.NilTID, heap.Tuple{}, false, nil
+		}
+		switch {
+		case tup.Xmax == 0 || tup.Xmax == t.XID ||
+			s.Eng.Txns.Status(tup.Xmax) == txn.Aborted:
+			// tip of the chain (an aborted deleter's xmax is overwritable)
+			return cur, tup, true, nil
+		case s.Eng.Txns.Status(tup.Xmax) == txn.Committed:
+			if tup.Next == heap.NilTID {
+				return heap.NilTID, heap.Tuple{}, false, nil // row deleted
+			}
+			cur = tup.Next // updated: chase to the successor
+		default:
+			// Deleter is still in progress yet we hold the row lock — it
+			// must be resolving right now (clog flip happens after lock
+			// release only for prepared txns mid-switch). Retry.
+		}
+	}
+}
+
+// recheckPredicate re-evaluates WHERE on the chased-to row version.
+func (s *Session) recheckPredicate(where sql.Expr, sc *scope, row types.Row, params []types.Datum) (bool, error) {
+	if where == nil {
+		return true, nil
+	}
+	ev, err := expr.Compile(where, sc)
+	if err != nil {
+		return false, err
+	}
+	v, err := ev(&expr.Ctx{Params: params, Row: row, ExecSubquery: func(sel *sql.SelectStmt) ([]types.Row, error) {
+		return s.runSubquery(sel, params)
+	}})
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	return ok && b, nil
+}
+
+// writeNewVersion inserts the new row version, links the update chain, and
+// maintains indexes and WAL.
+func (s *Session) writeNewVersion(store *storage, t *txn.Txn, oldTID heap.TID, newRow types.Row, params []types.Datum) error {
+	newTID := store.heap.Insert(t.XID, newRow)
+	store.heap.MarkDeleted(oldTID, t.XID, newTID)
+	store.mu.Lock()
+	err := s.insertIndexEntries(store, newRow, newTID, params)
+	store.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	old, _ := store.heap.Get(oldTID)
+	s.Eng.WAL.Append(wal.Record{Type: wal.RecDelete, XID: t.XID, Table: store.table.Name, Row: old.Row})
+	s.Eng.WAL.Append(wal.Record{Type: wal.RecInsert, XID: t.XID, Table: store.table.Name, Row: newRow})
+	return nil
+}
+
+func (s *Session) execUpdate(stmt *sql.UpdateStmt, params []types.Datum, t *txn.Txn) (*Result, error) {
+	store, ok := s.Eng.store(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist", stmt.Table)
+	}
+	targets, sc, err := s.collectTargets(store, stmt.Where, params, t)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Alias != "" {
+		for i := range sc.cols {
+			sc.cols[i].table = stmt.Alias
+		}
+	}
+	type compiledSet struct {
+		ord int
+		ev  expr.Evaluator
+	}
+	sets := make([]compiledSet, len(stmt.Set))
+	for i, a := range stmt.Set {
+		ord := store.table.ColumnIndex(a.Column)
+		if ord == -1 {
+			return nil, fmt.Errorf("column %q of relation %q does not exist", a.Column, stmt.Table)
+		}
+		ev, err := expr.Compile(a.Value, sc)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = compiledSet{ord: ord, ev: ev}
+	}
+
+	affected := 0
+	var returning []types.Row
+	seen := make(map[heap.TID]struct{})
+	ctx := &expr.Ctx{Params: params, ExecSubquery: func(sel *sql.SelectStmt) ([]types.Row, error) {
+		return s.runSubquery(sel, params)
+	}}
+	for _, tgt := range targets {
+		latestTID, tup, exists, err := s.lockAndChase(store, t, tgt.tid)
+		if err != nil {
+			return nil, err
+		}
+		if !exists {
+			continue
+		}
+		if _, dup := seen[latestTID]; dup {
+			continue
+		}
+		seen[latestTID] = struct{}{}
+		if latestTID != tgt.tid {
+			ok, err := s.recheckPredicate(stmt.Where, sc, tup.Row, params)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		newRow := tup.Row.Clone()
+		if len(newRow) < len(store.table.Columns) {
+			padded := make(types.Row, len(store.table.Columns))
+			copy(padded, newRow)
+			newRow = padded
+		}
+		ctx.Row = tup.Row
+		for _, cs := range sets {
+			v, err := cs.ev(ctx)
+			if err != nil {
+				return nil, err
+			}
+			col := store.table.Columns[cs.ord]
+			if v != nil {
+				if v, err = expr.CastDatum(v, col.Type); err != nil {
+					return nil, fmt.Errorf("column %q: %w", col.Name, err)
+				}
+			} else if col.NotNull {
+				return nil, fmt.Errorf("null value in column %q violates not-null constraint", col.Name)
+			}
+			newRow[cs.ord] = v
+		}
+		if err := s.checkForeignKeys(store, t, newRow); err != nil {
+			return nil, err
+		}
+		if err := s.writeNewVersion(store, t, latestTID, newRow, params); err != nil {
+			return nil, err
+		}
+		affected++
+		if len(stmt.Returning) > 0 {
+			row, err := s.evalReturning(store, stmt.Returning, newRow, params)
+			if err != nil {
+				return nil, err
+			}
+			returning = append(returning, row)
+		}
+	}
+	res := &Result{Tag: fmt.Sprintf("UPDATE %d", affected), Affected: affected, Rows: returning}
+	if len(stmt.Returning) > 0 {
+		res.Columns = returningNames(stmt.Returning, store)
+	}
+	return res, nil
+}
+
+func (s *Session) execDelete(stmt *sql.DeleteStmt, params []types.Datum, t *txn.Txn) (*Result, error) {
+	store, ok := s.Eng.store(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist", stmt.Table)
+	}
+	targets, sc, err := s.collectTargets(store, stmt.Where, params, t)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	seen := make(map[heap.TID]struct{})
+	for _, tgt := range targets {
+		latestTID, tup, exists, err := s.lockAndChase(store, t, tgt.tid)
+		if err != nil {
+			return nil, err
+		}
+		if !exists {
+			continue
+		}
+		if _, dup := seen[latestTID]; dup {
+			continue
+		}
+		seen[latestTID] = struct{}{}
+		if latestTID != tgt.tid {
+			ok, err := s.recheckPredicate(stmt.Where, sc, tup.Row, params)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		store.heap.MarkDeleted(latestTID, t.XID, heap.NilTID)
+		s.Eng.WAL.Append(wal.Record{Type: wal.RecDelete, XID: t.XID, Table: store.table.Name, Row: tup.Row})
+		affected++
+	}
+	return &Result{Tag: fmt.Sprintf("DELETE %d", affected), Affected: affected}, nil
+}
+
+// execLockingSelect implements SELECT ... FOR UPDATE on a single table.
+func (s *Session) execLockingSelect(sel *sql.SelectStmt, params []types.Datum) (*Result, error) {
+	bt, ok := sel.From[0].(*sql.BaseTable)
+	if !ok {
+		return nil, fmt.Errorf("FOR UPDATE is only supported on a single table")
+	}
+	store, ok := s.Eng.store(bt.Name)
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist", bt.Name)
+	}
+	return s.execDML(func(t *txn.Txn) (*Result, error) {
+		targets, sc, err := s.collectTargets(store, sel.Where, params, t)
+		if err != nil {
+			return nil, err
+		}
+		if bt.Alias != "" {
+			for i := range sc.cols {
+				sc.cols[i].table = bt.Alias
+			}
+		}
+		items, err := expandStars(sel.Columns, sc)
+		if err != nil {
+			return nil, err
+		}
+		evals := make([]expr.Evaluator, len(items))
+		names := make([]string, len(items))
+		for i, it := range items {
+			names[i] = outputName(it)
+			if evals[i], err = expr.Compile(it.Expr, sc); err != nil {
+				return nil, err
+			}
+		}
+		res := &Result{Columns: names}
+		ctx := &expr.Ctx{Params: params}
+		for _, tgt := range targets {
+			latestTID, tup, exists, err := s.lockAndChase(store, t, tgt.tid)
+			if err != nil {
+				return nil, err
+			}
+			if !exists {
+				continue
+			}
+			if latestTID != tgt.tid {
+				ok, err := s.recheckPredicate(sel.Where, sc, tup.Row, params)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			ctx.Row = tup.Row
+			out := make(types.Row, len(evals))
+			for i, ev := range evals {
+				if out[i], err = ev(ctx); err != nil {
+					return nil, err
+				}
+			}
+			res.Rows = append(res.Rows, out)
+		}
+		res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+		return res, nil
+	})
+}
+
+func (s *Session) evalReturning(store *storage, items []sql.SelectItem, row types.Row, params []types.Datum) (types.Row, error) {
+	sc := &scope{}
+	for _, c := range store.table.Columns {
+		sc.cols = append(sc.cols, scopeCol{table: store.table.Name, name: c.Name, typ: c.Type})
+	}
+	expanded, err := expandStars(items, sc)
+	if err != nil {
+		return nil, err
+	}
+	out := make(types.Row, len(expanded))
+	ctx := &expr.Ctx{Params: params, Row: row}
+	for i, it := range expanded {
+		ev, err := expr.Compile(it.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		if out[i], err = ev(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func returningNames(items []sql.SelectItem, store *storage) []string {
+	var names []string
+	for _, it := range items {
+		if it.Star {
+			names = append(names, store.table.ColumnNames()...)
+			continue
+		}
+		names = append(names, outputName(it))
+	}
+	return names
+}
+
+// CopyFrom bulk-inserts pre-parsed rows (the COPY protocol's data phase).
+// Values are positional per the column list (nil = all columns).
+func (s *Session) CopyFrom(table string, columns []string, rows []types.Row) (int, error) {
+	if hook := s.Eng.CopyHook; hook != nil {
+		handled, n, err := hook(s, table, columns, rows)
+		if handled {
+			return n, err
+		}
+	}
+	store, ok := s.Eng.store(table)
+	if !ok {
+		return 0, fmt.Errorf("relation %q does not exist", table)
+	}
+	cols := columns
+	if len(cols) == 0 {
+		cols = store.table.ColumnNames()
+	}
+	colOrds := make([]int, len(cols))
+	for i, c := range cols {
+		ord := store.table.ColumnIndex(c)
+		if ord == -1 {
+			return 0, fmt.Errorf("column %q of relation %q does not exist", c, table)
+		}
+		colOrds[i] = ord
+	}
+	t, implicit := s.ensureTxn()
+	n := 0
+	for _, in := range rows {
+		full, err := s.buildFullRow(store, colOrds, in, nil)
+		if err == nil {
+			_, _, err = s.insertRow(store, t, full, nil, nil)
+		}
+		if err != nil {
+			if implicit {
+				_ = s.finishImplicit(t, false)
+			} else {
+				s.txnFailed = true
+			}
+			return 0, err
+		}
+		n++
+	}
+	if implicit {
+		if err := s.finishImplicit(t, true); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,661 @@
+// Package engine implements the single-node SQL engine that plays the role
+// of PostgreSQL on every node of a cluster: query planning and execution
+// over MVCC heap storage, B-tree/GIN indexes, transactions (including
+// two-phase commit), DDL, COPY, and vacuum.
+//
+// Like PostgreSQL, the engine is extensible at explicit hook points rather
+// than by forking: PlannerHook intercepts planning (the distributed query
+// planner plugs in here, equivalent to the planner_hook + CustomScan
+// combination described in §3.1 of the paper), UtilityHook intercepts
+// commands that do not go through the planner (DDL, COPY), and transaction
+// callbacks on txn.Txn drive distributed commit.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"citusgo/internal/bufpool"
+	"citusgo/internal/catalog"
+	"citusgo/internal/columnar"
+	"citusgo/internal/expr"
+	"citusgo/internal/heap"
+	"citusgo/internal/index"
+	"citusgo/internal/lock"
+	"citusgo/internal/sql"
+	"citusgo/internal/txn"
+	"citusgo/internal/types"
+	"citusgo/internal/wal"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Columns  []string
+	Rows     []types.Row
+	Tag      string
+	Affected int
+}
+
+// Plan is an executable query plan. The distributed layer returns Plans
+// from the PlannerHook; they are the equivalent of a CustomScan node.
+type Plan interface {
+	Columns() []string
+	Execute(s *Session, params []types.Datum) (*Result, error)
+	ExplainLines() []string
+}
+
+// PlannerHook lets an extension take over planning of a statement. Return
+// (nil, nil) to fall through to the local planner.
+type PlannerHook func(s *Session, stmt sql.Statement, params []types.Datum) (Plan, error)
+
+// UtilityHook lets an extension intercept utility statements (DDL, COPY,
+// CALL, ...). Return handled=false to fall through to local handling.
+type UtilityHook func(s *Session, stmt sql.Statement) (handled bool, res *Result, err error)
+
+// Procedure is a registered stored procedure; it runs inside the calling
+// session's transaction.
+type Procedure func(s *Session, args []types.Datum) error
+
+// storage bundles a table's definition with its physical storage and
+// indexes.
+type storage struct {
+	table *catalog.Table
+	heap  *heap.Table
+	col   *columnar.Table
+
+	mu     sync.RWMutex // guards the index maps and unique-insert check
+	btrees map[string]*btreeIndex
+	gins   map[string]*ginIndex
+}
+
+type btreeIndex struct {
+	def   *catalog.IndexDef
+	tree  *index.BTree
+	evals []expr.Evaluator // key column evaluators over the table row
+}
+
+type ginIndex struct {
+	def  *catalog.IndexDef
+	gin  *index.GIN
+	eval expr.Evaluator // the indexed text expression
+}
+
+// Engine is one database node.
+type Engine struct {
+	Name    string // node name, for diagnostics
+	Catalog *catalog.Catalog
+	Txns    *txn.Manager
+	Locks   *lock.Manager
+	Pool    *bufpool.Pool
+	WAL     *wal.Log
+
+	PlannerHook PlannerHook
+	UtilityHook UtilityHook
+	// CopyHook intercepts COPY data loading (the distributed layer fans
+	// rows out to shards here).
+	CopyHook func(s *Session, table string, columns []string, rows []types.Row) (handled bool, n int, err error)
+
+	mu         sync.RWMutex
+	stores     map[string]*storage
+	procedures map[string]Procedure
+
+	imu          sync.RWMutex
+	intermediate map[string]*IntermediateResult
+
+	nextObjID atomic.Int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// IntermediateResult is a named, in-memory relation used by the
+// distributed executor for broadcast and repartition joins and for
+// coordinator-side merge queries over worker results.
+type IntermediateResult struct {
+	Columns []string
+	Types   []types.Type
+	Rows    []types.Row
+}
+
+// Config configures a node.
+type Config struct {
+	Name string
+	// BufferPool simulates bounded memory; zero value = unlimited.
+	BufferPool bufpool.Config
+	// DeadlockInterval is how often the node-local deadlock detector runs
+	// (PostgreSQL's deadlock_timeout); default 100ms, negative disables.
+	DeadlockInterval time.Duration
+	// AutoVacuumInterval runs the auto-vacuum daemon. Without it, hot rows
+	// grow unbounded MVCC version chains and index lookups degrade
+	// (exactly the auto-vacuuming behavior §2.3 of the paper discusses).
+	// 0 disables (unit tests vacuum explicitly); cluster nodes enable it.
+	AutoVacuumInterval time.Duration
+}
+
+// New creates a node and starts its local deadlock detector.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		Name:         cfg.Name,
+		Catalog:      catalog.New(),
+		Txns:         txn.NewManager(),
+		Locks:        lock.NewManager(),
+		Pool:         bufpool.New(cfg.BufferPool),
+		WAL:          wal.New(),
+		stores:       make(map[string]*storage),
+		procedures:   make(map[string]Procedure),
+		intermediate: make(map[string]*IntermediateResult),
+		stopCh:       make(chan struct{}),
+	}
+	e.nextObjID.Store(1)
+	interval := cfg.DeadlockInterval
+	if interval == 0 {
+		interval = 100 * time.Millisecond
+	}
+	if interval > 0 {
+		go e.deadlockDetectorLoop(interval)
+	}
+	if cfg.AutoVacuumInterval > 0 {
+		go e.autoVacuumLoop(cfg.AutoVacuumInterval)
+	}
+	return e
+}
+
+// autoVacuumLoop periodically reclaims dead tuple versions, playing the
+// role of PostgreSQL's autovacuum workers.
+func (e *Engine) autoVacuumLoop(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ticker.C:
+			e.Vacuum("")
+		}
+	}
+}
+
+// Close stops background work.
+func (e *Engine) Close() {
+	e.stopOnce.Do(func() { close(e.stopCh) })
+}
+
+// deadlockDetectorLoop is the node-local equivalent of PostgreSQL's
+// deadlock check: find a cycle in the waits-for graph and cancel the
+// youngest transaction in it.
+func (e *Engine) deadlockDetectorLoop(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ticker.C:
+			e.CheckLocalDeadlock()
+		}
+	}
+}
+
+// CheckLocalDeadlock runs one deadlock check, cancelling the youngest
+// transaction of a cycle if one exists. Returns the cancelled XID or 0.
+func (e *Engine) CheckLocalDeadlock() uint64 {
+	cycle := lock.FindCycle(e.Locks.Edges())
+	if len(cycle) == 0 {
+		return 0
+	}
+	var victim uint64
+	for _, xid := range cycle {
+		if xid > victim {
+			victim = xid
+		}
+	}
+	if t, ok := e.Txns.Active(victim); ok {
+		t.Cancel()
+		return victim
+	}
+	return 0
+}
+
+// LockEdges exposes the node's waits-for graph together with the
+// distributed transaction id of each participant; the distributed deadlock
+// detector polls this from every node (paper §3.7.3).
+type LockEdge struct {
+	WaiterXID, HolderXID   uint64
+	WaiterDist, HolderDist string
+}
+
+// LockGraph returns the current waits-for edges annotated with distributed
+// transaction ids.
+func (e *Engine) LockGraph() []LockEdge {
+	edges := e.Locks.Edges()
+	out := make([]LockEdge, 0, len(edges))
+	for _, edge := range edges {
+		le := LockEdge{WaiterXID: edge.Waiter, HolderXID: edge.Holder}
+		if t, ok := e.Txns.Active(edge.Waiter); ok {
+			le.WaiterDist = t.DistID
+		}
+		if t, ok := e.Txns.Active(edge.Holder); ok {
+			le.HolderDist = t.DistID
+		}
+		out = append(out, le)
+	}
+	return out
+}
+
+// CancelByDistID cancels the local transaction belonging to a distributed
+// transaction (deadlock victim chosen by the coordinator).
+func (e *Engine) CancelByDistID(distID string) bool {
+	for _, t := range e.Txns.ActiveTxns() {
+		if t.DistID == distID {
+			t.Cancel()
+			return true
+		}
+	}
+	return false
+}
+
+// RegisterProcedure installs a stored procedure on this node.
+func (e *Engine) RegisterProcedure(name string, p Procedure) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.procedures[strings.ToLower(name)] = p
+}
+
+func (e *Engine) procedure(name string) (Procedure, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.procedures[strings.ToLower(name)]
+	return p, ok
+}
+
+// RegisterIntermediateResult installs a named in-memory relation readable
+// in FROM clauses until dropped.
+func (e *Engine) RegisterIntermediateResult(name string, r *IntermediateResult) {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	e.intermediate[name] = r
+}
+
+// AppendIntermediateResult adds rows to a named relation, creating it if
+// needed (repartitioned fragments arrive from several sources).
+func (e *Engine) AppendIntermediateResult(name string, cols []string, rows []types.Row) {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	r, ok := e.intermediate[name]
+	if !ok {
+		r = &IntermediateResult{Columns: cols}
+		e.intermediate[name] = r
+	}
+	r.Rows = append(r.Rows, rows...)
+}
+
+// DropIntermediateResults removes all relations with the given prefix
+// (cleanup at distributed query end).
+func (e *Engine) DropIntermediateResults(prefix string) {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	for name := range e.intermediate {
+		if strings.HasPrefix(name, prefix) {
+			delete(e.intermediate, name)
+		}
+	}
+}
+
+func (e *Engine) intermediateResult(name string) (*IntermediateResult, bool) {
+	e.imu.RLock()
+	defer e.imu.RUnlock()
+	r, ok := e.intermediate[name]
+	return r, ok
+}
+
+func (e *Engine) store(name string) (*storage, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st, ok := e.stores[name]
+	return st, ok
+}
+
+// TotalPages sums the heap page counts of every table on the node (the
+// benchmark harness sizes buffer pools relative to this).
+func (e *Engine) TotalPages() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	total := 0
+	for _, st := range e.stores {
+		if st.heap != nil {
+			total += st.heap.NumPages()
+		}
+		if st.col != nil {
+			total += st.col.NumStripes() * len(st.table.Columns)
+		}
+	}
+	return total
+}
+
+// TableRows returns the estimated live row count of a table (planner
+// statistic, also used by the distributed join-order planner).
+func (e *Engine) TableRows(name string) int64 {
+	st, ok := e.store(name)
+	if !ok {
+		return 0
+	}
+	if st.col != nil {
+		return st.col.EstimatedRows()
+	}
+	return st.heap.EstimatedRows()
+}
+
+// NewSession opens a session on this node.
+func (e *Engine) NewSession() *Session {
+	return &Session{Eng: e, Settings: make(map[string]string)}
+}
+
+// Session is one client connection's execution state.
+type Session struct {
+	Eng      *Engine
+	Settings map[string]string
+	// Ext holds extension session state; the distributed layer stores its
+	// per-session connection cache and transaction bookkeeping here.
+	Ext any
+
+	txn       *txn.Txn
+	explicit  bool
+	txnFailed bool
+}
+
+// InTransaction reports whether an explicit transaction block is open.
+func (s *Session) InTransaction() bool { return s.txn != nil && s.explicit }
+
+// Txn returns the currently running transaction, if any.
+func (s *Session) Txn() *txn.Txn { return s.txn }
+
+// ensureTxn returns the session transaction, starting an implicit one when
+// none is open. The second return reports whether it was implicit.
+func (s *Session) ensureTxn() (*txn.Txn, bool) {
+	if s.txn != nil {
+		return s.txn, false
+	}
+	t := s.Eng.Txns.Begin()
+	if dist := s.Settings["citus.dist_txn_id"]; dist != "" {
+		t.DistID = dist
+	}
+	s.txn = t
+	return t, true
+}
+
+func (s *Session) finishImplicit(t *txn.Txn, commit bool) error {
+	s.txn = nil
+	defer s.Eng.Locks.ReleaseAll(t.XID)
+	if commit {
+		if err := s.Eng.Txns.Commit(t); err != nil {
+			s.Eng.WAL.Append(wal.Record{Type: wal.RecAbort, XID: t.XID})
+			return err
+		}
+		s.Eng.WAL.Append(wal.Record{Type: wal.RecCommit, XID: t.XID})
+		return nil
+	}
+	s.Eng.Txns.Abort(t)
+	s.Eng.WAL.Append(wal.Record{Type: wal.RecAbort, XID: t.XID})
+	return nil
+}
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(query string, params ...types.Datum) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt, params)
+}
+
+// ExecScript runs a multi-statement script, stopping at the first error.
+func (s *Session) ExecScript(script string) error {
+	stmts, err := sql.ParseMulti(script)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if _, err := s.ExecStmt(stmt, nil); err != nil {
+			return fmt.Errorf("%s: %w", stmt.String(), err)
+		}
+	}
+	return nil
+}
+
+// ExecStmt executes a parsed statement with bound parameters.
+func (s *Session) ExecStmt(stmt sql.Statement, params []types.Datum) (*Result, error) {
+	// Transaction control is handled before the failed-transaction check,
+	// like PostgreSQL (ROLLBACK must always work).
+	switch st := stmt.(type) {
+	case *sql.BeginStmt:
+		if s.explicit {
+			return nil, fmt.Errorf("there is already a transaction in progress")
+		}
+		s.ensureTxn()
+		s.explicit = true
+		return &Result{Tag: "BEGIN"}, nil
+	case *sql.CommitStmt:
+		return s.execCommit()
+	case *sql.RollbackStmt:
+		return s.execRollback()
+	case *sql.PrepareTransactionStmt:
+		return s.execPrepareTransaction(st.GID)
+	case *sql.CommitPreparedStmt:
+		return s.execFinishPrepared(st.GID, true)
+	case *sql.RollbackPreparedStmt:
+		return s.execFinishPrepared(st.GID, false)
+	case *sql.SetStmt:
+		v, err := expr.EvalConst(st.Value)
+		if err != nil {
+			return nil, err
+		}
+		s.Settings[st.Name] = types.Format(v)
+		if st.Name == "citus.dist_txn_id" && s.txn != nil {
+			s.txn.DistID = types.Format(v)
+		}
+		return &Result{Tag: "SET"}, nil
+	}
+
+	if s.txnFailed {
+		return nil, fmt.Errorf("current transaction is aborted, commands ignored until end of transaction block")
+	}
+
+	res, err := s.execute(stmt, params)
+	if err != nil {
+		s.abortFailedStatement()
+	}
+	return res, err
+}
+
+// abortFailedStatement implements PostgreSQL's error behavior inside a
+// transaction block: the transaction aborts immediately (releasing its
+// locks — essential for deadlock victims), and the session stays in the
+// "aborted transaction block" state until COMMIT/ROLLBACK.
+func (s *Session) abortFailedStatement() {
+	if !s.explicit || s.txn == nil {
+		return
+	}
+	t := s.txn
+	s.txn = nil
+	s.txnFailed = true
+	s.Eng.Txns.Abort(t)
+	s.Eng.Locks.ReleaseAll(t.XID)
+	s.Eng.WAL.Append(wal.Record{Type: wal.RecAbort, XID: t.XID})
+}
+
+func (s *Session) execute(stmt sql.Statement, params []types.Datum) (*Result, error) {
+	// Planner hook: the distributed layer takes over planning here.
+	if hook := s.Eng.PlannerHook; hook != nil {
+		plan, err := hook(s, stmt, params)
+		if err != nil {
+			return nil, s.statementFailed(err)
+		}
+		if plan != nil {
+			return s.runPlan(plan, params)
+		}
+	}
+
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		if st.ForUpdate && len(st.From) == 1 {
+			return s.execLockingSelect(st, params)
+		}
+		plan, err := s.planSelect(st, params)
+		if err != nil {
+			return nil, err
+		}
+		return s.runPlan(plan, params)
+	case *sql.InsertStmt:
+		return s.execDML(func(t *txn.Txn) (*Result, error) { return s.execInsert(st, params, t) })
+	case *sql.UpdateStmt:
+		return s.execDML(func(t *txn.Txn) (*Result, error) { return s.execUpdate(st, params, t) })
+	case *sql.DeleteStmt:
+		return s.execDML(func(t *txn.Txn) (*Result, error) { return s.execDelete(st, params, t) })
+	case *sql.ExplainStmt:
+		return s.execExplain(st, params)
+	default:
+		return s.execUtility(stmt)
+	}
+}
+
+// execDML wraps a write in the implicit-transaction protocol.
+func (s *Session) execDML(fn func(*txn.Txn) (*Result, error)) (*Result, error) {
+	t, implicit := s.ensureTxn()
+	res, err := fn(t)
+	if implicit {
+		if err != nil {
+			_ = s.finishImplicit(t, false)
+			return nil, err
+		}
+		if cerr := s.finishImplicit(t, true); cerr != nil {
+			return nil, cerr
+		}
+		return res, nil
+	}
+	if err != nil {
+		return nil, s.statementFailed(err)
+	}
+	return res, nil
+}
+
+// statementFailed marks an explicit transaction failed.
+func (s *Session) statementFailed(err error) error {
+	if s.explicit {
+		s.txnFailed = true
+	}
+	return err
+}
+
+func (s *Session) runPlan(plan Plan, params []types.Datum) (*Result, error) {
+	t, implicit := s.ensureTxn()
+	res, err := plan.Execute(s, params)
+	if implicit {
+		if err != nil {
+			_ = s.finishImplicit(t, false)
+			return nil, err
+		}
+		if cerr := s.finishImplicit(t, true); cerr != nil {
+			return nil, cerr
+		}
+	} else if err != nil {
+		return nil, s.statementFailed(err)
+	}
+	if res.Tag == "" {
+		res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+		res.Affected = len(res.Rows)
+	}
+	return res, nil
+}
+
+func (s *Session) execCommit() (*Result, error) {
+	if s.txn == nil {
+		// an aborted transaction block commits as a rollback
+		failed := s.txnFailed
+		s.explicit, s.txnFailed = false, false
+		if failed {
+			return &Result{Tag: "ROLLBACK"}, nil
+		}
+		return &Result{Tag: "COMMIT"}, nil
+	}
+	t := s.txn
+	s.txn, s.explicit, s.txnFailed = nil, false, false
+	if err := s.finishImplicit(t, true); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "COMMIT"}, nil
+}
+
+func (s *Session) execRollback() (*Result, error) {
+	if s.txn == nil {
+		s.explicit, s.txnFailed = false, false
+		return &Result{Tag: "ROLLBACK"}, nil
+	}
+	t := s.txn
+	s.txn, s.explicit, s.txnFailed = nil, false, false
+	if err := s.finishImplicit(t, false); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "ROLLBACK"}, nil
+}
+
+func (s *Session) execPrepareTransaction(gid string) (*Result, error) {
+	if s.txn == nil || !s.explicit {
+		return nil, fmt.Errorf("PREPARE TRANSACTION requires an open transaction block")
+	}
+	if s.txnFailed {
+		return nil, fmt.Errorf("current transaction is aborted")
+	}
+	t := s.txn
+	if err := s.Eng.Txns.Prepare(t, gid); err != nil {
+		s.txnFailed = true
+		return nil, err
+	}
+	// The session leaves the transaction; its locks stay held by the
+	// prepared transaction until COMMIT/ROLLBACK PREPARED.
+	s.txn, s.explicit = nil, false
+	s.Eng.WAL.Append(wal.Record{Type: wal.RecPrepare, XID: t.XID, GID: gid})
+	return &Result{Tag: "PREPARE TRANSACTION"}, nil
+}
+
+func (s *Session) execFinishPrepared(gid string, commit bool) (*Result, error) {
+	t, err := s.Eng.Txns.FinishPrepared(gid, commit)
+	if err != nil {
+		return nil, err
+	}
+	s.Eng.Locks.ReleaseAll(t.XID)
+	if commit {
+		s.Eng.WAL.Append(wal.Record{Type: wal.RecCommitPrepared, XID: t.XID, GID: gid})
+		return &Result{Tag: "COMMIT PREPARED"}, nil
+	}
+	s.Eng.WAL.Append(wal.Record{Type: wal.RecAbortPrepared, XID: t.XID, GID: gid})
+	return &Result{Tag: "ROLLBACK PREPARED"}, nil
+}
+
+// Snapshot returns a fresh statement snapshot for the current transaction
+// (READ COMMITTED: one snapshot per statement).
+func (s *Session) snapshot(t *txn.Txn) txn.Snapshot {
+	return s.Eng.Txns.TakeSnapshot(t)
+}
+
+// WithTxn runs fn inside the session's transaction, starting (and
+// committing/aborting) an implicit one when no block is open. The
+// distributed layer uses this to give propagated DDL transactional,
+// all-or-nothing semantics.
+func (s *Session) WithTxn(fn func(t *txn.Txn) error) error {
+	t, implicit := s.ensureTxn()
+	err := fn(t)
+	if implicit {
+		if err != nil {
+			_ = s.finishImplicit(t, false)
+			return err
+		}
+		return s.finishImplicit(t, true)
+	}
+	if err != nil {
+		return s.statementFailed(err)
+	}
+	return nil
+}

@@ -1,0 +1,780 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"citusgo/internal/expr"
+	"citusgo/internal/heap"
+	"citusgo/internal/index"
+	"citusgo/internal/sql"
+	"citusgo/internal/txn"
+	"citusgo/internal/types"
+)
+
+// errStop terminates execution early (LIMIT satisfied).
+var errStop = errors.New("stop execution")
+
+// execCtx carries per-statement execution state through the node tree.
+type execCtx struct {
+	sess *Session
+	txn  *txn.Txn
+	snap txn.Snapshot
+	eval *expr.Ctx
+}
+
+// node is one executor node; run pushes output rows into emit.
+type node interface {
+	columns() []string
+	run(ec *execCtx, emit func(types.Row) error) error
+	explain(indent string) []string
+}
+
+// localPlan adapts a node tree to the Plan interface.
+type localPlan struct {
+	root node
+}
+
+func (p *localPlan) Columns() []string { return p.root.columns() }
+
+func (p *localPlan) ExplainLines() []string { return p.root.explain("") }
+
+func (p *localPlan) Execute(s *Session, params []types.Datum) (*Result, error) {
+	t, _ := s.ensureTxn()
+	ec := &execCtx{
+		sess: s,
+		txn:  t,
+		snap: s.snapshot(t),
+	}
+	ec.eval = &expr.Ctx{
+		Params: params,
+		ExecSubquery: func(sel *sql.SelectStmt) ([]types.Row, error) {
+			return s.runSubquery(sel, params)
+		},
+	}
+	res := &Result{Columns: p.root.columns()}
+	err := p.root.run(ec, func(row types.Row) error {
+		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSubquery executes an uncorrelated subquery inside the current
+// transaction. The planner hook gets first pick, so a subquery over
+// distributed tables is planned as its own distributed query.
+func (s *Session) runSubquery(sel *sql.SelectStmt, params []types.Datum) ([]types.Row, error) {
+	var plan Plan
+	if hook := s.Eng.PlannerHook; hook != nil {
+		p, err := hook(s, sel, params)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	if plan == nil {
+		p, err := s.planSelect(sel, params)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	res, err := plan.Execute(s, params)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// evalWith temporarily points the shared eval context at row.
+func (ec *execCtx) evalWith(ev expr.Evaluator, row types.Row) (types.Datum, error) {
+	saved := ec.eval.Row
+	ec.eval.Row = row
+	v, err := ev(ec.eval)
+	ec.eval.Row = saved
+	return v, err
+}
+
+// filterPasses evaluates a predicate with SQL semantics (NULL = no match).
+func (ec *execCtx) filterPasses(pred expr.Evaluator, row types.Row) (bool, error) {
+	if pred == nil {
+		return true, nil
+	}
+	v, err := ec.evalWith(pred, row)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	return ok && b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+
+// seqScanNode scans a heap or columnar table.
+type seqScanNode struct {
+	st     *storage
+	cols   []string
+	filter expr.Evaluator
+	// needed lists column ordinals referenced by the query (columnar
+	// projection pushdown); nil = all.
+	needed []int
+	label  string
+}
+
+func (n *seqScanNode) columns() []string { return n.cols }
+
+func (n *seqScanNode) explain(indent string) []string {
+	s := indent + "Seq Scan on " + n.st.table.Name
+	if n.st.col != nil {
+		s = indent + "Columnar Scan on " + n.st.table.Name
+	}
+	if n.filter != nil {
+		s += " (filtered)"
+	}
+	return []string{s}
+}
+
+func (n *seqScanNode) run(ec *execCtx, emit func(types.Row) error) error {
+	var scanErr error
+	visit := func(row types.Row) bool {
+		ok, err := ec.filterPasses(n.filter, row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		if err := emit(row); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	}
+	if n.st.col != nil {
+		n.st.col.Scan(ec.sess.Eng.Txns, ec.snap, n.needed, visit)
+	} else {
+		n.st.heap.Scan(ec.sess.Eng.Txns, ec.snap, func(_ heap.TID, row types.Row) bool {
+			return visit(row)
+		})
+	}
+	return scanErr
+}
+
+// indexScanNode fetches tuples through a btree index.
+type indexScanNode struct {
+	st     *storage
+	idx    *btreeIndex
+	cols   []string
+	filter expr.Evaluator
+	// key bounds: eqKey for full/prefix equality, or rangeLo/rangeHi for a
+	// range on the first key column; all evaluate to constants.
+	eqKey            []expr.Evaluator
+	rangeLo, rangeHi expr.Evaluator
+	loIncl, hiIncl   bool
+}
+
+func (n *indexScanNode) columns() []string { return n.cols }
+
+func (n *indexScanNode) explain(indent string) []string {
+	return []string{indent + "Index Scan using " + n.idx.def.Name + " on " + n.st.table.Name}
+}
+
+func (n *indexScanNode) run(ec *execCtx, emit func(types.Row) error) error {
+	var tids []heap.TID
+	collect := func(_ index.Key, ts []heap.TID) bool {
+		tids = append(tids, ts...)
+		return true
+	}
+	switch {
+	case len(n.eqKey) > 0:
+		key := make(index.Key, len(n.eqKey))
+		for i, ev := range n.eqKey {
+			v, err := ec.evalWith(ev, nil)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		if len(key) == len(n.idx.evals) {
+			tids = n.idx.tree.SearchEqual(key)
+		} else {
+			n.idx.tree.SearchPrefix(key, collect)
+		}
+	default:
+		var lo, hi index.Key
+		if n.rangeLo != nil {
+			v, err := ec.evalWith(n.rangeLo, nil)
+			if err != nil {
+				return err
+			}
+			lo = index.Key{v}
+		}
+		if n.rangeHi != nil {
+			v, err := ec.evalWith(n.rangeHi, nil)
+			if err != nil {
+				return err
+			}
+			hi = index.Key{v}
+		}
+		n.idx.tree.Range(lo, hi, n.loIncl, n.hiIncl, collect)
+	}
+	return n.emitTIDs(ec, tids, emit)
+}
+
+func (n *indexScanNode) emitTIDs(ec *execCtx, tids []heap.TID, emit func(types.Row) error) error {
+	for _, tid := range tids {
+		tup, ok := n.st.heap.Get(tid)
+		if !ok || !heap.Visible(ec.sess.Eng.Txns, ec.snap, tup) {
+			continue
+		}
+		ok2, err := ec.filterPasses(n.filter, tup.Row)
+		if err != nil {
+			return err
+		}
+		if !ok2 {
+			continue
+		}
+		if err := emit(tup.Row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ginScanNode answers %substring% searches via the trigram index, with the
+// full WHERE clause as recheck (GIN is lossy).
+type ginScanNode struct {
+	st      *storage
+	idx     *ginIndex
+	cols    []string
+	pattern string
+	filter  expr.Evaluator
+}
+
+func (n *ginScanNode) columns() []string { return n.cols }
+
+func (n *ginScanNode) explain(indent string) []string {
+	return []string{indent + "Bitmap Heap Scan on " + n.st.table.Name,
+		indent + "  -> Bitmap Index Scan using " + n.idx.def.Name + " (trigram)"}
+}
+
+func (n *ginScanNode) run(ec *execCtx, emit func(types.Row) error) error {
+	candidates, usable := n.idx.gin.Search(n.pattern)
+	if !usable {
+		seq := &seqScanNode{st: n.st, cols: n.cols, filter: n.filter}
+		return seq.run(ec, emit)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, tid := range candidates {
+		tup, ok := n.st.heap.Get(tid)
+		if !ok || !heap.Visible(ec.sess.Eng.Txns, ec.snap, tup) {
+			continue
+		}
+		pass, err := ec.filterPasses(n.filter, tup.Row)
+		if err != nil {
+			return err
+		}
+		if !pass {
+			continue
+		}
+		if err := emit(tup.Row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// intermediateScanNode reads a registered intermediate result, the relation
+// type the distributed executor materializes for merge steps and
+// repartition joins.
+type intermediateScanNode struct {
+	name   string
+	cols   []string
+	filter expr.Evaluator
+}
+
+func (n *intermediateScanNode) columns() []string { return n.cols }
+
+func (n *intermediateScanNode) explain(indent string) []string {
+	return []string{indent + "Intermediate Result Scan on " + n.name}
+}
+
+func (n *intermediateScanNode) run(ec *execCtx, emit func(types.Row) error) error {
+	ir, ok := ec.sess.Eng.intermediateResult(n.name)
+	if !ok {
+		return fmt.Errorf("intermediate result %q does not exist", n.name)
+	}
+	for _, row := range ir.Rows {
+		pass, err := ec.filterPasses(n.filter, row)
+		if err != nil {
+			return err
+		}
+		if !pass {
+			continue
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+
+// hashJoinNode implements equi-joins: the right side is built into a hash
+// table, the left side probes.
+type hashJoinNode struct {
+	left, right         node
+	leftKeys, rightKeys []expr.Evaluator // over the respective child rows
+	joinType            sql.JoinType
+	residual            expr.Evaluator // over the combined row
+	cols                []string
+	rightWidth          int
+}
+
+func (n *hashJoinNode) columns() []string { return n.cols }
+
+func (n *hashJoinNode) explain(indent string) []string {
+	kind := "Hash Join"
+	if n.joinType == sql.LeftJoin {
+		kind = "Hash Left Join"
+	}
+	out := []string{indent + kind}
+	out = append(out, n.left.explain(indent+"  ")...)
+	out = append(out, n.right.explain(indent+"  ")...)
+	return out
+}
+
+func hashKeyString(vals []types.Datum) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		if v == nil {
+			sb.WriteString("\x00N")
+		} else {
+			sb.WriteString(types.Format(v))
+		}
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}
+
+func (n *hashJoinNode) run(ec *execCtx, emit func(types.Row) error) error {
+	table := make(map[string][]types.Row)
+	err := n.right.run(ec, func(row types.Row) error {
+		keys := make([]types.Datum, len(n.rightKeys))
+		for i, ev := range n.rightKeys {
+			v, err := ec.evalWith(ev, row)
+			if err != nil {
+				return err
+			}
+			if v == nil {
+				return nil // NULL keys never join
+			}
+			keys[i] = v
+		}
+		k := hashKeyString(keys)
+		table[k] = append(table[k], row.Clone())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return n.left.run(ec, func(lrow types.Row) error {
+		keys := make([]types.Datum, len(n.leftKeys))
+		nullKey := false
+		for i, ev := range n.leftKeys {
+			v, err := ec.evalWith(ev, lrow)
+			if err != nil {
+				return err
+			}
+			if v == nil {
+				nullKey = true
+				break
+			}
+			keys[i] = v
+		}
+		matched := false
+		if !nullKey {
+			for _, rrow := range table[hashKeyString(keys)] {
+				combined := append(append(types.Row{}, lrow...), rrow...)
+				pass, err := ec.filterPasses(n.residual, combined)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+				matched = true
+				if err := emit(combined); err != nil {
+					return err
+				}
+			}
+		}
+		if !matched && n.joinType == sql.LeftJoin {
+			combined := append(append(types.Row{}, lrow...), make(types.Row, n.rightWidth)...)
+			return emit(combined)
+		}
+		return nil
+	})
+}
+
+// nlJoinNode is the fallback nested-loop join for non-equi predicates; the
+// right side is materialized once.
+type nlJoinNode struct {
+	left, right node
+	on          expr.Evaluator // over the combined row; nil = cross join
+	joinType    sql.JoinType
+	cols        []string
+	rightWidth  int
+}
+
+func (n *nlJoinNode) columns() []string { return n.cols }
+
+func (n *nlJoinNode) explain(indent string) []string {
+	out := []string{indent + "Nested Loop"}
+	out = append(out, n.left.explain(indent+"  ")...)
+	out = append(out, n.right.explain(indent+"  ")...)
+	return out
+}
+
+func (n *nlJoinNode) run(ec *execCtx, emit func(types.Row) error) error {
+	var rightRows []types.Row
+	if err := n.right.run(ec, func(row types.Row) error {
+		rightRows = append(rightRows, row.Clone())
+		return nil
+	}); err != nil {
+		return err
+	}
+	return n.left.run(ec, func(lrow types.Row) error {
+		matched := false
+		for _, rrow := range rightRows {
+			combined := append(append(types.Row{}, lrow...), rrow...)
+			pass, err := ec.filterPasses(n.on, combined)
+			if err != nil {
+				return err
+			}
+			if n.on == nil {
+				pass = true
+			}
+			if !pass {
+				continue
+			}
+			matched = true
+			if err := emit(combined); err != nil {
+				return err
+			}
+		}
+		if !matched && n.joinType == sql.LeftJoin {
+			combined := append(append(types.Row{}, lrow...), make(types.Row, n.rightWidth)...)
+			return emit(combined)
+		}
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation, projection, sort, limit, distinct
+
+type aggSpec struct {
+	name     string
+	distinct bool
+	star     bool
+	arg      expr.Evaluator
+}
+
+// aggNode computes hash aggregation: output row = group keys ++ aggregate
+// results.
+type aggNode struct {
+	child      node
+	groupEvals []expr.Evaluator
+	aggs       []aggSpec
+	cols       []string
+}
+
+func (n *aggNode) columns() []string { return n.cols }
+
+func (n *aggNode) explain(indent string) []string {
+	kind := "HashAggregate"
+	if len(n.groupEvals) == 0 {
+		kind = "Aggregate"
+	}
+	return append([]string{indent + kind}, n.child.explain(indent+"  ")...)
+}
+
+type aggGroup struct {
+	keys   types.Row
+	states []*expr.AggState
+}
+
+func (n *aggNode) run(ec *execCtx, emit func(types.Row) error) error {
+	groups := make(map[string]*aggGroup)
+	var order []string // deterministic output order (first-seen)
+	err := n.child.run(ec, func(row types.Row) error {
+		keys := make(types.Row, len(n.groupEvals))
+		for i, ev := range n.groupEvals {
+			v, err := ec.evalWith(ev, row)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		k := hashKeyString(keys)
+		g, ok := groups[k]
+		if !ok {
+			g = &aggGroup{keys: keys}
+			for _, a := range n.aggs {
+				st, err := expr.NewAggState(a.name, a.distinct)
+				if err != nil {
+					return err
+				}
+				g.states = append(g.states, st)
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, a := range n.aggs {
+			var v types.Datum = int64(1) // count(*) placeholder
+			if !a.star {
+				var err error
+				v, err = ec.evalWith(a.arg, row)
+				if err != nil {
+					return err
+				}
+			}
+			if err := g.states[i].Add(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(groups) == 0 && len(n.groupEvals) == 0 {
+		// aggregate over empty input still yields one row
+		g := &aggGroup{}
+		for _, a := range n.aggs {
+			st, _ := expr.NewAggState(a.name, a.distinct)
+			g.states = append(g.states, st)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	for _, k := range order {
+		g := groups[k]
+		out := make(types.Row, 0, len(g.keys)+len(g.states))
+		out = append(out, g.keys...)
+		for _, st := range g.states {
+			out = append(out, st.Result())
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// projectNode computes output expressions.
+type projectNode struct {
+	child node
+	evals []expr.Evaluator
+	cols  []string
+}
+
+func (n *projectNode) columns() []string { return n.cols }
+
+func (n *projectNode) explain(indent string) []string {
+	return append([]string{indent + "Project"}, n.child.explain(indent+"  ")...)
+}
+
+func (n *projectNode) run(ec *execCtx, emit func(types.Row) error) error {
+	return n.child.run(ec, func(row types.Row) error {
+		out := make(types.Row, len(n.evals))
+		for i, ev := range n.evals {
+			v, err := ec.evalWith(ev, row)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return emit(out)
+	})
+}
+
+// filterNode applies a predicate (HAVING, or join-output filters).
+type filterNode struct {
+	child node
+	pred  expr.Evaluator
+}
+
+func (n *filterNode) columns() []string { return n.child.columns() }
+
+func (n *filterNode) explain(indent string) []string {
+	return append([]string{indent + "Filter"}, n.child.explain(indent+"  ")...)
+}
+
+func (n *filterNode) run(ec *execCtx, emit func(types.Row) error) error {
+	return n.child.run(ec, func(row types.Row) error {
+		pass, err := ec.filterPasses(n.pred, row)
+		if err != nil {
+			return err
+		}
+		if !pass {
+			return nil
+		}
+		return emit(row)
+	})
+}
+
+type sortKey struct {
+	col  int
+	desc bool
+}
+
+// sortNode materializes and sorts; trim drops hidden trailing sort columns
+// from the output.
+type sortNode struct {
+	child node
+	keys  []sortKey
+	trim  int // emit only the first trim columns (0 = all)
+}
+
+func (n *sortNode) columns() []string {
+	cols := n.child.columns()
+	if n.trim > 0 && n.trim < len(cols) {
+		return cols[:n.trim]
+	}
+	return cols
+}
+
+func (n *sortNode) explain(indent string) []string {
+	return append([]string{indent + "Sort"}, n.child.explain(indent+"  ")...)
+}
+
+func (n *sortNode) run(ec *execCtx, emit func(types.Row) error) error {
+	var rows []types.Row
+	if err := n.child.run(ec, func(row types.Row) error {
+		rows = append(rows, row.Clone())
+		return nil
+	}); err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range n.keys {
+			c := types.Compare(rows[i][k.col], rows[j][k.col])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for _, row := range rows {
+		if n.trim > 0 && n.trim < len(row) {
+			row = row[:n.trim]
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// limitNode applies LIMIT/OFFSET.
+type limitNode struct {
+	child         node
+	limit, offset expr.Evaluator
+}
+
+func (n *limitNode) columns() []string { return n.child.columns() }
+
+func (n *limitNode) explain(indent string) []string {
+	return append([]string{indent + "Limit"}, n.child.explain(indent+"  ")...)
+}
+
+func (n *limitNode) run(ec *execCtx, emit func(types.Row) error) error {
+	limit := int64(-1)
+	offset := int64(0)
+	if n.limit != nil {
+		v, err := ec.evalWith(n.limit, nil)
+		if err != nil {
+			return err
+		}
+		if v != nil {
+			c, err := types.CoerceTo(v, types.Int)
+			if err != nil {
+				return err
+			}
+			limit = c.(int64)
+		}
+	}
+	if n.offset != nil {
+		v, err := ec.evalWith(n.offset, nil)
+		if err != nil {
+			return err
+		}
+		if v != nil {
+			c, err := types.CoerceTo(v, types.Int)
+			if err != nil {
+				return err
+			}
+			offset = c.(int64)
+		}
+	}
+	var seen, emitted int64
+	err := n.child.run(ec, func(row types.Row) error {
+		seen++
+		if seen <= offset {
+			return nil
+		}
+		if limit >= 0 && emitted >= limit {
+			return errStop
+		}
+		emitted++
+		if err := emit(row); err != nil {
+			return err
+		}
+		if limit >= 0 && emitted >= limit {
+			return errStop
+		}
+		return nil
+	})
+	if errors.Is(err, errStop) {
+		return nil
+	}
+	return err
+}
+
+// distinctNode deduplicates full rows.
+type distinctNode struct {
+	child node
+}
+
+func (n *distinctNode) columns() []string { return n.child.columns() }
+
+func (n *distinctNode) explain(indent string) []string {
+	return append([]string{indent + "Unique"}, n.child.explain(indent+"  ")...)
+}
+
+func (n *distinctNode) run(ec *execCtx, emit func(types.Row) error) error {
+	seen := make(map[string]struct{})
+	return n.child.run(ec, func(row types.Row) error {
+		k := hashKeyString(row)
+		if _, dup := seen[k]; dup {
+			return nil
+		}
+		seen[k] = struct{}{}
+		return emit(row)
+	})
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"citusgo/internal/sql"
+	"citusgo/internal/types"
+)
+
+// scopeCol is one column visible to name resolution.
+type scopeCol struct {
+	table string // range name (table name or alias); "" for anonymous
+	name  string
+	typ   types.Type
+}
+
+// scope implements expr.Resolver over the combined row produced by the
+// current plan node.
+type scope struct {
+	cols []scopeCol
+}
+
+func (sc *scope) Resolve(table, column string) (int, types.Type, error) {
+	found := -1
+	for i, c := range sc.cols {
+		if c.name != column {
+			continue
+		}
+		if table != "" && c.table != table {
+			continue
+		}
+		if found != -1 {
+			return 0, 0, fmt.Errorf("column reference %q is ambiguous", column)
+		}
+		found = i
+	}
+	if found == -1 {
+		if table != "" {
+			return 0, 0, fmt.Errorf("column %s.%s does not exist", table, column)
+		}
+		return 0, 0, fmt.Errorf("column %q does not exist", column)
+	}
+	return found, sc.cols[found].typ, nil
+}
+
+// concat merges two scopes (join output row = left row ++ right row).
+func (sc *scope) concat(other *scope) *scope {
+	out := &scope{cols: make([]scopeCol, 0, len(sc.cols)+len(other.cols))}
+	out.cols = append(out.cols, sc.cols...)
+	out.cols = append(out.cols, other.cols...)
+	return out
+}
+
+// tableScope builds the scope for a base table under a range name.
+func tableScope(rangeName string, cols []scopeCol) *scope {
+	out := &scope{cols: make([]scopeCol, len(cols))}
+	for i, c := range cols {
+		out.cols[i] = scopeCol{table: rangeName, name: c.name, typ: c.typ}
+	}
+	return out
+}
+
+// outputName derives the result column name for a select item, following
+// PostgreSQL's rules.
+func outputName(item sql.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *sql.ColumnRef:
+		return e.Name
+	case *sql.FuncCall:
+		return strings.ToLower(e.Name)
+	case *sql.CastExpr:
+		if cr, ok := e.E.(*sql.ColumnRef); ok {
+			return cr.Name
+		}
+		return e.To.String()
+	default:
+		return "?column?"
+	}
+}
+
+// splitConjuncts flattens a WHERE tree on AND.
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sql.BinaryExpr); ok && b.Op == sql.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// andJoin rebuilds a conjunction.
+func andJoin(conjuncts []sql.Expr) sql.Expr {
+	var out sql.Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &sql.BinaryExpr{Op: sql.OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}

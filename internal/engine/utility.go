@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"fmt"
+
+	"citusgo/internal/catalog"
+	"citusgo/internal/columnar"
+	"citusgo/internal/expr"
+	"citusgo/internal/heap"
+	"citusgo/internal/index"
+	"citusgo/internal/sql"
+	"citusgo/internal/txn"
+	"citusgo/internal/types"
+	"citusgo/internal/wal"
+)
+
+// execUtility handles statements that do not go through the planner. The
+// UtilityHook runs first, mirroring PostgreSQL's ProcessUtility hook that
+// Citus uses to intercept DDL and COPY on distributed tables (§3.1).
+func (s *Session) execUtility(stmt sql.Statement) (*Result, error) {
+	if hook := s.Eng.UtilityHook; hook != nil {
+		handled, res, err := hook(s, stmt)
+		if err != nil {
+			return nil, s.statementFailed(err)
+		}
+		if handled {
+			return res, nil
+		}
+	}
+	return s.ExecUtilityLocal(stmt)
+}
+
+// ExecUtilityLocal applies a utility statement on this node only. The
+// distributed layer calls this after propagating DDL to shards.
+func (s *Session) ExecUtilityLocal(stmt sql.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sql.CreateTableStmt:
+		if err := s.Eng.CreateTable(st); err != nil {
+			return nil, s.statementFailed(err)
+		}
+		return &Result{Tag: "CREATE TABLE"}, nil
+	case *sql.CreateIndexStmt:
+		if err := s.Eng.CreateIndex(st); err != nil {
+			return nil, s.statementFailed(err)
+		}
+		return &Result{Tag: "CREATE INDEX"}, nil
+	case *sql.DropTableStmt:
+		if err := s.Eng.DropTable(st.Name, st.IfExists); err != nil {
+			return nil, s.statementFailed(err)
+		}
+		return &Result{Tag: "DROP TABLE"}, nil
+	case *sql.TruncateStmt:
+		store, ok := s.Eng.store(st.Name)
+		if !ok {
+			return nil, s.statementFailed(fmt.Errorf("relation %q does not exist", st.Name))
+		}
+		s.Eng.truncateStorage(store)
+		return &Result{Tag: "TRUNCATE TABLE"}, nil
+	case *sql.AlterTableAddColumnStmt:
+		col := catalog.Column{
+			Name:    st.Column.Name,
+			Type:    st.Column.Type,
+			NotNull: st.Column.NotNull,
+			Default: st.Column.Default,
+		}
+		if _, err := s.Eng.Catalog.AddColumn(st.Table, col); err != nil {
+			return nil, s.statementFailed(err)
+		}
+		s.Eng.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+		return &Result{Tag: "ALTER TABLE"}, nil
+	case *sql.VacuumStmt:
+		n := s.Eng.Vacuum(st.Table)
+		return &Result{Tag: fmt.Sprintf("VACUUM %d", n), Affected: n}, nil
+	case *sql.CopyStmt:
+		return nil, fmt.Errorf("COPY FROM STDIN requires the streaming protocol; use Session.CopyFrom")
+	case *sql.CallStmt:
+		return s.execCall(st)
+	}
+	return nil, fmt.Errorf("unsupported statement %T", stmt)
+}
+
+func (s *Session) execCall(st *sql.CallStmt) (*Result, error) {
+	proc, ok := s.Eng.procedure(st.Name)
+	if !ok {
+		return nil, s.statementFailed(fmt.Errorf("procedure %q does not exist", st.Name))
+	}
+	args := make([]types.Datum, len(st.Args))
+	for i, a := range st.Args {
+		ev, err := expr.Compile(a, nil)
+		if err != nil {
+			return nil, s.statementFailed(err)
+		}
+		v, err := ev(&expr.Ctx{})
+		if err != nil {
+			return nil, s.statementFailed(err)
+		}
+		args[i] = v
+	}
+	t, implicit := s.ensureTxn()
+	err := proc(s, args)
+	if implicit {
+		if err != nil {
+			_ = s.finishImplicit(t, false)
+			return nil, err
+		}
+		if cerr := s.finishImplicit(t, true); cerr != nil {
+			return nil, cerr
+		}
+		return &Result{Tag: "CALL"}, nil
+	}
+	if err != nil {
+		return nil, s.statementFailed(err)
+	}
+	return &Result{Tag: "CALL"}, nil
+}
+
+// CreateTable creates a table with its storage and primary key index.
+func (e *Engine) CreateTable(st *sql.CreateTableStmt) error {
+	tbl, err := e.Catalog.Create(st)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if _, exists := e.stores[tbl.Name]; exists {
+		e.mu.Unlock()
+		if st.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("relation %q already exists", tbl.Name)
+	}
+	store := &storage{
+		table:  tbl,
+		btrees: make(map[string]*btreeIndex),
+		gins:   make(map[string]*ginIndex),
+	}
+	if tbl.Using == "columnar" {
+		store.col = columnar.NewTable(tbl.ID, len(tbl.Columns), e.Pool)
+	} else {
+		store.heap = heap.NewTable(tbl.ID, e.Pool)
+	}
+	e.stores[tbl.Name] = store
+	e.mu.Unlock()
+
+	for _, def := range tbl.Indexes {
+		if err := e.attachIndex(store, def, false); err != nil {
+			return err
+		}
+	}
+	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+	return nil
+}
+
+// CreateIndex creates and backfills an index.
+func (e *Engine) CreateIndex(st *sql.CreateIndexStmt) error {
+	def := &catalog.IndexDef{
+		Name:   st.Name,
+		Table:  st.Table,
+		Using:  st.Using,
+		Exprs:  st.Exprs,
+		Unique: st.Unique,
+	}
+	store, ok := e.store(st.Table)
+	if !ok {
+		return fmt.Errorf("relation %q does not exist", st.Table)
+	}
+	if _, err := e.Catalog.AddIndex(def); err != nil {
+		if st.IfNotExists {
+			return nil
+		}
+		return err
+	}
+	if err := e.attachIndex(store, def, true); err != nil {
+		return err
+	}
+	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+	return nil
+}
+
+// attachIndex compiles the index expressions and optionally backfills from
+// existing rows.
+func (e *Engine) attachIndex(store *storage, def *catalog.IndexDef, backfill bool) error {
+	if store.col != nil {
+		return fmt.Errorf("columnar table %q does not support indexes", store.table.Name)
+	}
+	sc := &scope{}
+	for _, c := range store.table.Columns {
+		sc.cols = append(sc.cols, scopeCol{table: store.table.Name, name: c.Name, typ: c.Type})
+	}
+	switch def.Using {
+	case "gin":
+		if len(def.Exprs) != 1 {
+			return fmt.Errorf("gin index %q must have exactly one key expression", def.Name)
+		}
+		ev, err := expr.Compile(def.Exprs[0], sc)
+		if err != nil {
+			return err
+		}
+		g := &ginIndex{def: def, gin: index.NewGIN(), eval: ev}
+		store.mu.Lock()
+		store.gins[def.Name] = g
+		store.mu.Unlock()
+		if backfill {
+			return e.backfillGIN(store, g)
+		}
+		return nil
+	case "", "btree":
+		evals := make([]expr.Evaluator, len(def.Exprs))
+		for i, x := range def.Exprs {
+			ev, err := expr.Compile(x, sc)
+			if err != nil {
+				return err
+			}
+			evals[i] = ev
+		}
+		b := &btreeIndex{def: def, tree: index.NewBTree(), evals: evals}
+		store.mu.Lock()
+		store.btrees[def.Name] = b
+		store.mu.Unlock()
+		if backfill {
+			return e.backfillBTree(store, b)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unsupported index access method %q", def.Using)
+	}
+}
+
+func (e *Engine) backfillBTree(store *storage, b *btreeIndex) error {
+	var buildErr error
+	ctx := &expr.Ctx{}
+	store.heap.AllTuples(func(tid heap.TID, tup heap.Tuple) bool {
+		ctx.Row = tup.Row
+		key := make(index.Key, len(b.evals))
+		for i, ev := range b.evals {
+			v, err := ev(ctx)
+			if err != nil {
+				buildErr = err
+				return false
+			}
+			key[i] = v
+		}
+		b.tree.Insert(key, tid)
+		return true
+	})
+	return buildErr
+}
+
+func (e *Engine) backfillGIN(store *storage, g *ginIndex) error {
+	var buildErr error
+	ctx := &expr.Ctx{}
+	store.heap.AllTuples(func(tid heap.TID, tup heap.Tuple) bool {
+		ctx.Row = tup.Row
+		v, err := g.eval(ctx)
+		if err != nil {
+			buildErr = err
+			return false
+		}
+		if v != nil {
+			g.gin.Insert(types.Format(v), tid)
+		}
+		return true
+	})
+	return buildErr
+}
+
+// DropTable removes a table and its storage.
+func (e *Engine) DropTable(name string, ifExists bool) error {
+	e.mu.Lock()
+	store, ok := e.stores[name]
+	if ok {
+		delete(e.stores, name)
+	}
+	e.mu.Unlock()
+	if !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("relation %q does not exist", name)
+	}
+	e.Catalog.Drop(name)
+	if store.heap != nil {
+		store.heap.Truncate()
+	}
+	if store.col != nil {
+		store.col.Truncate()
+	}
+	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: "DROP TABLE " + name})
+	return nil
+}
+
+func (e *Engine) truncateStorage(store *storage) {
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	if store.heap != nil {
+		store.heap.Truncate()
+	}
+	if store.col != nil {
+		store.col.Truncate()
+	}
+	for name, b := range store.btrees {
+		store.btrees[name] = &btreeIndex{def: b.def, tree: index.NewBTree(), evals: b.evals}
+	}
+	for name, g := range store.gins {
+		store.gins[name] = &ginIndex{def: g.def, gin: index.NewGIN(), eval: g.eval}
+	}
+	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: "TRUNCATE " + store.table.Name})
+}
+
+// Vacuum reclaims dead tuples table-wide or for one table, cleaning index
+// entries for the reclaimed versions. Returns the reclaimed tuple count.
+// This is the operation whose single-threadedness in PostgreSQL motivates
+// the paper's observation that sharding parallelizes auto-vacuum (§2.3).
+func (e *Engine) Vacuum(table string) int {
+	horizon := e.Txns.GlobalXmin()
+	var stores []*storage
+	e.mu.RLock()
+	for name, st := range e.stores {
+		if table == "" || name == table {
+			stores = append(stores, st)
+		}
+	}
+	e.mu.RUnlock()
+	total := 0
+	for _, st := range stores {
+		if st.heap == nil {
+			continue
+		}
+		reclaimed := st.heap.Vacuum(e.Txns, horizon)
+		total += len(reclaimed)
+		if len(reclaimed) == 0 {
+			continue
+		}
+		st.mu.Lock()
+		ctx := &expr.Ctx{}
+		for _, vt := range reclaimed {
+			ctx.Row = vt.Row
+			for _, b := range st.btrees {
+				key := make(index.Key, len(b.evals))
+				bad := false
+				for i, ev := range b.evals {
+					v, err := ev(ctx)
+					if err != nil {
+						bad = true
+						break
+					}
+					key[i] = v
+				}
+				if !bad {
+					b.tree.Remove(key, vt.TID)
+				}
+			}
+			for _, g := range st.gins {
+				g.gin.Remove(vt.TID)
+			}
+		}
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// execExplain renders the plan of the inner statement.
+func (s *Session) execExplain(st *sql.ExplainStmt, params []types.Datum) (*Result, error) {
+	var lines []string
+	if hook := s.Eng.PlannerHook; hook != nil {
+		plan, err := hook(s, st.Stmt, params)
+		if err != nil {
+			return nil, err
+		}
+		if plan != nil {
+			lines = plan.ExplainLines()
+		}
+	}
+	if lines == nil {
+		switch inner := st.Stmt.(type) {
+		case *sql.SelectStmt:
+			plan, err := s.planSelect(inner, params)
+			if err != nil {
+				return nil, err
+			}
+			lines = plan.ExplainLines()
+		default:
+			lines = []string{"Utility Statement"}
+		}
+	}
+	res := &Result{Columns: []string{"QUERY PLAN"}, Tag: "EXPLAIN"}
+	for _, l := range lines {
+		res.Rows = append(res.Rows, types.Row{l})
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// WAL replay (wal.Applier)
+
+// replayTarget adapts an Engine for wal.ReplayInto.
+type replayTarget struct{ e *Engine }
+
+// ReplayTarget returns the wal.Applier that rebuilds this engine from a log.
+func (e *Engine) ReplayTarget() wal.Applier { return replayTarget{e} }
+
+func (r replayTarget) ApplyDDL(ddl string) error {
+	stmt, err := sql.Parse(ddl)
+	if err != nil {
+		return err
+	}
+	sess := r.e.NewSession()
+	switch st := stmt.(type) {
+	case *sql.CreateTableStmt:
+		return r.e.CreateTable(st)
+	case *sql.CreateIndexStmt:
+		return r.e.CreateIndex(st)
+	default:
+		_, err := sess.ExecUtilityLocal(stmt)
+		return err
+	}
+}
+
+func (r replayTarget) ApplyInsert(xid uint64, table string, row types.Row) error {
+	store, ok := r.e.store(table)
+	if !ok {
+		return fmt.Errorf("replay: relation %q does not exist", table)
+	}
+	if store.col != nil {
+		store.col.Insert(xid, row)
+		return nil
+	}
+	tid := store.heap.Insert(xid, row)
+	sess := r.e.NewSession()
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	return sess.insertIndexEntries(store, row, tid, nil)
+}
+
+func (r replayTarget) ApplyDelete(xid uint64, table string, row types.Row) error {
+	store, ok := r.e.store(table)
+	if !ok || store.heap == nil {
+		return nil
+	}
+	target := hashKeyString(row)
+	store.heap.AllTuples(func(tid heap.TID, tup heap.Tuple) bool {
+		if tup.Xmax == 0 && hashKeyString(tup.Row) == target {
+			store.heap.MarkDeleted(tid, xid, heap.NilTID)
+			return false
+		}
+		return true
+	})
+	return nil
+}
+
+func (r replayTarget) ApplyCommit(xid uint64) { r.e.Txns.ForceStatus(xid, txn.Committed) }
+func (r replayTarget) ApplyAbort(xid uint64)  { r.e.Txns.ForceStatus(xid, txn.Aborted) }
+func (r replayTarget) ApplyPrepare(xid uint64, gid string) {
+	r.e.Txns.AdoptPrepared(xid, gid)
+}
+func (r replayTarget) ApplyCommitPrepared(gid string) {
+	if t, err := r.e.Txns.FinishPrepared(gid, true); err == nil {
+		r.e.Locks.ReleaseAll(t.XID)
+	}
+}
+func (r replayTarget) ApplyAbortPrepared(gid string) {
+	if t, err := r.e.Txns.FinishPrepared(gid, false); err == nil {
+		r.e.Locks.ReleaseAll(t.XID)
+	}
+}

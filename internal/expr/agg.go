@@ -1,0 +1,186 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"citusgo/internal/sql"
+	"citusgo/internal/types"
+)
+
+// IsAggregate reports whether name is an aggregate function.
+func IsAggregate(name string) bool {
+	switch strings.ToLower(name) {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregate function call (used to decide whether a SELECT needs an
+// aggregation node, and by the distributed planner to plan merge steps).
+func ContainsAggregate(e sql.Expr) bool {
+	found := false
+	WalkExpr(e, func(x sql.Expr) bool {
+		if fc, ok := x.(*sql.FuncCall); ok && IsAggregate(fc.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// WalkExpr visits every node of an expression tree; fn returning false
+// stops descent into that subtree.
+func WalkExpr(e sql.Expr, fn func(sql.Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *sql.BinaryExpr:
+		WalkExpr(n.L, fn)
+		WalkExpr(n.R, fn)
+	case *sql.UnaryExpr:
+		WalkExpr(n.E, fn)
+	case *sql.FuncCall:
+		for _, a := range n.Args {
+			WalkExpr(a, fn)
+		}
+	case *sql.CaseExpr:
+		WalkExpr(n.Operand, fn)
+		for _, w := range n.Whens {
+			WalkExpr(w.When, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(n.Else, fn)
+	case *sql.InExpr:
+		WalkExpr(n.E, fn)
+		for _, item := range n.List {
+			WalkExpr(item, fn)
+		}
+	case *sql.BetweenExpr:
+		WalkExpr(n.E, fn)
+		WalkExpr(n.Lo, fn)
+		WalkExpr(n.Hi, fn)
+	case *sql.LikeExpr:
+		WalkExpr(n.E, fn)
+		WalkExpr(n.Pattern, fn)
+	case *sql.IsNullExpr:
+		WalkExpr(n.E, fn)
+	case *sql.CastExpr:
+		WalkExpr(n.E, fn)
+	case *sql.NamedArg:
+		WalkExpr(n.Value, fn)
+	}
+}
+
+// AggState accumulates one aggregate over a group.
+type AggState struct {
+	name     string
+	distinct bool
+	seen     map[string]struct{}
+
+	count int64
+	sum   types.Datum // int64 or float64
+	min   types.Datum
+	max   types.Datum
+}
+
+// NewAggState creates an accumulator for the named aggregate.
+func NewAggState(name string, distinct bool) (*AggState, error) {
+	name = strings.ToLower(name)
+	if !IsAggregate(name) {
+		return nil, fmt.Errorf("%s is not an aggregate", name)
+	}
+	s := &AggState{name: name, distinct: distinct}
+	if distinct {
+		s.seen = make(map[string]struct{})
+	}
+	return s, nil
+}
+
+// Add folds one input value into the state. SQL semantics: NULLs are
+// ignored by every aggregate (count(*) passes a non-nil placeholder).
+func (s *AggState) Add(v types.Datum) error {
+	if v == nil {
+		return nil
+	}
+	if s.distinct {
+		key := types.Format(v)
+		if _, dup := s.seen[key]; dup {
+			return nil
+		}
+		s.seen[key] = struct{}{}
+	}
+	s.count++
+	switch s.name {
+	case "count":
+		return nil
+	case "min":
+		if s.min == nil || types.Compare(v, s.min) < 0 {
+			s.min = v
+		}
+		return nil
+	case "max":
+		if s.max == nil || types.Compare(v, s.max) > 0 {
+			s.max = v
+		}
+		return nil
+	case "sum", "avg":
+		switch cur := s.sum.(type) {
+		case nil:
+			switch v.(type) {
+			case int64, float64:
+				s.sum = v
+				return nil
+			}
+			return fmt.Errorf("%s expects numeric input, got %s", s.name, types.TypeOf(v))
+		case int64:
+			if vi, ok := v.(int64); ok {
+				s.sum = cur + vi
+				return nil
+			}
+			f, err := toFloat(v)
+			if err != nil {
+				return err
+			}
+			s.sum = float64(cur) + f
+			return nil
+		case float64:
+			f, err := toFloat(v)
+			if err != nil {
+				return err
+			}
+			s.sum = cur + f
+			return nil
+		}
+	}
+	return nil
+}
+
+// Result finalizes the aggregate.
+func (s *AggState) Result() types.Datum {
+	switch s.name {
+	case "count":
+		return s.count
+	case "sum":
+		return s.sum // nil when no input rows, as in SQL
+	case "min":
+		return s.min
+	case "max":
+		return s.max
+	case "avg":
+		if s.count == 0 || s.sum == nil {
+			return nil
+		}
+		switch v := s.sum.(type) {
+		case int64:
+			return float64(v) / float64(s.count)
+		case float64:
+			return v / float64(s.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,651 @@
+// Package expr compiles SQL expression ASTs into evaluators. Column
+// references are resolved against a caller-supplied Resolver (the engine's
+// scope), producing closures over row offsets so per-row evaluation does no
+// name lookups.
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"citusgo/internal/jsonb"
+	"citusgo/internal/sql"
+	"citusgo/internal/types"
+)
+
+// Resolver maps a (possibly table-qualified) column name to an offset in
+// the runtime row and its type.
+type Resolver interface {
+	Resolve(table, column string) (idx int, typ types.Type, err error)
+}
+
+// Ctx is the per-statement evaluation context. Row is updated per tuple;
+// the rest is fixed for the statement.
+type Ctx struct {
+	Row    types.Row
+	Params []types.Datum
+	// ExecSubquery runs an uncorrelated subquery and returns its rows;
+	// results are cached per statement in subqueryCache.
+	ExecSubquery  func(sel *sql.SelectStmt) ([]types.Row, error)
+	subqueryCache map[*sql.SelectStmt][]types.Row
+}
+
+func (c *Ctx) runSubquery(sel *sql.SelectStmt) ([]types.Row, error) {
+	if c.ExecSubquery == nil {
+		return nil, errors.New("subqueries are not supported in this context")
+	}
+	if rows, ok := c.subqueryCache[sel]; ok {
+		return rows, nil
+	}
+	rows, err := c.ExecSubquery(sel)
+	if err != nil {
+		return nil, err
+	}
+	if c.subqueryCache == nil {
+		c.subqueryCache = make(map[*sql.SelectStmt][]types.Row)
+	}
+	c.subqueryCache[sel] = rows
+	return rows, nil
+}
+
+// Evaluator computes a datum for the current context.
+type Evaluator func(*Ctx) (types.Datum, error)
+
+// Compile builds an evaluator for e, resolving columns through r (which may
+// be nil for constant expressions).
+func Compile(e sql.Expr, r Resolver) (Evaluator, error) {
+	switch n := e.(type) {
+	case *sql.Literal:
+		v := n.Value
+		return func(*Ctx) (types.Datum, error) { return v, nil }, nil
+
+	case *sql.Param:
+		idx := n.Index - 1
+		return func(c *Ctx) (types.Datum, error) {
+			if idx >= len(c.Params) {
+				return nil, fmt.Errorf("no value for parameter $%d", idx+1)
+			}
+			return c.Params[idx], nil
+		}, nil
+
+	case *sql.ColumnRef:
+		if r == nil {
+			return nil, fmt.Errorf("column %q cannot be referenced here", n.Name)
+		}
+		idx, _, err := r.Resolve(n.Table, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *Ctx) (types.Datum, error) {
+			if idx >= len(c.Row) {
+				// rows written before ALTER TABLE ADD COLUMN are shorter;
+				// the added column reads as NULL
+				return nil, nil
+			}
+			return c.Row[idx], nil
+		}, nil
+
+	case *sql.BinaryExpr:
+		return compileBinary(n, r)
+
+	case *sql.UnaryExpr:
+		sub, err := Compile(n.E, r)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "NOT" {
+			return func(c *Ctx) (types.Datum, error) {
+				v, err := sub(c)
+				if err != nil || v == nil {
+					return nil, err
+				}
+				b, ok := v.(bool)
+				if !ok {
+					return nil, fmt.Errorf("argument of NOT must be boolean")
+				}
+				return !b, nil
+			}, nil
+		}
+		return func(c *Ctx) (types.Datum, error) {
+			v, err := sub(c)
+			if err != nil || v == nil {
+				return nil, err
+			}
+			switch t := v.(type) {
+			case int64:
+				return -t, nil
+			case float64:
+				return -t, nil
+			}
+			return nil, fmt.Errorf("cannot negate %s", types.TypeOf(v))
+		}, nil
+
+	case *sql.FuncCall:
+		return compileFunc(n, r)
+
+	case *sql.CaseExpr:
+		return compileCase(n, r)
+
+	case *sql.InExpr:
+		return compileIn(n, r)
+
+	case *sql.BetweenExpr:
+		ev, err := Compile(n.E, r)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := Compile(n.Lo, r)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Compile(n.Hi, r)
+		if err != nil {
+			return nil, err
+		}
+		not := n.Not
+		return func(c *Ctx) (types.Datum, error) {
+			v, err := ev(c)
+			if err != nil || v == nil {
+				return nil, err
+			}
+			lv, err := lo(c)
+			if err != nil || lv == nil {
+				return nil, err
+			}
+			hv, err := hi(c)
+			if err != nil || hv == nil {
+				return nil, err
+			}
+			in := types.Compare(v, lv) >= 0 && types.Compare(v, hv) <= 0
+			return in != not, nil
+		}, nil
+
+	case *sql.LikeExpr:
+		ev, err := Compile(n.E, r)
+		if err != nil {
+			return nil, err
+		}
+		pv, err := Compile(n.Pattern, r)
+		if err != nil {
+			return nil, err
+		}
+		ilike, not := n.ILike, n.Not
+		return func(c *Ctx) (types.Datum, error) {
+			v, err := ev(c)
+			if err != nil || v == nil {
+				return nil, err
+			}
+			p, err := pv(c)
+			if err != nil || p == nil {
+				return nil, err
+			}
+			s, pat := types.Format(v), types.Format(p)
+			if ilike {
+				s, pat = strings.ToLower(s), strings.ToLower(pat)
+			}
+			return MatchLike(s, pat) != not, nil
+		}, nil
+
+	case *sql.IsNullExpr:
+		ev, err := Compile(n.E, r)
+		if err != nil {
+			return nil, err
+		}
+		not := n.Not
+		return func(c *Ctx) (types.Datum, error) {
+			v, err := ev(c)
+			if err != nil {
+				return nil, err
+			}
+			return (v == nil) != not, nil
+		}, nil
+
+	case *sql.CastExpr:
+		return compileCast(n, r)
+
+	case *sql.SubqueryExpr:
+		sel := n.Select
+		return func(c *Ctx) (types.Datum, error) {
+			rows, err := c.runSubquery(sel)
+			if err != nil {
+				return nil, err
+			}
+			if len(rows) == 0 {
+				return nil, nil
+			}
+			if len(rows) > 1 {
+				return nil, errors.New("more than one row returned by a subquery used as an expression")
+			}
+			if len(rows[0]) != 1 {
+				return nil, errors.New("subquery must return only one column")
+			}
+			return rows[0][0], nil
+		}, nil
+
+	case *sql.ExistsExpr:
+		sel := n.Select
+		not := n.Not
+		return func(c *Ctx) (types.Datum, error) {
+			rows, err := c.runSubquery(sel)
+			if err != nil {
+				return nil, err
+			}
+			return (len(rows) > 0) != not, nil
+		}, nil
+
+	case *sql.NamedArg:
+		return nil, fmt.Errorf("named argument %q is not valid here", n.Name)
+	}
+	return nil, fmt.Errorf("unsupported expression %T", e)
+}
+
+func compileBinary(n *sql.BinaryExpr, r Resolver) (Evaluator, error) {
+	l, err := Compile(n.L, r)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := Compile(n.R, r)
+	if err != nil {
+		return nil, err
+	}
+	op := n.Op
+	switch op {
+	case sql.OpAnd:
+		return func(c *Ctx) (types.Datum, error) {
+			lv, err := l(c)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := lv.(bool); ok && !b {
+				return false, nil
+			}
+			rv, err := rr(c)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := rv.(bool); ok && !b {
+				return false, nil
+			}
+			if lv == nil || rv == nil {
+				return nil, nil
+			}
+			return true, nil
+		}, nil
+	case sql.OpOr:
+		return func(c *Ctx) (types.Datum, error) {
+			lv, err := l(c)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := lv.(bool); ok && b {
+				return true, nil
+			}
+			rv, err := rr(c)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := rv.(bool); ok && b {
+				return true, nil
+			}
+			if lv == nil || rv == nil {
+				return nil, nil
+			}
+			return false, nil
+		}, nil
+	}
+	return func(c *Ctx) (types.Datum, error) {
+		lv, err := l(c)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := rr(c)
+		if err != nil {
+			return nil, err
+		}
+		return applyBinary(op, lv, rv)
+	}, nil
+}
+
+func applyBinary(op sql.BinOp, lv, rv types.Datum) (types.Datum, error) {
+	if lv == nil || rv == nil {
+		return nil, nil
+	}
+	switch op {
+	case sql.OpEq:
+		return types.Compare(lv, rv) == 0, nil
+	case sql.OpNe:
+		return types.Compare(lv, rv) != 0, nil
+	case sql.OpLt:
+		return types.Compare(lv, rv) < 0, nil
+	case sql.OpLe:
+		return types.Compare(lv, rv) <= 0, nil
+	case sql.OpGt:
+		return types.Compare(lv, rv) > 0, nil
+	case sql.OpGe:
+		return types.Compare(lv, rv) >= 0, nil
+	case sql.OpConcat:
+		return types.Format(lv) + types.Format(rv), nil
+	case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv, sql.OpMod:
+		return arith(op, lv, rv)
+	case sql.OpJSONGet, sql.OpJSONGetTxt:
+		return jsonNav(op, lv, rv)
+	case sql.OpJSONContains:
+		lj, ok1 := lv.(jsonb.Value)
+		rj, ok2 := rv.(jsonb.Value)
+		if !ok1 || !ok2 {
+			return nil, errors.New("@> requires jsonb operands")
+		}
+		return lj.Contains(rj), nil
+	}
+	return nil, fmt.Errorf("unsupported operator %d", op)
+}
+
+func arith(op sql.BinOp, lv, rv types.Datum) (types.Datum, error) {
+	li, lIsInt := lv.(int64)
+	ri, rIsInt := rv.(int64)
+	if lIsInt && rIsInt {
+		switch op {
+		case sql.OpAdd:
+			return li + ri, nil
+		case sql.OpSub:
+			return li - ri, nil
+		case sql.OpMul:
+			return li * ri, nil
+		case sql.OpDiv:
+			if ri == 0 {
+				return nil, errors.New("division by zero")
+			}
+			return li / ri, nil
+		case sql.OpMod:
+			if ri == 0 {
+				return nil, errors.New("division by zero")
+			}
+			return li % ri, nil
+		}
+	}
+	lf, err := toFloat(lv)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := toFloat(rv)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case sql.OpAdd:
+		return lf + rf, nil
+	case sql.OpSub:
+		return lf - rf, nil
+	case sql.OpMul:
+		return lf * rf, nil
+	case sql.OpDiv:
+		if rf == 0 {
+			return nil, errors.New("division by zero")
+		}
+		return lf / rf, nil
+	case sql.OpMod:
+		if rf == 0 {
+			return nil, errors.New("division by zero")
+		}
+		return float64(int64(lf) % int64(rf)), nil
+	}
+	return nil, fmt.Errorf("unsupported arithmetic operator")
+}
+
+func toFloat(d types.Datum) (float64, error) {
+	switch v := d.(type) {
+	case int64:
+		return float64(v), nil
+	case float64:
+		return v, nil
+	case jsonb.Value:
+		if f, ok := v.Number(); ok {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("expected a number, got %s", types.TypeOf(d))
+}
+
+func jsonNav(op sql.BinOp, lv, rv types.Datum) (types.Datum, error) {
+	doc, ok := lv.(jsonb.Value)
+	if !ok {
+		// allow navigation into a JSON text column
+		if s, isStr := lv.(string); isStr {
+			parsed, err := jsonb.Parse(s)
+			if err != nil {
+				return nil, fmt.Errorf("-> left operand is not jsonb")
+			}
+			doc = parsed
+		} else {
+			return nil, fmt.Errorf("-> left operand is not jsonb")
+		}
+	}
+	var child jsonb.Value
+	var found bool
+	switch key := rv.(type) {
+	case string:
+		child, found = doc.Get(key)
+	case int64:
+		child, found = doc.Index(int(key))
+	default:
+		return nil, fmt.Errorf("-> key must be text or integer")
+	}
+	if !found {
+		return nil, nil
+	}
+	if op == sql.OpJSONGet {
+		return child, nil
+	}
+	text, ok := child.Text()
+	if !ok {
+		return nil, nil
+	}
+	return text, nil
+}
+
+func compileCase(n *sql.CaseExpr, r Resolver) (Evaluator, error) {
+	var operand Evaluator
+	var err error
+	if n.Operand != nil {
+		operand, err = Compile(n.Operand, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type arm struct{ when, then Evaluator }
+	arms := make([]arm, len(n.Whens))
+	for i, w := range n.Whens {
+		arms[i].when, err = Compile(w.When, r)
+		if err != nil {
+			return nil, err
+		}
+		arms[i].then, err = Compile(w.Then, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var elseEv Evaluator
+	if n.Else != nil {
+		elseEv, err = Compile(n.Else, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func(c *Ctx) (types.Datum, error) {
+		var opv types.Datum
+		if operand != nil {
+			v, err := operand(c)
+			if err != nil {
+				return nil, err
+			}
+			opv = v
+		}
+		for _, a := range arms {
+			wv, err := a.when(c)
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			if operand != nil {
+				matched = opv != nil && wv != nil && types.Compare(opv, wv) == 0
+			} else if b, ok := wv.(bool); ok {
+				matched = b
+			}
+			if matched {
+				return a.then(c)
+			}
+		}
+		if elseEv != nil {
+			return elseEv(c)
+		}
+		return nil, nil
+	}, nil
+}
+
+func compileIn(n *sql.InExpr, r Resolver) (Evaluator, error) {
+	ev, err := Compile(n.E, r)
+	if err != nil {
+		return nil, err
+	}
+	not := n.Not
+	if n.Subquery != nil {
+		sel := n.Subquery
+		return func(c *Ctx) (types.Datum, error) {
+			v, err := ev(c)
+			if err != nil || v == nil {
+				return nil, err
+			}
+			rows, err := c.runSubquery(sel)
+			if err != nil {
+				return nil, err
+			}
+			sawNull := false
+			for _, row := range rows {
+				if len(row) != 1 {
+					return nil, errors.New("subquery in IN must return one column")
+				}
+				if row[0] == nil {
+					sawNull = true
+					continue
+				}
+				if types.Compare(v, row[0]) == 0 {
+					return !not, nil
+				}
+			}
+			if sawNull {
+				return nil, nil
+			}
+			return not, nil
+		}, nil
+	}
+	items := make([]Evaluator, len(n.List))
+	for i, item := range n.List {
+		items[i], err = Compile(item, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func(c *Ctx) (types.Datum, error) {
+		v, err := ev(c)
+		if err != nil || v == nil {
+			return nil, err
+		}
+		sawNull := false
+		for _, item := range items {
+			iv, err := item(c)
+			if err != nil {
+				return nil, err
+			}
+			if iv == nil {
+				sawNull = true
+				continue
+			}
+			if types.Compare(v, iv) == 0 {
+				return !not, nil
+			}
+		}
+		if sawNull {
+			return nil, nil
+		}
+		return not, nil
+	}, nil
+}
+
+func compileCast(n *sql.CastExpr, r Resolver) (Evaluator, error) {
+	sub, err := Compile(n.E, r)
+	if err != nil {
+		return nil, err
+	}
+	to := n.To
+	return func(c *Ctx) (types.Datum, error) {
+		v, err := sub(c)
+		if err != nil || v == nil {
+			return nil, err
+		}
+		return CastDatum(v, to)
+	}, nil
+}
+
+// CastDatum converts v to the target type, handling the JSONB casts that
+// package types cannot (it would create an import cycle).
+func CastDatum(v types.Datum, to types.Type) (types.Datum, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch to {
+	case types.JSONB:
+		switch t := v.(type) {
+		case jsonb.Value:
+			return t, nil
+		case string:
+			return jsonb.Parse(t)
+		default:
+			return jsonb.FromGo(v), nil
+		}
+	case types.Text:
+		if j, ok := v.(jsonb.Value); ok {
+			return j.String(), nil
+		}
+	case types.Int, types.Float:
+		if j, ok := v.(jsonb.Value); ok {
+			f, isNum := j.Number()
+			if !isNum {
+				return nil, errors.New("cannot cast non-numeric jsonb to number")
+			}
+			if to == types.Int {
+				return int64(f), nil
+			}
+			return f, nil
+		}
+	}
+	return types.CoerceTo(v, to)
+}
+
+// MatchLike implements SQL LIKE matching (% = any run, _ = any single
+// byte) with iterative backtracking.
+func MatchLike(s, pattern string) bool {
+	var si, pi int
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star != -1:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

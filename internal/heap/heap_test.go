@@ -1,0 +1,207 @@
+package heap
+
+import (
+	"testing"
+
+	"citusgo/internal/txn"
+	"citusgo/internal/types"
+)
+
+func TestInsertAndScanVisibility(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+
+	t1 := mgr.Begin()
+	tbl.Insert(t1.XID, types.Row{int64(1), "one"})
+
+	// invisible to others before commit
+	snap := mgr.TakeSnapshot(nil)
+	count := 0
+	tbl.Scan(mgr, snap, func(TID, types.Row) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("uncommitted insert visible")
+	}
+	// visible to itself
+	selfSnap := mgr.TakeSnapshot(t1)
+	tbl.Scan(mgr, selfSnap, func(TID, types.Row) bool { count++; return true })
+	if count != 1 {
+		t.Fatal("own insert invisible")
+	}
+	_ = mgr.Commit(t1)
+	count = 0
+	tbl.Scan(mgr, mgr.TakeSnapshot(nil), func(TID, types.Row) bool { count++; return true })
+	if count != 1 {
+		t.Fatal("committed insert invisible")
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+	t1 := mgr.Begin()
+	tid := tbl.Insert(t1.XID, types.Row{int64(1)})
+	_ = mgr.Commit(t1)
+
+	t2 := mgr.Begin()
+	tbl.MarkDeleted(tid, t2.XID, NilTID)
+	// deleter no longer sees it; others still do
+	if visibleCount(tbl, mgr, mgr.TakeSnapshot(t2)) != 0 {
+		t.Fatal("deleter still sees deleted row")
+	}
+	if visibleCount(tbl, mgr, mgr.TakeSnapshot(nil)) != 1 {
+		t.Fatal("concurrent snapshot must still see the row")
+	}
+	_ = mgr.Commit(t2)
+	if visibleCount(tbl, mgr, mgr.TakeSnapshot(nil)) != 0 {
+		t.Fatal("deleted row visible after commit")
+	}
+}
+
+func TestAbortedDeleteStaysVisible(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+	t1 := mgr.Begin()
+	tid := tbl.Insert(t1.XID, types.Row{int64(1)})
+	_ = mgr.Commit(t1)
+
+	t2 := mgr.Begin()
+	tbl.MarkDeleted(tid, t2.XID, NilTID)
+	mgr.Abort(t2)
+	if visibleCount(tbl, mgr, mgr.TakeSnapshot(nil)) != 1 {
+		t.Fatal("row deleted by an aborted transaction must stay visible")
+	}
+}
+
+func TestUpdateChain(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+	t1 := mgr.Begin()
+	v1 := tbl.Insert(t1.XID, types.Row{int64(1), "v1"})
+	_ = mgr.Commit(t1)
+
+	t2 := mgr.Begin()
+	v2 := tbl.Insert(t2.XID, types.Row{int64(1), "v2"})
+	tbl.MarkDeleted(v1, t2.XID, v2)
+	_ = mgr.Commit(t2)
+
+	latestTID, tup, ok := tbl.LatestVersion(v1)
+	if !ok || latestTID != v2 || tup.Row[1] != "v2" {
+		t.Fatalf("chain: tid=%d ok=%v", latestTID, ok)
+	}
+	// only the new version is visible
+	if visibleCount(tbl, mgr, mgr.TakeSnapshot(nil)) != 1 {
+		t.Fatal("expected exactly one visible version")
+	}
+}
+
+func TestVacuumReclaims(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+	var lastTID TID
+	t1 := mgr.Begin()
+	lastTID = tbl.Insert(t1.XID, types.Row{int64(0)})
+	_ = mgr.Commit(t1)
+	for i := 0; i < 5; i++ {
+		tn := mgr.Begin()
+		newTID := tbl.Insert(tn.XID, types.Row{int64(i + 1)})
+		tbl.MarkDeleted(lastTID, tn.XID, newTID)
+		lastTID = newTID
+		_ = mgr.Commit(tn)
+	}
+	reclaimed := tbl.Vacuum(mgr, mgr.GlobalXmin())
+	if len(reclaimed) != 5 {
+		t.Fatalf("reclaimed %d, want 5", len(reclaimed))
+	}
+	for _, vt := range reclaimed {
+		if vt.Row == nil {
+			t.Fatal("vacuum must report the row image for index cleanup")
+		}
+	}
+	if visibleCount(tbl, mgr, mgr.TakeSnapshot(nil)) != 1 {
+		t.Fatal("live row lost by vacuum")
+	}
+	if tbl.EstimatedRows() != 1 {
+		t.Fatalf("estimate = %d", tbl.EstimatedRows())
+	}
+	// vacuum is idempotent
+	if again := tbl.Vacuum(mgr, mgr.GlobalXmin()); len(again) != 0 {
+		t.Fatalf("second vacuum reclaimed %d", len(again))
+	}
+}
+
+func TestVacuumRespectsHorizon(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+	t1 := mgr.Begin()
+	tid := tbl.Insert(t1.XID, types.Row{int64(1)})
+	_ = mgr.Commit(t1)
+
+	// an old reader is still running
+	oldReader := mgr.Begin()
+	t2 := mgr.Begin()
+	tbl.MarkDeleted(tid, t2.XID, NilTID)
+	_ = mgr.Commit(t2)
+
+	if reclaimed := tbl.Vacuum(mgr, mgr.GlobalXmin()); len(reclaimed) != 0 {
+		t.Fatal("vacuum reclaimed a version an old snapshot may need")
+	}
+	_ = mgr.Commit(oldReader)
+	if reclaimed := tbl.Vacuum(mgr, mgr.GlobalXmin()); len(reclaimed) != 1 {
+		t.Fatal("vacuum should reclaim after the old reader finished")
+	}
+}
+
+func TestAbortedInsertVacuumed(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+	t1 := mgr.Begin()
+	tbl.Insert(t1.XID, types.Row{int64(1)})
+	mgr.Abort(t1)
+	if reclaimed := tbl.Vacuum(mgr, mgr.GlobalXmin()); len(reclaimed) != 1 {
+		t.Fatalf("aborted insert not reclaimed: %d", len(reclaimed))
+	}
+}
+
+func TestTIDAddressing(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+	t1 := mgr.Begin()
+	var tids []TID
+	for i := 0; i < TuplesPerPage*3+5; i++ {
+		tids = append(tids, tbl.Insert(t1.XID, types.Row{int64(i)}))
+	}
+	_ = mgr.Commit(t1)
+	if tbl.NumPages() != 4 {
+		t.Fatalf("pages = %d", tbl.NumPages())
+	}
+	for i, tid := range tids {
+		tup, ok := tbl.Get(tid)
+		if !ok || tup.Row[0].(int64) != int64(i) {
+			t.Fatalf("get(%d) = %v, %v", tid, tup, ok)
+		}
+	}
+	if _, ok := tbl.Get(TID(999999)); ok {
+		t.Fatal("out-of-range TID resolved")
+	}
+	if _, ok := tbl.Get(NilTID); ok {
+		t.Fatal("nil TID resolved")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := NewTable(1, nil)
+	t1 := mgr.Begin()
+	tbl.Insert(t1.XID, types.Row{int64(1)})
+	_ = mgr.Commit(t1)
+	tbl.Truncate()
+	if visibleCount(tbl, mgr, mgr.TakeSnapshot(nil)) != 0 || tbl.EstimatedRows() != 0 {
+		t.Fatal("truncate left data")
+	}
+}
+
+func visibleCount(tbl *Table, mgr *txn.Manager, snap txn.Snapshot) int {
+	count := 0
+	tbl.Scan(mgr, snap, func(TID, types.Row) bool { count++; return true })
+	return count
+}

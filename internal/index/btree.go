@@ -1,0 +1,298 @@
+// Package index implements the two index access methods the engine
+// supports: a B+tree for key lookups and range scans (primary keys,
+// secondary btree indexes) and a GIN trigram index for substring search
+// over text, the structure the paper's real-time analytics benchmark
+// depends on (pg_trgm GIN index over JSON commit messages).
+package index
+
+import (
+	"sync"
+
+	"citusgo/internal/heap"
+	"citusgo/internal/types"
+)
+
+// Key is a composite index key.
+type Key = []types.Datum
+
+// CompareKeys orders composite keys lexicographically. A shorter key that
+// is a prefix of a longer one sorts first, which makes prefix scans a plain
+// range scan starting at the prefix itself.
+func CompareKeys(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := types.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// HasPrefix reports whether key starts with prefix under Compare equality.
+func HasPrefix(key, prefix Key) bool {
+	if len(prefix) > len(key) {
+		return false
+	}
+	for i := range prefix {
+		if types.Compare(key[i], prefix[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+const btreeFanout = 64
+
+type btreeLeaf struct {
+	keys []Key
+	vals [][]heap.TID
+	next *btreeLeaf
+}
+
+type btreeInner struct {
+	// children[i] covers keys < keys[i]; children[len(keys)] covers the rest
+	keys     []Key
+	children []any // *btreeInner or *btreeLeaf
+}
+
+// BTree is a concurrency-safe B+tree mapping composite keys to posting
+// lists of tuple ids.
+type BTree struct {
+	mu      sync.RWMutex
+	root    any // *btreeInner or *btreeLeaf
+	entries int
+}
+
+// NewBTree creates an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btreeLeaf{}}
+}
+
+// Len returns the number of (key, tid) entries.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.entries
+}
+
+// Insert adds tid under key.
+func (t *BTree) Insert(key Key, tid heap.TID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	newKey, newChild := t.insert(t.root, key, tid)
+	if newChild != nil {
+		t.root = &btreeInner{keys: []Key{newKey}, children: []any{t.root, newChild}}
+	}
+}
+
+// insert descends into node; on split it returns the separator key and the
+// new right sibling.
+func (t *BTree) insert(node any, key Key, tid heap.TID) (Key, any) {
+	switch n := node.(type) {
+	case *btreeLeaf:
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && CompareKeys(n.keys[i], key) == 0 {
+			n.vals[i] = append(n.vals[i], tid)
+			t.entries++
+			return nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		n.vals = append(n.vals, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = []heap.TID{tid}
+		t.entries++
+		if len(n.keys) <= btreeFanout {
+			return nil, nil
+		}
+		mid := len(n.keys) / 2
+		right := &btreeLeaf{
+			keys: append([]Key(nil), n.keys[mid:]...),
+			vals: append([][]heap.TID(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right.keys[0], right
+	case *btreeInner:
+		i := upperBound(n.keys, key)
+		sepKey, newChild := t.insert(n.children[i], key, tid)
+		if newChild == nil {
+			return nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		n.children = append(n.children, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.children[i+2:], n.children[i+1:])
+		n.keys[i] = sepKey
+		n.children[i+1] = newChild
+		if len(n.keys) <= btreeFanout {
+			return nil, nil
+		}
+		mid := len(n.keys) / 2
+		right := &btreeInner{
+			keys:     append([]Key(nil), n.keys[mid+1:]...),
+			children: append([]any(nil), n.children[mid+1:]...),
+		}
+		sep := n.keys[mid]
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+		return sep, right
+	}
+	return nil, nil
+}
+
+// lowerBound returns the first index with keys[i] >= key.
+func lowerBound(keys []Key, key Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the child slot for descending: first index with
+// keys[i] > key, so equal keys go right (B+tree convention with left-open
+// separators).
+func upperBound(keys []Key, key Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Remove deletes one (key, tid) entry. Underfull nodes are not rebalanced —
+// vacuum-driven deletion tolerates sparse leaves, as PostgreSQL's btree
+// does between index vacuums.
+func (t *BTree) Remove(key Key, tid heap.TID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf := t.findLeaf(key)
+	i := lowerBound(leaf.keys, key)
+	if i >= len(leaf.keys) || CompareKeys(leaf.keys[i], key) != 0 {
+		return false
+	}
+	vals := leaf.vals[i]
+	for j, v := range vals {
+		if v == tid {
+			leaf.vals[i] = append(vals[:j], vals[j+1:]...)
+			t.entries--
+			if len(leaf.vals[i]) == 0 {
+				leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+				leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (t *BTree) findLeaf(key Key) *btreeLeaf {
+	node := t.root
+	for {
+		switch n := node.(type) {
+		case *btreeLeaf:
+			return n
+		case *btreeInner:
+			node = n.children[upperBound(n.keys, key)]
+		}
+	}
+}
+
+// SearchEqual returns the posting list for an exact key.
+func (t *BTree) SearchEqual(key Key) []heap.TID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(key)
+	i := lowerBound(leaf.keys, key)
+	if i < len(leaf.keys) && CompareKeys(leaf.keys[i], key) == 0 {
+		return append([]heap.TID(nil), leaf.vals[i]...)
+	}
+	return nil
+}
+
+// Range visits entries with lo <= key <= hi in key order (nil bounds are
+// unbounded; set loIncl/hiIncl for open bounds). fn returning false stops.
+func (t *BTree) Range(lo, hi Key, loIncl, hiIncl bool, fn func(key Key, tids []heap.TID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var leaf *btreeLeaf
+	var i int
+	if lo == nil {
+		leaf = t.leftmostLeaf()
+		i = 0
+	} else {
+		leaf = t.findLeaf(lo)
+		i = lowerBound(leaf.keys, lo)
+	}
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			k := leaf.keys[i]
+			if lo != nil && !loIncl && CompareKeys(k, lo) == 0 {
+				continue
+			}
+			if hi != nil {
+				c := CompareKeys(k, hi)
+				// allow longer keys matching the prefix when hiIncl: a
+				// composite key (7, 3) is "equal" to prefix bound (7) for
+				// prefix scans
+				if c > 0 && !(hiIncl && HasPrefix(k, hi)) {
+					return
+				}
+				if c == 0 && !hiIncl {
+					return
+				}
+			}
+			if !fn(k, leaf.vals[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		i = 0
+	}
+}
+
+func (t *BTree) leftmostLeaf() *btreeLeaf {
+	node := t.root
+	for {
+		switch n := node.(type) {
+		case *btreeLeaf:
+			return n
+		case *btreeInner:
+			node = n.children[0]
+		}
+	}
+}
+
+// SearchPrefix visits all entries whose key starts with prefix.
+func (t *BTree) SearchPrefix(prefix Key, fn func(key Key, tids []heap.TID) bool) {
+	t.Range(prefix, prefix, true, true, func(k Key, tids []heap.TID) bool {
+		if !HasPrefix(k, prefix) {
+			return false
+		}
+		return fn(k, tids)
+	})
+}

@@ -1,0 +1,156 @@
+package index
+
+import (
+	"strings"
+	"sync"
+
+	"citusgo/internal/heap"
+)
+
+// GIN is a trigram inverted index over a text expression, the equivalent of
+// a pg_trgm GIN index. It answers [I]LIKE '%substring%' queries by
+// intersecting the posting lists of the pattern's trigrams; matches must be
+// rechecked against the heap (lossy, exactly like the real thing).
+type GIN struct {
+	mu      sync.RWMutex
+	posting map[string]map[heap.TID]struct{}
+	indexed map[heap.TID]string // remembered text for removal
+}
+
+// NewGIN creates an empty trigram index.
+func NewGIN() *GIN {
+	return &GIN{
+		posting: make(map[string]map[heap.TID]struct{}),
+		indexed: make(map[heap.TID]string),
+	}
+}
+
+// Trigrams extracts the lower-cased trigram set of s using pg_trgm's
+// padding convention (two leading and one trailing space per word).
+func Trigrams(s string) []string {
+	seen := make(map[string]struct{})
+	for _, word := range strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	}) {
+		padded := "  " + word + " "
+		for i := 0; i+3 <= len(padded); i++ {
+			seen[padded[i:i+3]] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Insert indexes text under tid.
+func (g *GIN) Insert(text string, tid heap.TID) {
+	grams := Trigrams(text)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.indexed[tid] = text
+	for _, gram := range grams {
+		set, ok := g.posting[gram]
+		if !ok {
+			set = make(map[heap.TID]struct{})
+			g.posting[gram] = set
+		}
+		set[tid] = struct{}{}
+	}
+}
+
+// Remove drops tid from the index.
+func (g *GIN) Remove(tid heap.TID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	text, ok := g.indexed[tid]
+	if !ok {
+		return
+	}
+	delete(g.indexed, tid)
+	for _, gram := range Trigrams(text) {
+		if set := g.posting[gram]; set != nil {
+			delete(set, tid)
+			if len(set) == 0 {
+				delete(g.posting, gram)
+			}
+		}
+	}
+}
+
+// Len returns the number of indexed tuples.
+func (g *GIN) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.indexed)
+}
+
+// patternTrigrams extracts searchable trigrams from the literal runs of a
+// LIKE pattern (%, _ are wildcards). Runs shorter than 3 characters yield
+// no trigrams.
+func patternTrigrams(pattern string) []string {
+	var grams []string
+	for _, run := range strings.FieldsFunc(pattern, func(r rune) bool {
+		return r == '%' || r == '_'
+	}) {
+		if len(run) < 3 {
+			continue
+		}
+		// interior trigrams only: the run may start/end mid-word, so padded
+		// boundary trigrams would be wrong
+		lower := strings.ToLower(run)
+		for i := 0; i+3 <= len(lower); i++ {
+			gram := lower[i : i+3]
+			ok := true
+			for j := 0; j < 3; j++ {
+				c := gram[j]
+				if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9') {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				grams = append(grams, gram)
+			}
+		}
+	}
+	return grams
+}
+
+// Search returns candidate TIDs for a LIKE pattern by intersecting trigram
+// posting lists. usable=false means the pattern has no extractable trigrams
+// and the caller must fall back to a sequential scan.
+func (g *GIN) Search(pattern string) (candidates []heap.TID, usable bool) {
+	grams := patternTrigrams(pattern)
+	if len(grams) == 0 {
+		return nil, false
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	// intersect starting from the rarest posting list
+	smallest := -1
+	for i, gram := range grams {
+		set, ok := g.posting[gram]
+		if !ok {
+			return nil, true // some trigram absent: no matches at all
+		}
+		if smallest == -1 || len(set) < len(g.posting[grams[smallest]]) {
+			smallest = i
+			_ = set
+		}
+	}
+	for tid := range g.posting[grams[smallest]] {
+		all := true
+		for _, gram := range grams {
+			if _, ok := g.posting[gram][tid]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			candidates = append(candidates, tid)
+		}
+	}
+	return candidates, true
+}

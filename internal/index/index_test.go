@@ -1,0 +1,311 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"citusgo/internal/heap"
+	"citusgo/internal/types"
+)
+
+func TestBTreeBasicOperations(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 1000; i++ {
+		bt.Insert(Key{int64(i)}, heap.TID(i))
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if got := bt.SearchEqual(Key{int64(437)}); len(got) != 1 || got[0] != 437 {
+		t.Fatalf("search: %v", got)
+	}
+	if got := bt.SearchEqual(Key{int64(5000)}); got != nil {
+		t.Fatalf("absent key found: %v", got)
+	}
+	if !bt.Remove(Key{int64(437)}, 437) {
+		t.Fatal("remove failed")
+	}
+	if got := bt.SearchEqual(Key{int64(437)}); got != nil {
+		t.Fatal("removed key still present")
+	}
+	if bt.Remove(Key{int64(437)}, 437) {
+		t.Fatal("double remove should fail")
+	}
+}
+
+func TestBTreeDuplicateKeys(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 10; i++ {
+		bt.Insert(Key{"same"}, heap.TID(i))
+	}
+	got := bt.SearchEqual(Key{"same"})
+	if len(got) != 10 {
+		t.Fatalf("want 10 postings, got %d", len(got))
+	}
+	bt.Remove(Key{"same"}, 3)
+	if got := bt.SearchEqual(Key{"same"}); len(got) != 9 {
+		t.Fatalf("want 9 postings after remove, got %d", len(got))
+	}
+}
+
+func TestBTreeRangeScan(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 500; i += 2 { // even keys only
+		bt.Insert(Key{int64(i)}, heap.TID(i))
+	}
+	var got []int64
+	bt.Range(Key{int64(100)}, Key{int64(110)}, true, true, func(k Key, tids []heap.TID) bool {
+		got = append(got, k[0].(int64))
+		return true
+	})
+	want := []int64{100, 102, 104, 106, 108, 110}
+	if len(got) != len(want) {
+		t.Fatalf("range: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range order: %v", got)
+		}
+	}
+	// exclusive bounds
+	got = got[:0]
+	bt.Range(Key{int64(100)}, Key{int64(110)}, false, false, func(k Key, _ []heap.TID) bool {
+		got = append(got, k[0].(int64))
+		return true
+	})
+	if len(got) != 4 || got[0] != 102 || got[3] != 108 {
+		t.Fatalf("exclusive range: %v", got)
+	}
+	// unbounded from the left
+	count := 0
+	bt.Range(nil, Key{int64(10)}, true, true, func(Key, []heap.TID) bool {
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Fatalf("left-unbounded count: %d", count)
+	}
+}
+
+func TestBTreeCompositeKeysAndPrefix(t *testing.T) {
+	bt := NewBTree()
+	for w := int64(1); w <= 4; w++ {
+		for d := int64(1); d <= 10; d++ {
+			bt.Insert(Key{w, d}, heap.TID(w*100+d))
+		}
+	}
+	var hits int
+	bt.SearchPrefix(Key{int64(3)}, func(k Key, tids []heap.TID) bool {
+		hits += len(tids)
+		return true
+	})
+	if hits != 10 {
+		t.Fatalf("prefix scan found %d, want 10", hits)
+	}
+	got := bt.SearchEqual(Key{int64(3), int64(7)})
+	if len(got) != 1 || got[0] != 307 {
+		t.Fatalf("composite exact: %v", got)
+	}
+}
+
+// TestBTreeMatchesReferenceModel drives random inserts/removes against a
+// map-based reference and compares ordered iteration.
+func TestBTreeMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bt := NewBTree()
+	ref := map[int64]map[heap.TID]bool{}
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Intn(500))
+		tid := heap.TID(rng.Intn(10))
+		if rng.Float64() < 0.6 {
+			// avoid duplicate (key, tid) pairs: the reference cannot
+			// represent multiplicity
+			if !ref[k][tid] {
+				bt.Insert(Key{k}, tid)
+				if ref[k] == nil {
+					ref[k] = map[heap.TID]bool{}
+				}
+				ref[k][tid] = true
+			}
+		} else {
+			removed := bt.Remove(Key{k}, tid)
+			if removed != ref[k][tid] {
+				t.Fatalf("remove(%d, %d) = %v, reference says %v", k, tid, removed, ref[k][tid])
+			}
+			if removed {
+				delete(ref[k], tid)
+			}
+		}
+	}
+	// full-scan comparison
+	var treeKeys []int64
+	bt.Range(nil, nil, true, true, func(k Key, tids []heap.TID) bool {
+		treeKeys = append(treeKeys, k[0].(int64))
+		want := ref[k[0].(int64)]
+		if len(tids) != len(want) {
+			t.Fatalf("key %v has %d postings, want %d", k, len(tids), len(want))
+		}
+		return true
+	})
+	var refKeys []int64
+	for k, tids := range ref {
+		if len(tids) > 0 {
+			refKeys = append(refKeys, k)
+		}
+	}
+	sort.Slice(refKeys, func(i, j int) bool { return refKeys[i] < refKeys[j] })
+	if len(treeKeys) != len(refKeys) {
+		t.Fatalf("tree has %d keys, reference %d", len(treeKeys), len(refKeys))
+	}
+	for i := range refKeys {
+		if treeKeys[i] != refKeys[i] {
+			t.Fatalf("key order mismatch at %d: %d vs %d", i, treeKeys[i], refKeys[i])
+		}
+	}
+}
+
+func TestCompareKeysProperty(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		k1 := Key{a, s1}
+		k2 := Key{b, s2}
+		return CompareKeys(k1, k2) == -CompareKeys(k2, k1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// prefix sorts first
+	if CompareKeys(Key{int64(1)}, Key{int64(1), int64(0)}) != -1 {
+		t.Fatal("prefix must sort before extension")
+	}
+}
+
+func TestGINSearch(t *testing.T) {
+	g := NewGIN()
+	docs := map[heap.TID]string{
+		1: "fix postgres bug in planner",
+		2: "add feature to executor",
+		3: "postgres performance tuning",
+		4: "documentation updates",
+	}
+	for tid, text := range docs {
+		g.Insert(text, tid)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	cands, usable := g.Search("%postgres%")
+	if !usable {
+		t.Fatal("pattern should be usable")
+	}
+	if len(cands) != 2 {
+		t.Fatalf("candidates: %v", cands)
+	}
+	found := map[heap.TID]bool{}
+	for _, c := range cands {
+		found[c] = true
+	}
+	if !found[1] || !found[3] {
+		t.Fatalf("wrong candidates: %v", cands)
+	}
+
+	// short patterns are unusable (seq scan fallback)
+	if _, usable := g.Search("%ab%"); usable {
+		t.Fatal("2-char pattern must be unusable")
+	}
+	// absent trigram: empty result but usable
+	cands, usable = g.Search("%zzzqqq%")
+	if !usable || len(cands) != 0 {
+		t.Fatalf("absent pattern: %v %v", cands, usable)
+	}
+}
+
+func TestGINRemove(t *testing.T) {
+	g := NewGIN()
+	g.Insert("postgres rocks", 1)
+	g.Insert("postgres rolls", 2)
+	g.Remove(1)
+	cands, _ := g.Search("%postgres%")
+	if len(cands) != 1 || cands[0] != 2 {
+		t.Fatalf("after remove: %v", cands)
+	}
+	g.Remove(99) // removing the unknown is a no-op
+	if g.Len() != 1 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestGINNoFalseNegativesProperty(t *testing.T) {
+	// anything indexed that truly contains the search word must be a
+	// candidate (GIN may over-return — it is lossy — but never under-return)
+	g := NewGIN()
+	texts := []string{
+		"alpha beta gamma", "beta gamma delta", "gamma delta epsilon",
+		"alphabet soup", "the quick brown fox", "lazy dog sleeps",
+	}
+	for i, s := range texts {
+		g.Insert(s, heap.TID(i))
+	}
+	for _, word := range []string{"gamma", "delta", "quick"} {
+		cands, usable := g.Search("%" + word + "%")
+		if !usable {
+			t.Fatalf("word %q unusable", word)
+		}
+		set := map[heap.TID]bool{}
+		for _, c := range cands {
+			set[c] = true
+		}
+		for i, s := range texts {
+			if containsWord(s, word) && !set[heap.TID(i)] {
+				t.Fatalf("false negative: %q should match %q", s, word)
+			}
+		}
+	}
+}
+
+func containsWord(s, w string) bool {
+	return len(s) >= len(w) && (func() bool {
+		for i := 0; i+len(w) <= len(s); i++ {
+			if s[i:i+len(w)] == w {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestTrigramsExtraction(t *testing.T) {
+	grams := Trigrams("Fix Bug")
+	set := map[string]bool{}
+	for _, g := range grams {
+		set[g] = true
+	}
+	// pg_trgm padding: "  fix " yields "  f", " fi", "fix", "ix "
+	for _, want := range []string{"  f", " fi", "fix", "ix ", "  b", "bug"} {
+		if !set[want] {
+			t.Fatalf("missing trigram %q in %v", want, grams)
+		}
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt := NewBTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(Key{int64(i)}, heap.TID(i))
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	bt := NewBTree()
+	for i := 0; i < 100000; i++ {
+		bt.Insert(Key{int64(i)}, heap.TID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.SearchEqual(Key{int64(i % 100000)})
+	}
+}
+
+var _ = types.Format // keep types import for future assertions

@@ -1,0 +1,363 @@
+// Package jsonb implements the JSONB value model and the subset of
+// PostgreSQL's JSONB operators that the workloads in the paper rely on:
+// -> / ->> navigation, jsonb_array_length, jsonb_path_query_array with
+// wildcard array steps, and containment. Values are stored parsed (binary
+// form) rather than as text, matching JSONB rather than JSON semantics.
+package jsonb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a parsed JSONB document. The wrapped value uses the standard
+// encoding/json representation: nil, bool, float64, string, []any,
+// map[string]any.
+type Value struct {
+	v any
+}
+
+// IsJSONB marks Value as the JSONB datum for package types.
+func (Value) IsJSONB() {}
+
+// Parse parses a JSON document into a Value.
+func Parse(s string) (Value, error) {
+	var v any
+	dec := json.NewDecoder(strings.NewReader(s))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return Value{}, fmt.Errorf("invalid jsonb: %w", err)
+	}
+	return Value{v: normalize(v)}, nil
+}
+
+// MustParse parses s and panics on error. For tests and generators.
+func MustParse(s string) Value {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FromGo wraps a Go value (maps, slices, strings, numbers, bools) as JSONB.
+func FromGo(v any) Value { return Value{v: normalize(v)} }
+
+func normalize(v any) any {
+	switch t := v.(type) {
+	case json.Number:
+		if f, err := t.Float64(); err == nil {
+			return f
+		}
+		return t.String()
+	case int:
+		return float64(t)
+	case int64:
+		return float64(t)
+	case []any:
+		for i := range t {
+			t[i] = normalize(t[i])
+		}
+		return t
+	case map[string]any:
+		for k := range t {
+			t[k] = normalize(t[k])
+		}
+		return t
+	default:
+		return v
+	}
+}
+
+// String renders the value as compact JSON with sorted object keys, which
+// makes output deterministic (JSONB, like in PostgreSQL, does not preserve
+// key order).
+func (j Value) String() string {
+	var sb strings.Builder
+	writeJSON(&sb, j.v)
+	return sb.String()
+}
+
+func writeJSON(sb *strings.Builder, v any) {
+	switch t := v.(type) {
+	case nil:
+		sb.WriteString("null")
+	case bool:
+		if t {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case float64:
+		if t == math.Trunc(t) && math.Abs(t) < 1e15 {
+			sb.WriteString(strconv.FormatInt(int64(t), 10))
+		} else {
+			sb.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+		}
+	case string:
+		b, _ := json.Marshal(t)
+		sb.Write(b)
+	case []any:
+		sb.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeJSON(sb, e)
+		}
+		sb.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			b, _ := json.Marshal(k)
+			sb.Write(b)
+			sb.WriteString(": ")
+			writeJSON(sb, t[k])
+		}
+		sb.WriteByte('}')
+	default:
+		sb.WriteString(fmt.Sprintf("%v", t))
+	}
+}
+
+// GobEncode serializes the document as JSON text (wire protocol transport).
+func (j Value) GobEncode() ([]byte, error) { return []byte(j.String()), nil }
+
+// GobDecode parses the JSON text form.
+func (j *Value) GobDecode(b []byte) error {
+	v, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*j = v
+	return nil
+}
+
+// IsNull reports whether the document is JSON null.
+func (j Value) IsNull() bool { return j.v == nil }
+
+// Get implements the -> operator with a text key: object field access.
+// Returns ok=false when the field is absent or the value is not an object.
+func (j Value) Get(key string) (Value, bool) {
+	obj, ok := j.v.(map[string]any)
+	if !ok {
+		return Value{}, false
+	}
+	v, ok := obj[key]
+	if !ok {
+		return Value{}, false
+	}
+	return Value{v: v}, true
+}
+
+// Index implements the -> operator with an integer key: array element
+// access. Negative indexes count from the end, as in PostgreSQL.
+func (j Value) Index(i int) (Value, bool) {
+	arr, ok := j.v.([]any)
+	if !ok {
+		return Value{}, false
+	}
+	if i < 0 {
+		i += len(arr)
+	}
+	if i < 0 || i >= len(arr) {
+		return Value{}, false
+	}
+	return Value{v: arr[i]}, true
+}
+
+// Text implements the ->> operator's final step: scalar values render
+// unquoted, composite values render as JSON text. Returns ok=false for
+// JSON null (which maps to SQL NULL).
+func (j Value) Text() (string, bool) {
+	switch t := j.v.(type) {
+	case nil:
+		return "", false
+	case string:
+		return t, true
+	default:
+		return j.String(), true
+	}
+}
+
+// ArrayLength implements jsonb_array_length.
+func (j Value) ArrayLength() (int, error) {
+	arr, ok := j.v.([]any)
+	if !ok {
+		return 0, fmt.Errorf("cannot get array length of a non-array")
+	}
+	return len(arr), nil
+}
+
+// Number returns the numeric value of a JSON number.
+func (j Value) Number() (float64, bool) {
+	f, ok := j.v.(float64)
+	return f, ok
+}
+
+// PathQueryArray implements a practical subset of
+// jsonb_path_query_array(doc, '$.a.b[*].c'): dotted field steps and [*]
+// wildcard array steps, returning all matches wrapped in a JSON array.
+// This is exactly the shape the paper's GitHub-archive benchmark uses
+// ('$.payload.commits[*].message').
+func (j Value) PathQueryArray(path string) (Value, error) {
+	steps, err := parsePath(path)
+	if err != nil {
+		return Value{}, err
+	}
+	var out []any
+	collectPath(j.v, steps, &out)
+	return Value{v: out}, nil
+}
+
+type pathStep struct {
+	field    string // field access when non-empty
+	wildcard bool   // [*] step
+	index    int    // [n] step when !wildcard and field==""
+}
+
+func parsePath(path string) ([]pathStep, error) {
+	path = strings.TrimSpace(path)
+	if !strings.HasPrefix(path, "$") {
+		return nil, fmt.Errorf("jsonpath must start with $: %q", path)
+	}
+	rest := path[1:]
+	var steps []pathStep
+	for rest != "" {
+		switch {
+		case strings.HasPrefix(rest, "."):
+			rest = rest[1:]
+			end := strings.IndexAny(rest, ".[")
+			if end == -1 {
+				end = len(rest)
+			}
+			name := rest[:end]
+			if name == "" {
+				return nil, fmt.Errorf("empty field step in jsonpath")
+			}
+			steps = append(steps, pathStep{field: name})
+			rest = rest[end:]
+		case strings.HasPrefix(rest, "[*]"):
+			steps = append(steps, pathStep{wildcard: true})
+			rest = rest[3:]
+		case strings.HasPrefix(rest, "["):
+			end := strings.Index(rest, "]")
+			if end == -1 {
+				return nil, fmt.Errorf("unterminated [ in jsonpath")
+			}
+			n, err := strconv.Atoi(rest[1:end])
+			if err != nil {
+				return nil, fmt.Errorf("bad array index in jsonpath: %w", err)
+			}
+			steps = append(steps, pathStep{index: n})
+			rest = rest[end+1:]
+		default:
+			return nil, fmt.Errorf("unexpected jsonpath syntax near %q", rest)
+		}
+	}
+	return steps, nil
+}
+
+func collectPath(v any, steps []pathStep, out *[]any) {
+	if len(steps) == 0 {
+		*out = append(*out, v)
+		return
+	}
+	step := steps[0]
+	switch {
+	case step.field != "":
+		if obj, ok := v.(map[string]any); ok {
+			if child, ok := obj[step.field]; ok {
+				collectPath(child, steps[1:], out)
+			}
+		}
+	case step.wildcard:
+		if arr, ok := v.([]any); ok {
+			for _, e := range arr {
+				collectPath(e, steps[1:], out)
+			}
+		}
+	default:
+		if arr, ok := v.([]any); ok {
+			i := step.index
+			if i < 0 {
+				i += len(arr)
+			}
+			if i >= 0 && i < len(arr) {
+				collectPath(arr[i], steps[1:], out)
+			}
+		}
+	}
+}
+
+// Contains implements the @> containment operator: j contains other when
+// every structure in other appears in j (object subset, array element
+// subset, scalar equality).
+func (j Value) Contains(other Value) bool { return contains(j.v, other.v) }
+
+func contains(a, b any) bool {
+	switch bt := b.(type) {
+	case map[string]any:
+		at, ok := a.(map[string]any)
+		if !ok {
+			return false
+		}
+		for k, bv := range bt {
+			av, ok := at[k]
+			if !ok || !contains(av, bv) {
+				return false
+			}
+		}
+		return true
+	case []any:
+		at, ok := a.([]any)
+		if !ok {
+			return false
+		}
+		for _, bv := range bt {
+			found := false
+			for _, av := range at {
+				if contains(av, bv) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	default:
+		return equalScalar(a, b)
+	}
+}
+
+func equalScalar(a, b any) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch at := a.(type) {
+	case float64:
+		bf, ok := b.(float64)
+		return ok && at == bf
+	case string:
+		bs, ok := b.(string)
+		return ok && at == bs
+	case bool:
+		bb, ok := b.(bool)
+		return ok && at == bb
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+// Package lock implements the per-node lock manager: exclusive row and
+// table locks with FIFO queueing, a waits-for graph, and cycle detection.
+// The waits-for graph is what the distributed deadlock detector polls from
+// every worker node (paper §3.7.3): each node reports "process a waits for
+// process b" edges, and the coordinator merges nodes that belong to the same
+// distributed transaction.
+package lock
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrAborted is returned from Acquire when the waiting transaction was
+// aborted (e.g. chosen as a deadlock victim).
+var ErrAborted = errors.New("canceling statement due to deadlock or abort")
+
+// Key identifies a lockable object.
+type Key struct {
+	Table int64
+	Tuple int64 // -1 locks the whole table (DDL); otherwise a tuple id
+}
+
+// TableKey returns the whole-table lock key for a table.
+func TableKey(table int64) Key { return Key{Table: table, Tuple: -1} }
+
+// Edge is one waits-for edge: Waiter is blocked on a lock held (or queued
+// ahead) by Holder.
+type Edge struct {
+	Waiter uint64
+	Holder uint64
+}
+
+type waiter struct {
+	txn   uint64
+	ready chan struct{}
+}
+
+type lockState struct {
+	owner uint64
+	queue []*waiter
+}
+
+// Manager is a node-local lock manager.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[Key]*lockState
+	owned map[uint64]map[Key]struct{}
+}
+
+// NewManager creates an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks: make(map[Key]*lockState),
+		owned: make(map[uint64]map[Key]struct{}),
+	}
+}
+
+// Acquire takes the exclusive lock on key for txn, blocking until granted.
+// It is re-entrant for the same transaction. abort (may be nil) aborts the
+// wait when closed — the engine closes it when the transaction is chosen as
+// a deadlock victim.
+func (m *Manager) Acquire(ctx context.Context, txn uint64, key Key, abort <-chan struct{}) error {
+	m.mu.Lock()
+	ls, ok := m.locks[key]
+	if !ok {
+		ls = &lockState{}
+		m.locks[key] = ls
+	}
+	if ls.owner == txn {
+		m.mu.Unlock()
+		return nil
+	}
+	if ls.owner == 0 && len(ls.queue) == 0 {
+		ls.owner = txn
+		m.noteOwned(txn, key)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{txn: txn, ready: make(chan struct{})}
+	ls.queue = append(ls.queue, w)
+	m.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		m.removeWaiter(key, w)
+		return ctx.Err()
+	case <-abort:
+		m.removeWaiter(key, w)
+		return ErrAborted
+	}
+}
+
+// TryAcquire takes the lock if it is free, without blocking.
+func (m *Manager) TryAcquire(txn uint64, key Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.locks[key]
+	if !ok {
+		ls = &lockState{}
+		m.locks[key] = ls
+	}
+	if ls.owner == txn {
+		return true
+	}
+	if ls.owner == 0 && len(ls.queue) == 0 {
+		ls.owner = txn
+		m.noteOwned(txn, key)
+		return true
+	}
+	return false
+}
+
+// removeWaiter drops w from the queue after a cancelled wait. If the lock
+// was granted concurrently (ready closed), it is released again so the next
+// waiter is not starved.
+func (m *Manager) removeWaiter(key Key, w *waiter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[key]
+	if ls == nil {
+		return
+	}
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+	// Not in queue: the grant raced with the cancel. Hand it on.
+	select {
+	case <-w.ready:
+		if ls.owner == w.txn {
+			m.releaseLocked(key, ls, w.txn)
+		}
+	default:
+	}
+}
+
+func (m *Manager) noteOwned(txn uint64, key Key) {
+	set, ok := m.owned[txn]
+	if !ok {
+		set = make(map[Key]struct{})
+		m.owned[txn] = set
+	}
+	set[key] = struct{}{}
+}
+
+// ReleaseAll releases every lock held by txn (called at commit/abort, like
+// PostgreSQL's lock release at transaction end).
+func (m *Manager) ReleaseAll(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.owned[txn] {
+		if ls := m.locks[key]; ls != nil && ls.owner == txn {
+			m.releaseLocked(key, ls, txn)
+		}
+	}
+	delete(m.owned, txn)
+}
+
+func (m *Manager) releaseLocked(key Key, ls *lockState, txn uint64) {
+	ls.owner = 0
+	for len(ls.queue) > 0 {
+		next := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		ls.owner = next.txn
+		m.noteOwned(next.txn, key)
+		close(next.ready)
+		return
+	}
+	if len(ls.queue) == 0 && ls.owner == 0 {
+		delete(m.locks, key)
+	}
+}
+
+// Edges snapshots the waits-for graph. A queued waiter waits for the owner
+// and for every waiter queued ahead of it (exclusive locks).
+func (m *Manager) Edges() []Edge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var edges []Edge
+	for _, ls := range m.locks {
+		for i, w := range ls.queue {
+			if ls.owner != 0 {
+				edges = append(edges, Edge{Waiter: w.txn, Holder: ls.owner})
+			}
+			for j := 0; j < i; j++ {
+				edges = append(edges, Edge{Waiter: w.txn, Holder: ls.queue[j].txn})
+			}
+		}
+	}
+	return edges
+}
+
+// FindCycle looks for a cycle in a waits-for graph and returns the
+// transactions on one cycle (empty if the graph is acyclic). Exported so
+// both the node-local detector and the distributed detector share it.
+func FindCycle(edges []Edge) []uint64 {
+	adj := make(map[uint64][]uint64)
+	for _, e := range edges {
+		adj[e.Waiter] = append(adj[e.Waiter], e.Holder)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[uint64]int)
+	var stack []uint64
+	var cycle []uint64
+
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		color[u] = gray
+		stack = append(stack, u)
+		for _, v := range adj[u] {
+			switch color[v] {
+			case white:
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// found a cycle: slice from v's position on the stack
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == v {
+						break
+					}
+				}
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+		return false
+	}
+	for u := range adj {
+		if color[u] == white {
+			if dfs(u) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package lock
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAcquireReentrant(t *testing.T) {
+	m := NewManager()
+	key := Key{Table: 1, Tuple: 5}
+	if err := m.Acquire(context.Background(), 10, key, nil); err != nil {
+		t.Fatal(err)
+	}
+	// same transaction re-acquires without blocking
+	done := make(chan struct{})
+	go func() {
+		_ = m.Acquire(context.Background(), 10, key, nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("re-entrant acquire blocked")
+	}
+}
+
+func TestBlockingAndFIFOHandoff(t *testing.T) {
+	m := NewManager()
+	key := Key{Table: 1, Tuple: 1}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Acquire(context.Background(), 1, key, nil))
+
+	order := make(chan uint64, 2)
+	var wg sync.WaitGroup
+	for _, txn := range []uint64{2, 3} {
+		wg.Add(1)
+		txn := txn
+		go func() {
+			defer wg.Done()
+			must(m.Acquire(context.Background(), txn, key, nil))
+			order <- txn
+			time.Sleep(10 * time.Millisecond)
+			m.ReleaseAll(txn)
+		}()
+		time.Sleep(20 * time.Millisecond) // deterministic queue order
+	}
+	m.ReleaseAll(1)
+	wg.Wait()
+	if first := <-order; first != 2 {
+		t.Fatalf("expected FIFO handoff, first was %d", first)
+	}
+}
+
+func TestAbortCancelsWait(t *testing.T) {
+	m := NewManager()
+	key := Key{Table: 1, Tuple: 1}
+	if err := m.Acquire(context.Background(), 1, key, nil); err != nil {
+		t.Fatal(err)
+	}
+	abort := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- m.Acquire(context.Background(), 2, key, abort)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(abort)
+	select {
+	case err := <-errCh:
+		if err != ErrAborted {
+			t.Fatalf("want ErrAborted, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("abort did not cancel the wait")
+	}
+	// the queue entry is gone: release hands to nobody, next acquire works
+	m.ReleaseAll(1)
+	if !m.TryAcquire(3, key) {
+		t.Fatal("lock not free after cancelled waiter")
+	}
+}
+
+func TestContextCancelsWait(t *testing.T) {
+	m := NewManager()
+	key := Key{Table: 2, Tuple: 2}
+	_ = m.Acquire(context.Background(), 1, key, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Acquire(ctx, 2, key, nil); err == nil {
+		t.Fatal("expected context deadline error")
+	}
+}
+
+func TestEdgesReflectWaiters(t *testing.T) {
+	m := NewManager()
+	key := Key{Table: 1, Tuple: 1}
+	_ = m.Acquire(context.Background(), 1, key, nil)
+	go m.Acquire(context.Background(), 2, key, nil)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		m.Acquire(context.Background(), 3, key, nil)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	edges := m.Edges()
+	// 2 waits for 1; 3 waits for 1 and for 2 (queued ahead)
+	if len(edges) != 3 {
+		t.Fatalf("edges: %v", edges)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	m.ReleaseAll(3)
+}
+
+func TestFindCycle(t *testing.T) {
+	if c := FindCycle([]Edge{{2, 3}, {3, 4}, {4, 2}}); len(c) != 3 {
+		t.Fatalf("3-cycle: %v", c)
+	}
+	if c := FindCycle([]Edge{{2, 3}, {3, 4}}); c != nil {
+		t.Fatalf("acyclic graph produced cycle %v", c)
+	}
+	if c := FindCycle(nil); c != nil {
+		t.Fatal("empty graph")
+	}
+	// self-loop (never happens with re-entrant locks, but must not crash)
+	if c := FindCycle([]Edge{{7, 7}}); len(c) != 1 {
+		t.Fatalf("self loop: %v", c)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	m := NewManager()
+	key := Key{Table: 9, Tuple: 9}
+	if !m.TryAcquire(1, key) {
+		t.Fatal("free lock must be acquirable")
+	}
+	if m.TryAcquire(2, key) {
+		t.Fatal("held lock must not be acquirable")
+	}
+	if !m.TryAcquire(1, key) {
+		t.Fatal("re-entrant try must succeed")
+	}
+	m.ReleaseAll(1)
+	if !m.TryAcquire(2, key) {
+		t.Fatal("released lock must be acquirable")
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := NewManager()
+	const workers = 16
+	const iters = 200
+	var counter int64
+	var wg sync.WaitGroup
+	key := TableKey(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(txn uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := txn*1000 + uint64(i)
+				if err := m.Acquire(context.Background(), id, key, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++ // protected by the lock
+				m.ReleaseAll(id)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("mutual exclusion violated: %d != %d", counter, workers*iters)
+	}
+}

@@ -1,0 +1,102 @@
+// Package pool manages cached connections from a coordinating node to a
+// worker node, enforcing the shared per-worker connection limit the
+// adaptive executor relies on (paper §3.6.1): "the executor also keeps
+// track of the total number of connections to each worker node ... to
+// prevent it from exceeding a shared connection limit". The counter is
+// shared by all sessions executing distributed queries on this node.
+package pool
+
+import (
+	"errors"
+	"sync"
+
+	"citusgo/internal/wire"
+)
+
+// Dialer opens a new connection to the pool's node.
+type Dialer func() (*wire.Conn, error)
+
+// ErrLimit is returned by Get when the shared connection limit is reached
+// and no idle connection is available.
+var ErrLimit = errors.New("shared connection limit reached")
+
+// NodePool caches connections to one worker node.
+type NodePool struct {
+	Node string
+
+	dial  Dialer
+	limit int
+
+	mu    sync.Mutex
+	idle  []*wire.Conn
+	total int
+}
+
+// New creates a pool. limit <= 0 means unlimited.
+func New(node string, limit int, dial Dialer) *NodePool {
+	return &NodePool{Node: node, dial: dial, limit: limit}
+}
+
+// Get returns an idle cached connection, or dials a new one if under the
+// shared limit. It never blocks: at the limit it returns ErrLimit, and the
+// adaptive executor queues the task on an existing connection instead.
+func (p *NodePool) Get() (*wire.Conn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	if p.limit > 0 && p.total >= p.limit {
+		p.mu.Unlock()
+		return nil, ErrLimit
+	}
+	p.total++
+	p.mu.Unlock()
+
+	c, err := p.dial()
+	if err != nil {
+		p.mu.Lock()
+		p.total--
+		p.mu.Unlock()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Put returns a connection to the cache for reuse ("Citus caches
+// connections for higher performance", §3.2.1). Connections with open
+// transaction state must not be Put — Discard them instead.
+func (p *NodePool) Put(c *wire.Conn) {
+	p.mu.Lock()
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Discard closes a connection and releases its slot.
+func (p *NodePool) Discard(c *wire.Conn) {
+	_ = c.Close()
+	p.mu.Lock()
+	p.total--
+	p.mu.Unlock()
+}
+
+// Stats reports (total open, idle cached) connections.
+func (p *NodePool) Stats() (total, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total, len(p.idle)
+}
+
+// CloseAll drops all idle connections (shutdown).
+func (p *NodePool) CloseAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.total -= len(idle)
+	p.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+}

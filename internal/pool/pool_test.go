@@ -1,0 +1,89 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/wire"
+)
+
+func newDialer(t *testing.T, dialCount *atomic.Int64) Dialer {
+	t.Helper()
+	e := engine.New(engine.Config{Name: "n"})
+	t.Cleanup(e.Close)
+	return func() (*wire.Conn, error) {
+		dialCount.Add(1)
+		return wire.DialLocal(e, 0), nil
+	}
+}
+
+func TestGetPutReuses(t *testing.T) {
+	var dials atomic.Int64
+	p := New("n", 4, newDialer(t, &dials))
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1)
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("idle connection not reused")
+	}
+	if dials.Load() != 1 {
+		t.Fatalf("dialed %d times", dials.Load())
+	}
+}
+
+func TestSharedLimit(t *testing.T) {
+	var dials atomic.Int64
+	p := New("n", 2, newDialer(t, &dials))
+	c1, _ := p.Get()
+	c2, _ := p.Get()
+	if _, err := p.Get(); !errors.Is(err, ErrLimit) {
+		t.Fatalf("expected ErrLimit, got %v", err)
+	}
+	p.Put(c1)
+	if _, err := p.Get(); err != nil {
+		t.Fatalf("idle conn should satisfy Get at the limit: %v", err)
+	}
+	p.Discard(c2)
+	if _, err := p.Get(); err != nil {
+		t.Fatalf("discard should free a slot: %v", err)
+	}
+}
+
+func TestStatsAndCloseAll(t *testing.T) {
+	var dials atomic.Int64
+	p := New("n", 8, newDialer(t, &dials))
+	c1, _ := p.Get()
+	c2, _ := p.Get()
+	p.Put(c1)
+	total, idle := p.Stats()
+	if total != 2 || idle != 1 {
+		t.Fatalf("stats: total=%d idle=%d", total, idle)
+	}
+	p.CloseAll()
+	total, idle = p.Stats()
+	if total != 1 || idle != 0 {
+		t.Fatalf("after close: total=%d idle=%d", total, idle)
+	}
+	p.Discard(c2)
+	if total, _ := p.Stats(); total != 0 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestUnlimitedPool(t *testing.T) {
+	var dials atomic.Int64
+	p := New("n", 0, newDialer(t, &dials))
+	for i := 0; i < 50; i++ {
+		if _, err := p.Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword // identifier that matched a keyword (normalized upper-case in val)
+	tkNumber
+	tkString
+	tkParam // $n
+	tkOp    // operator/punctuation; val holds the symbol
+)
+
+type token struct {
+	kind tokenKind
+	val  string
+	pos  int
+}
+
+var keywords = map[string]bool{}
+
+func init() {
+	for _, k := range []string{
+		"SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+		"ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "JOIN", "INNER",
+		"LEFT", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "IN", "IS",
+		"NULL", "TRUE", "FALSE", "BETWEEN", "LIKE", "ILIKE", "CASE", "WHEN",
+		"THEN", "ELSE", "END", "EXISTS", "INSERT", "INTO", "VALUES",
+		"UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX", "UNIQUE",
+		"DROP", "IF", "EXISTS", "PRIMARY", "KEY", "DEFAULT", "REFERENCES",
+		"CONSTRAINT", "FOREIGN", "BEGIN", "COMMIT", "ROLLBACK", "ABORT",
+		"PREPARE", "TRANSACTION", "PREPARED", "COPY", "STDIN", "CSV",
+		"EXPLAIN", "VACUUM", "TRUNCATE", "ALTER", "ADD", "COLUMN", "USING",
+		"RETURNING", "CONFLICT", "DO", "NOTHING", "UPDATE", "CALL", "FOR",
+		"WITH", "PRECISION", "DOUBLE", "CHARACTER", "VARYING", "TIME",
+		"ZONE", "WITHOUT", "CAST",
+	} {
+		keywords[k] = true
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src fully up front (queries are short; this keeps the parser
+// simple and allows arbitrary lookahead).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexQuotedIdent(); err != nil {
+				return nil, err
+			}
+		case c == '$':
+			l.lexParam()
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, fmt.Errorf("%w at position %d", err, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end == -1 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += end + 4
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tkKeyword, val: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tkIdent, val: strings.ToLower(word), pos: start})
+	}
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+		} else if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+		} else if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) &&
+			(isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+			l.pos += 2
+		} else {
+			break
+		}
+	}
+	l.toks = append(l.toks, token{kind: tkNumber, val: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, val: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("unterminated string literal at position %d", start)
+}
+
+func (l *lexer) lexQuotedIdent() error {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				sb.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkIdent, val: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("unterminated quoted identifier at position %d", start)
+}
+
+func (l *lexer) lexParam() {
+	start := l.pos
+	l.pos++
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tkParam, val: l.src[start+1 : l.pos], pos: start})
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"->>", "::", "<=", ">=", "<>", "!=", "||", "->", "@>", ":="}
+
+func (l *lexer) lexOp() error {
+	rest := l.src[l.pos:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			l.toks = append(l.toks, token{kind: tkOp, val: op, pos: l.pos})
+			l.pos += len(op)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', ';', '=', '<', '>', '+', '-', '*', '/', '%', '.':
+		l.toks = append(l.toks, token{kind: tkOp, val: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("unexpected character %q", string(c))
+}

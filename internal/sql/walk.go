@@ -1,0 +1,270 @@
+package sql
+
+// WalkTables visits every base-table reference in a statement, including
+// those in FROM subqueries and expression subqueries. The distributed
+// planner uses it to find which tables a query touches and — via the
+// pointer — to rewrite table names to shard names before deparsing, exactly
+// the rewrite Citus performs.
+func WalkTables(stmt Statement, fn func(*BaseTable)) {
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		walkSelectTables(st, fn)
+	case *InsertStmt:
+		fn(&BaseTable{Name: st.Table}) // note: synthetic; use WalkTablesMut for rewriting
+		if st.Select != nil {
+			walkSelectTables(st.Select, fn)
+		}
+		for _, row := range st.Rows {
+			for _, e := range row {
+				walkExprTables(e, fn)
+			}
+		}
+	case *UpdateStmt:
+		fn(&BaseTable{Name: st.Table})
+		walkExprTables(st.Where, fn)
+		for _, a := range st.Set {
+			walkExprTables(a.Value, fn)
+		}
+	case *DeleteStmt:
+		fn(&BaseTable{Name: st.Table})
+		walkExprTables(st.Where, fn)
+	case *ExplainStmt:
+		WalkTables(st.Stmt, fn)
+	case *CreateIndexStmt:
+		fn(&BaseTable{Name: st.Table})
+	case *DropTableStmt:
+		fn(&BaseTable{Name: st.Name})
+	case *TruncateStmt:
+		fn(&BaseTable{Name: st.Name})
+	case *AlterTableAddColumnStmt:
+		fn(&BaseTable{Name: st.Table})
+	case *CopyStmt:
+		fn(&BaseTable{Name: st.Table})
+	}
+}
+
+func walkSelectTables(sel *SelectStmt, fn func(*BaseTable)) {
+	if sel == nil {
+		return
+	}
+	for _, tr := range sel.From {
+		walkTableRef(tr, fn)
+	}
+	for _, c := range sel.Columns {
+		walkExprTables(c.Expr, fn)
+	}
+	walkExprTables(sel.Where, fn)
+	for _, g := range sel.GroupBy {
+		walkExprTables(g, fn)
+	}
+	walkExprTables(sel.Having, fn)
+	for _, o := range sel.OrderBy {
+		walkExprTables(o.Expr, fn)
+	}
+}
+
+func walkTableRef(tr TableRef, fn func(*BaseTable)) {
+	switch t := tr.(type) {
+	case *BaseTable:
+		fn(t)
+	case *SubqueryRef:
+		walkSelectTables(t.Select, fn)
+	case *JoinRef:
+		walkTableRef(t.Left, fn)
+		walkTableRef(t.Right, fn)
+		walkExprTables(t.On, fn)
+	}
+}
+
+func walkExprTables(e Expr, fn func(*BaseTable)) {
+	if e == nil {
+		return
+	}
+	switch n := e.(type) {
+	case *BinaryExpr:
+		walkExprTables(n.L, fn)
+		walkExprTables(n.R, fn)
+	case *UnaryExpr:
+		walkExprTables(n.E, fn)
+	case *FuncCall:
+		for _, a := range n.Args {
+			walkExprTables(a, fn)
+		}
+	case *CaseExpr:
+		walkExprTables(n.Operand, fn)
+		for _, w := range n.Whens {
+			walkExprTables(w.When, fn)
+			walkExprTables(w.Then, fn)
+		}
+		walkExprTables(n.Else, fn)
+	case *InExpr:
+		walkExprTables(n.E, fn)
+		for _, item := range n.List {
+			walkExprTables(item, fn)
+		}
+		walkSelectTables(n.Subquery, fn)
+	case *BetweenExpr:
+		walkExprTables(n.E, fn)
+		walkExprTables(n.Lo, fn)
+		walkExprTables(n.Hi, fn)
+	case *LikeExpr:
+		walkExprTables(n.E, fn)
+		walkExprTables(n.Pattern, fn)
+	case *IsNullExpr:
+		walkExprTables(n.E, fn)
+	case *CastExpr:
+		walkExprTables(n.E, fn)
+	case *SubqueryExpr:
+		walkSelectTables(n.Select, fn)
+	case *ExistsExpr:
+		walkSelectTables(n.Select, fn)
+	case *NamedArg:
+		walkExprTables(n.Value, fn)
+	}
+}
+
+// FromTables returns the distinct table names referenced by a statement's
+// FROM trees (including derived tables and DML targets), but NOT by
+// expression subqueries. The distributed planner routes on these; a query
+// whose only distributed references sit in expression subqueries executes
+// locally, with each subquery recursively planned as its own distributed
+// query.
+func FromTables(stmt Statement) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	var fromSelect func(sel *SelectStmt)
+	var fromTR func(tr TableRef)
+	fromTR = func(tr TableRef) {
+		switch t := tr.(type) {
+		case *BaseTable:
+			add(t.Name)
+		case *SubqueryRef:
+			fromSelect(t.Select)
+		case *JoinRef:
+			fromTR(t.Left)
+			fromTR(t.Right)
+		}
+	}
+	fromSelect = func(sel *SelectStmt) {
+		if sel == nil {
+			return
+		}
+		for _, tr := range sel.From {
+			fromTR(tr)
+		}
+	}
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		fromSelect(st)
+	case *InsertStmt:
+		add(st.Table)
+		fromSelect(st.Select)
+	case *UpdateStmt:
+		add(st.Table)
+	case *DeleteStmt:
+		add(st.Table)
+	case *ExplainStmt:
+		return FromTables(st.Stmt)
+	default:
+		return StatementTables(stmt)
+	}
+	return names
+}
+
+// StatementTables returns the distinct table names a statement references,
+// in first-reference order.
+func StatementTables(stmt Statement) []string {
+	var names []string
+	seen := map[string]bool{}
+	WalkTables(stmt, func(bt *BaseTable) {
+		if !seen[bt.Name] {
+			seen[bt.Name] = true
+			names = append(names, bt.Name)
+		}
+	})
+	return names
+}
+
+// CloneStatement deep-copies a statement by deparsing and re-parsing it —
+// the round-trip property the parser tests guarantee. The distributed
+// planner clones per task before rewriting names to per-shard names.
+func CloneStatement(stmt Statement) (Statement, error) {
+	return Parse(stmt.String())
+}
+
+// RewriteTables renames table references in place (clone first if the
+// statement is shared). DML target tables are renamed too.
+func RewriteTables(stmt Statement, rename func(string) string) {
+	switch st := stmt.(type) {
+	case *InsertStmt:
+		st.Table = rename(st.Table)
+		if st.Select != nil {
+			rewriteSelectTables(st.Select, rename)
+		}
+	case *UpdateStmt:
+		st.Table = rename(st.Table)
+	case *DeleteStmt:
+		st.Table = rename(st.Table)
+	case *SelectStmt:
+		rewriteSelectTables(st, rename)
+	case *CreateIndexStmt:
+		st.Table = rename(st.Table)
+		st.Name = rename(st.Name)
+	case *DropTableStmt:
+		st.Name = rename(st.Name)
+	case *TruncateStmt:
+		st.Name = rename(st.Name)
+	case *AlterTableAddColumnStmt:
+		st.Table = rename(st.Table)
+	case *CopyStmt:
+		st.Table = rename(st.Table)
+	case *ExplainStmt:
+		RewriteTables(st.Stmt, rename)
+	}
+	RewriteDMLSubqueries(stmt, rename)
+}
+
+func rewriteSelectTables(sel *SelectStmt, rename func(string) string) {
+	walkSelectTables(sel, func(bt *BaseTable) {
+		// keep the original name visible as the range name so column
+		// qualifications (t.col) keep resolving after the rewrite
+		if bt.Alias == "" {
+			bt.Alias = bt.Name
+		}
+		bt.Name = rename(bt.Name)
+	})
+}
+
+// RewriteDMLSubqueries renames tables inside WHERE/SET subqueries of
+// UPDATE/DELETE (rewriteSelectTables only covers SELECT trees).
+func RewriteDMLSubqueries(stmt Statement, rename func(string) string) {
+	visit := func(e Expr) {
+		walkExprTables(e, func(bt *BaseTable) {
+			if bt.Alias == "" {
+				bt.Alias = bt.Name
+			}
+			bt.Name = rename(bt.Name)
+		})
+	}
+	switch st := stmt.(type) {
+	case *UpdateStmt:
+		visit(st.Where)
+		for _, a := range st.Set {
+			visit(a.Value)
+		}
+	case *DeleteStmt:
+		visit(st.Where)
+	case *InsertStmt:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				visit(e)
+			}
+		}
+	}
+}

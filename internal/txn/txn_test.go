@@ -1,0 +1,186 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBeginCommitVisibility(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	snapBefore := m.TakeSnapshot(nil)
+	if m.Sees(snapBefore, t1.XID) {
+		t.Fatal("in-progress transaction must be invisible")
+	}
+	if err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	// a snapshot taken while t1 ran still does not see it
+	if m.Sees(snapBefore, t1.XID) {
+		t.Fatal("read-committed snapshot must not see a later commit")
+	}
+	snapAfter := m.TakeSnapshot(nil)
+	if !m.Sees(snapAfter, t1.XID) {
+		t.Fatal("committed transaction must be visible to new snapshots")
+	}
+}
+
+func TestAbortNeverVisible(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	m.Abort(t1)
+	snap := m.TakeSnapshot(nil)
+	if m.Sees(snap, t1.XID) {
+		t.Fatal("aborted transaction visible")
+	}
+	if m.Status(t1.XID) != Aborted {
+		t.Fatal("status not aborted")
+	}
+}
+
+func TestSelfVisibility(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	snap := m.TakeSnapshot(t1)
+	if !m.Sees(snap, t1.XID) {
+		t.Fatal("transaction must see its own writes")
+	}
+}
+
+func TestFutureXIDInvisible(t *testing.T) {
+	m := NewManager()
+	snap := m.TakeSnapshot(nil)
+	t1 := m.Begin()
+	_ = m.Commit(t1)
+	if m.Sees(snap, t1.XID) {
+		t.Fatal("xid >= snapshot xmax must be invisible even when committed")
+	}
+}
+
+func TestPreCommitCallbackAbortsOnError(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	t1.OnPreCommit(func() error { return errors.New("prepare failed") })
+	ended := false
+	committed := true
+	t1.OnEnd(func(c bool) { ended = true; committed = c })
+	if err := m.Commit(t1); err == nil {
+		t.Fatal("commit must fail when pre-commit errors")
+	}
+	if m.Status(t1.XID) != Aborted {
+		t.Fatal("transaction must abort")
+	}
+	if !ended || committed {
+		t.Fatal("end callback must fire with committed=false")
+	}
+}
+
+func TestCallbackOrdering(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	var order []string
+	t1.OnPreCommit(func() error { order = append(order, "pre1"); return nil })
+	t1.OnPreCommit(func() error { order = append(order, "pre2"); return nil })
+	t1.OnEnd(func(bool) { order = append(order, "end") })
+	if err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "pre1" || order[1] != "pre2" || order[2] != "end" {
+		t.Fatalf("callback order: %v", order)
+	}
+}
+
+func TestPreparedTransactionLifecycle(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	if err := m.Prepare(t1, "gid-1"); err != nil {
+		t.Fatal(err)
+	}
+	// still invisible and still counted as in-progress by snapshots
+	snap := m.TakeSnapshot(nil)
+	if m.Sees(snap, t1.XID) {
+		t.Fatal("prepared transaction visible before commit prepared")
+	}
+	list := m.ListPrepared()
+	if len(list) != 1 || list[0].GID != "gid-1" {
+		t.Fatalf("prepared list: %v", list)
+	}
+	// duplicate gid rejected
+	t2 := m.Begin()
+	if err := m.Prepare(t2, "gid-1"); err == nil {
+		t.Fatal("duplicate gid accepted")
+	}
+	// resolve
+	if _, err := m.FinishPrepared("gid-1", true); err != nil {
+		t.Fatal(err)
+	}
+	snap = m.TakeSnapshot(nil)
+	if !m.Sees(snap, t1.XID) {
+		t.Fatal("committed prepared transaction invisible")
+	}
+	if _, err := m.FinishPrepared("gid-1", true); err == nil {
+		t.Fatal("double finish accepted")
+	}
+	if _, err := m.FinishPrepared("unknown", false); err == nil {
+		t.Fatal("unknown gid accepted")
+	}
+}
+
+func TestCancelledCommitAborts(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	t1.Cancel()
+	if !t1.Cancelled() {
+		t.Fatal("not cancelled")
+	}
+	if err := m.Commit(t1); err == nil {
+		t.Fatal("commit of cancelled transaction must fail")
+	}
+	if m.Status(t1.XID) != Aborted {
+		t.Fatal("cancelled transaction must abort")
+	}
+	t1.Cancel() // idempotent
+}
+
+func TestGlobalXmin(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if got := m.GlobalXmin(); got != t1.XID {
+		t.Fatalf("xmin = %d, want %d", got, t1.XID)
+	}
+	_ = m.Commit(t1)
+	if got := m.GlobalXmin(); got != t2.XID {
+		t.Fatalf("xmin = %d, want %d", got, t2.XID)
+	}
+	// prepared transactions hold the horizon too
+	if err := m.Prepare(t2, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.GlobalXmin(); got != t2.XID {
+		t.Fatalf("xmin with prepared = %d, want %d", got, t2.XID)
+	}
+}
+
+func TestForceStatusAndAdoptPrepared(t *testing.T) {
+	m := NewManager()
+	m.ForceStatus(100, Committed)
+	if m.Status(100) != Committed {
+		t.Fatal("force status failed")
+	}
+	// allocator moved past the forced xid
+	t1 := m.Begin()
+	if t1.XID <= 100 {
+		t.Fatalf("xid allocator did not advance: %d", t1.XID)
+	}
+	adopted := m.AdoptPrepared(200, "recovered")
+	if adopted.XID != 200 {
+		t.Fatal("adopt failed")
+	}
+	if _, err := m.FinishPrepared("recovered", false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status(200) != Aborted {
+		t.Fatal("adopted prepared transaction not aborted")
+	}
+}

@@ -1,0 +1,92 @@
+package types
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+)
+
+// Citus hash-partitions rows by hashing the distribution column into the
+// signed 32-bit integer space and assigning each shard a contiguous range of
+// hash values. We reproduce that scheme: HashDatum maps any datum to an int32
+// and shard ranges divide [math.MinInt32, math.MaxInt32] evenly.
+
+// HashDatum hashes a datum into the int32 hash space used for shard
+// placement. The function is deterministic across nodes and processes (it is
+// part of the distributed metadata contract, like Citus' hashfunc).
+func HashDatum(d Datum) int32 {
+	switch v := d.(type) {
+	case nil:
+		return 0
+	case int64:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		return fnvHash(buf[:])
+	case float64:
+		// Hash floats through their integer value when integral so that
+		// 42 and 42.0 co-locate, mirroring cross-type hash op classes.
+		if v == math.Trunc(v) && math.Abs(v) < 1e18 {
+			return HashDatum(int64(v))
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		return fnvHash(buf[:])
+	case bool:
+		if v {
+			return fnvHash([]byte{1})
+		}
+		return fnvHash([]byte{0})
+	case string:
+		return fnvHash([]byte(v))
+	case time.Time:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.UnixNano()))
+		return fnvHash(buf[:])
+	default:
+		return fnvHash([]byte(Format(d)))
+	}
+}
+
+// fnvHash is FNV-1a folded to int32. Stable, allocation-free, and good
+// enough dispersion for shard placement.
+func fnvHash(b []byte) int32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return int32(uint32(h ^ (h >> 32)))
+}
+
+// ShardRange is a contiguous range of hash values owned by one shard.
+type ShardRange struct {
+	Min int32
+	Max int32
+}
+
+// Contains reports whether hash h falls in the range.
+func (r ShardRange) Contains(h int32) bool { return h >= r.Min && h <= r.Max }
+
+// SplitHashSpace divides the int32 hash space into n contiguous ranges the
+// way Citus does when creating a hash-distributed table with n shards.
+func SplitHashSpace(n int) []ShardRange {
+	if n <= 0 {
+		return nil
+	}
+	ranges := make([]ShardRange, n)
+	step := uint64(1) << 32 / uint64(n)
+	start := int64(math.MinInt32)
+	for i := 0; i < n; i++ {
+		end := start + int64(step) - 1
+		if i == n-1 {
+			end = math.MaxInt32
+		}
+		ranges[i] = ShardRange{Min: int32(start), Max: int32(end)}
+		start = end + 1
+	}
+	return ranges
+}

@@ -1,0 +1,214 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{nil, nil, 0},
+		{nil, int64(1), -1},
+		{int64(1), nil, 1},
+		{int64(1), int64(2), -1},
+		{int64(2), int64(2), 0},
+		{int64(3), int64(2), 1},
+		{int64(1), float64(1.5), -1},
+		{float64(2.5), int64(2), 1},
+		{"abc", "abd", -1},
+		{false, true, -1},
+		{true, true, 0},
+		{time.Unix(100, 0), time.Unix(200, 0), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		x, y, z := a, b, c
+		// sort the three manually and verify pairwise order agrees
+		if Compare(x, y) <= 0 && Compare(y, z) <= 0 && Compare(x, z) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerceRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		s, err := CoerceTo(v, Text)
+		if err != nil {
+			return false
+		}
+		back, err := CoerceTo(s, Int)
+		if err != nil {
+			return false
+		}
+		return back.(int64) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	if v, err := CoerceTo("42", Int); err != nil || v.(int64) != 42 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if v, err := CoerceTo(int64(1), Bool); err != nil || v.(bool) != true {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if v, err := CoerceTo("2020-02-01", Timestamp); err != nil || v.(time.Time).Year() != 2020 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if v, err := CoerceTo(nil, Int); err != nil || v != nil {
+		t.Fatalf("NULL coercion: %v, %v", v, err)
+	}
+	if _, err := CoerceTo("not a number", Int); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := CoerceTo("maybe", Bool); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for name, want := range map[string]Type{
+		"int": Int, "bigint": Int, "serial": Int,
+		"text": Text, "varchar": Text,
+		"double precision": Float, "numeric": Float,
+		"bool": Bool, "timestamp": Timestamp, "jsonb": JSONB, "date": Date,
+	} {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseType("frobnicator"); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestQuoteLiteralRoundTrip(t *testing.T) {
+	if got := QuoteLiteral("it's"); got != "'it''s'" {
+		t.Fatalf("quoting: %s", got)
+	}
+	if got := QuoteLiteral(nil); got != "NULL" {
+		t.Fatalf("null literal: %s", got)
+	}
+	if got := QuoteLiteral(int64(7)); got != "7" {
+		t.Fatalf("int literal: %s", got)
+	}
+}
+
+func TestHashDatumStability(t *testing.T) {
+	// the hash is part of the shard placement contract: values must be
+	// stable across runs and processes
+	fixed := map[string]int32{}
+	for _, k := range []string{"a", "tenant-42", ""} {
+		fixed[k] = HashDatum(k)
+	}
+	for k, v := range fixed {
+		if HashDatum(k) != v {
+			t.Fatalf("hash of %q changed", k)
+		}
+	}
+	// int and equal-valued float co-locate
+	if HashDatum(int64(42)) != HashDatum(float64(42)) {
+		t.Fatal("42 and 42.0 must hash identically")
+	}
+}
+
+func TestSplitHashSpace(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 32, 37} {
+		ranges := SplitHashSpace(n)
+		if len(ranges) != n {
+			t.Fatalf("want %d ranges", n)
+		}
+		if ranges[0].Min != math.MinInt32 || ranges[n-1].Max != math.MaxInt32 {
+			t.Fatalf("space not covered for n=%d", n)
+		}
+		for i := 1; i < n; i++ {
+			if int64(ranges[i].Min) != int64(ranges[i-1].Max)+1 {
+				t.Fatalf("gap between ranges %d and %d for n=%d", i-1, i, n)
+			}
+		}
+	}
+}
+
+func TestEveryHashFallsInExactlyOneRange(t *testing.T) {
+	ranges := SplitHashSpace(16)
+	f := func(v int64) bool {
+		h := HashDatum(v)
+		matches := 0
+		for _, r := range ranges {
+			if r.Contains(h) {
+				matches++
+			}
+		}
+		return matches == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDistributionIsBalanced(t *testing.T) {
+	ranges := SplitHashSpace(8)
+	counts := make([]int, 8)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		h := HashDatum(int64(i))
+		for idx, r := range ranges {
+			if r.Contains(h) {
+				counts[idx]++
+			}
+		}
+	}
+	for idx, c := range counts {
+		if c < n/16 || c > n/4 {
+			t.Fatalf("shard %d has %d of %d values: hash is badly skewed %v", idx, c, n, counts)
+		}
+	}
+}
+
+func TestFormatTimestamp(t *testing.T) {
+	ts := time.Date(2021, 6, 20, 12, 30, 45, 0, time.UTC)
+	if got := Format(ts); got != "2021-06-20 12:30:45" {
+		t.Fatalf("format: %s", got)
+	}
+	parsed, err := ParseTimestamp("2021-06-20 12:30:45")
+	if err != nil || !parsed.Equal(ts) {
+		t.Fatalf("parse: %v %v", parsed, err)
+	}
+}

@@ -1,0 +1,454 @@
+// Package wire implements the client/server protocol between nodes: a
+// simple length-delimited gob protocol over TCP, plus an in-process
+// transport with configurable simulated network latency for single-process
+// clusters. Worker nodes speak this protocol the way PostgreSQL servers
+// speak the PostgreSQL protocol in a Citus cluster — the coordinator is
+// just another client to them.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/jsonb"
+	"citusgo/internal/types"
+)
+
+func init() {
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register(false)
+	gob.Register("")
+	gob.Register(time.Time{})
+	gob.Register(jsonb.Value{})
+}
+
+// RequestKind enumerates protocol messages.
+type RequestKind int
+
+const (
+	// ReqQuery executes SQL and returns rows.
+	ReqQuery RequestKind = iota
+	// ReqCopy bulk-loads pre-parsed rows into a table.
+	ReqCopy
+	// ReqLockGraph returns the node's waits-for edges (distributed
+	// deadlock detection polls this).
+	ReqLockGraph
+	// ReqCancelDist cancels the local transaction belonging to a
+	// distributed transaction id (deadlock victim).
+	ReqCancelDist
+	// ReqAppendResult appends rows to a named intermediate result
+	// (repartition/broadcast data movement).
+	ReqAppendResult
+	// ReqDropResults drops intermediate results by prefix.
+	ReqDropResults
+	// ReqTableRows returns a table's estimated row count.
+	ReqTableRows
+	// ReqListPrepared lists pending prepared transactions (2PC recovery).
+	ReqListPrepared
+	// ReqPing checks liveness.
+	ReqPing
+)
+
+// Request is one protocol request.
+type Request struct {
+	Kind    RequestKind
+	SQL     string
+	Params  []any
+	Table   string
+	Columns []string
+	Rows    [][]any
+	Name    string // intermediate result name / dist txn id / prefix
+}
+
+// Response is one protocol response.
+type Response struct {
+	Columns  []string
+	Rows     [][]any
+	Tag      string
+	Affected int
+	Err      string
+
+	Edges    []engine.LockEdge
+	Prepared []PreparedTxn
+	Count    int64
+	OK       bool
+}
+
+// PreparedTxn mirrors txn.PreparedInfo over the wire.
+type PreparedTxn struct {
+	GID    string
+	DistID string
+}
+
+// transport abstracts the two connection flavors.
+type transport interface {
+	roundTrip(req *Request) (*Response, error)
+	close() error
+}
+
+// Conn is a client connection to one node. A Conn corresponds to one
+// server-side session, so transaction state is per-Conn, exactly like a
+// PostgreSQL connection. Conn is not safe for concurrent use; the executor
+// serializes requests per connection.
+type Conn struct {
+	t      transport
+	node   string
+	closed bool
+}
+
+// Node returns the peer node's name.
+func (c *Conn) Node() string { return c.node }
+
+// Close terminates the connection (server aborts any open transaction).
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.t.close()
+}
+
+// Query executes SQL on the peer.
+func (c *Conn) Query(sqlText string, params ...types.Datum) (*engine.Result, error) {
+	resp, err := c.t.roundTrip(&Request{Kind: ReqQuery, SQL: sqlText, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return respToResult(resp), nil
+}
+
+// Copy bulk-loads rows.
+func (c *Conn) Copy(table string, columns []string, rows []types.Row) (int, error) {
+	resp, err := c.t.roundTrip(&Request{
+		Kind: ReqCopy, Table: table, Columns: columns, Rows: rowsToWire(rows),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, errors.New(resp.Err)
+	}
+	return resp.Affected, nil
+}
+
+// LockGraph polls the node's waits-for edges.
+func (c *Conn) LockGraph() ([]engine.LockEdge, error) {
+	resp, err := c.t.roundTrip(&Request{Kind: ReqLockGraph})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Edges, nil
+}
+
+// CancelDistTxn cancels the local participant of a distributed transaction.
+func (c *Conn) CancelDistTxn(distID string) (bool, error) {
+	resp, err := c.t.roundTrip(&Request{Kind: ReqCancelDist, Name: distID})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// AppendIntermediateResult ships rows into a named relation on the peer.
+func (c *Conn) AppendIntermediateResult(name string, columns []string, rows []types.Row) error {
+	resp, err := c.t.roundTrip(&Request{
+		Kind: ReqAppendResult, Name: name, Columns: columns, Rows: rowsToWire(rows),
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// DropIntermediateResults removes relations by prefix.
+func (c *Conn) DropIntermediateResults(prefix string) error {
+	_, err := c.t.roundTrip(&Request{Kind: ReqDropResults, Name: prefix})
+	return err
+}
+
+// TableRows fetches the peer's row-count estimate for a table.
+func (c *Conn) TableRows(table string) (int64, error) {
+	resp, err := c.t.roundTrip(&Request{Kind: ReqTableRows, Table: table})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// ListPrepared lists the peer's pending prepared transactions.
+func (c *Conn) ListPrepared() ([]PreparedTxn, error) {
+	resp, err := c.t.roundTrip(&Request{Kind: ReqListPrepared})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Prepared, nil
+}
+
+// Ping checks the peer is alive.
+func (c *Conn) Ping() error {
+	resp, err := c.t.roundTrip(&Request{Kind: ReqPing})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return errors.New("ping failed")
+	}
+	return nil
+}
+
+func rowsToWire(rows []types.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+func wireToRows(rows [][]any) []types.Row {
+	out := make([]types.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+func respToResult(resp *Response) *engine.Result {
+	return &engine.Result{
+		Columns:  resp.Columns,
+		Rows:     wireToRows(resp.Rows),
+		Tag:      resp.Tag,
+		Affected: resp.Affected,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Server-side request handling (shared by both transports)
+
+// handler owns one server-side session.
+type handler struct {
+	eng  *engine.Engine
+	sess *engine.Session
+}
+
+func newHandler(e *engine.Engine) *handler {
+	return &handler{eng: e, sess: e.NewSession()}
+}
+
+func (h *handler) handle(req *Request) *Response {
+	switch req.Kind {
+	case ReqQuery:
+		res, err := h.sess.Exec(req.SQL, req.Params...)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{
+			Columns: res.Columns, Rows: rowsToWire(res.Rows),
+			Tag: res.Tag, Affected: res.Affected,
+		}
+	case ReqCopy:
+		n, err := h.sess.CopyFrom(req.Table, req.Columns, wireToRows(req.Rows))
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Affected: n, Tag: fmt.Sprintf("COPY %d", n)}
+	case ReqLockGraph:
+		return &Response{Edges: h.eng.LockGraph()}
+	case ReqCancelDist:
+		return &Response{OK: h.eng.CancelByDistID(req.Name)}
+	case ReqAppendResult:
+		h.eng.AppendIntermediateResult(req.Name, req.Columns, wireToRows(req.Rows))
+		return &Response{OK: true}
+	case ReqDropResults:
+		h.eng.DropIntermediateResults(req.Name)
+		return &Response{OK: true}
+	case ReqTableRows:
+		return &Response{Count: h.eng.TableRows(req.Table)}
+	case ReqListPrepared:
+		var out []PreparedTxn
+		for _, p := range h.eng.Txns.ListPrepared() {
+			out = append(out, PreparedTxn{GID: p.GID, DistID: p.DistID})
+		}
+		return &Response{Prepared: out}
+	case ReqPing:
+		return &Response{OK: true}
+	}
+	return &Response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
+}
+
+// closeSession aborts any open transaction when the client goes away.
+func (h *handler) closeSession() {
+	if h.sess.InTransaction() {
+		_, _ = h.sess.Exec("ROLLBACK")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport
+
+// localTransport calls the engine directly, sleeping RTT per round trip to
+// simulate the network. This is the transport cluster tests and benchmarks
+// use; it preserves the protocol semantics (per-connection sessions,
+// serialized requests) without TCP overhead.
+type localTransport struct {
+	mu     sync.Mutex
+	h      *handler
+	rtt    time.Duration
+	closed bool
+}
+
+// DialLocal opens an in-process connection to e with the given simulated
+// round-trip time (0 for a co-located coordinator/worker).
+func DialLocal(e *engine.Engine, rtt time.Duration) *Conn {
+	return &Conn{t: &localTransport{h: newHandler(e), rtt: rtt}, node: e.Name}
+}
+
+func (t *localTransport) roundTrip(req *Request) (*Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("connection is closed")
+	}
+	if t.rtt > 0 {
+		time.Sleep(t.rtt)
+	}
+	return t.h.handle(req), nil
+}
+
+func (t *localTransport) close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.closed {
+		t.closed = true
+		t.h.closeSession()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+
+// Server serves the wire protocol over TCP.
+type Server struct {
+	Eng *engine.Engine
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" for an ephemeral port).
+func Serve(e *engine.Engine, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Eng: e, ln: ln, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	h := newHandler(s.Eng)
+	defer h.closeSession()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := h.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// tcpTransport is the client side of the TCP protocol.
+type tcpTransport struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a node server over TCP.
+func Dial(addr string, nodeName string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{
+		t:    &tcpTransport{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)},
+		node: nodeName,
+	}, nil
+}
+
+func (t *tcpTransport) roundTrip(req *Request) (*Response, error) {
+	if err := t.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := t.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *tcpTransport) close() error { return t.conn.Close() }

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/jsonb"
+	"citusgo/internal/types"
+)
+
+func newEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.Config{Name: "node"})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func testConnBehavior(t *testing.T, conn *Conn) {
+	t.Helper()
+	if err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query("CREATE TABLE t (k bigint PRIMARY KEY, v text, d jsonb, ts timestamp)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query("INSERT INTO t (k, v, d, ts) VALUES ($1, $2, $3, $4)",
+		int64(1), "hello", jsonb.MustParse(`{"a": 1}`), time.Date(2021, 1, 2, 3, 4, 5, 0, time.UTC))
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("insert: %v %v", res, err)
+	}
+	res, err = conn.Query("SELECT k, v, d->>'a', ts FROM t WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].(string) != "hello" || res.Rows[0][2].(string) != "1" {
+		t.Fatalf("select: %v", res.Rows)
+	}
+	if _, ok := res.Rows[0][3].(time.Time); !ok {
+		t.Fatalf("timestamp type lost in transit: %T", res.Rows[0][3])
+	}
+
+	// COPY
+	n, err := conn.Copy("t", []string{"k", "v"}, []types.Row{{int64(2), "two"}, {int64(3), "three"}})
+	if err != nil || n != 2 {
+		t.Fatalf("copy: %d %v", n, err)
+	}
+	// rows count
+	cnt, err := conn.TableRows("t")
+	if err != nil || cnt != 3 {
+		t.Fatalf("rows: %d %v", cnt, err)
+	}
+
+	// errors travel back as errors
+	if _, err := conn.Query("SELECT * FROM missing_table"); err == nil {
+		t.Fatal("expected error for missing table")
+	}
+
+	// intermediate results
+	if err := conn.AppendIntermediateResult("ir1", []string{"x"}, []types.Row{{int64(42)}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = conn.Query("SELECT x FROM ir1")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].(int64) != 42 {
+		t.Fatalf("intermediate: %v %v", res, err)
+	}
+	if err := conn.DropIntermediateResults("ir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query("SELECT x FROM ir1"); err == nil {
+		t.Fatal("dropped intermediate still queryable")
+	}
+}
+
+func TestLocalTransport(t *testing.T) {
+	e := newEngine(t)
+	conn := DialLocal(e, 0)
+	defer conn.Close()
+	testConnBehavior(t, conn)
+}
+
+func TestTCPTransport(t *testing.T) {
+	e := newEngine(t)
+	srv, err := Serve(e, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(srv.Addr(), "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	testConnBehavior(t, conn)
+}
+
+func TestSessionStatePerConnection(t *testing.T) {
+	e := newEngine(t)
+	c1 := DialLocal(e, 0)
+	c2 := DialLocal(e, 0)
+	defer c1.Close()
+	defer c2.Close()
+	if _, err := c1.Query("CREATE TABLE s (k bigint PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	// an open transaction on c1 is invisible on c2
+	mustQ(t, c1, "BEGIN")
+	mustQ(t, c1, "INSERT INTO s (k) VALUES (1)")
+	res, err := c2.Query("SELECT count(*) FROM s")
+	if err != nil || res.Rows[0][0].(int64) != 0 {
+		t.Fatalf("uncommitted row leaked across connections: %v %v", res, err)
+	}
+	mustQ(t, c1, "COMMIT")
+	res, _ = c2.Query("SELECT count(*) FROM s")
+	if res.Rows[0][0].(int64) != 1 {
+		t.Fatal("commit not visible")
+	}
+}
+
+func TestConnCloseRollsBackOpenTransaction(t *testing.T) {
+	e := newEngine(t)
+	c1 := DialLocal(e, 0)
+	mustQ(t, c1, "CREATE TABLE r (k bigint PRIMARY KEY)")
+	mustQ(t, c1, "BEGIN")
+	mustQ(t, c1, "INSERT INTO r (k) VALUES (1)")
+	_ = c1.Close()
+	c2 := DialLocal(e, 0)
+	defer c2.Close()
+	res, err := c2.Query("SELECT count(*) FROM r")
+	if err != nil || res.Rows[0][0].(int64) != 0 {
+		t.Fatalf("dropped connection's transaction leaked: %v %v", res, err)
+	}
+}
+
+func TestSimulatedRTT(t *testing.T) {
+	e := newEngine(t)
+	conn := DialLocal(e, 3*time.Millisecond)
+	defer conn.Close()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := conn.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("RTT not charged: %v", elapsed)
+	}
+}
+
+func TestLockGraphOverWire(t *testing.T) {
+	e := newEngine(t)
+	conn := DialLocal(e, 0)
+	defer conn.Close()
+	edges, err := conn.LockGraph()
+	if err != nil || len(edges) != 0 {
+		t.Fatalf("edges: %v %v", edges, err)
+	}
+}
+
+func mustQ(t *testing.T, c *Conn, q string) {
+	t.Helper()
+	if _, err := c.Query(q); err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+}

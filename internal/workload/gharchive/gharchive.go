@@ -1,0 +1,162 @@
+// Package gharchive generates synthetic GitHub-archive-style push events
+// for the real-time analytics microbenchmarks of §4.2 (Figure 7). The paper
+// loads real GitHub Archive JSON; we substitute a generator that produces
+// documents with the same shape the benchmark exercises — a payload with a
+// commits array whose messages are searched with a trigram GIN index:
+//
+//	{"created_at": "...", "type": "PushEvent",
+//	 "repo": {...}, "payload": {"commits": [{"message": ...}, ...]}}
+package gharchive
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/jsonb"
+	"citusgo/internal/types"
+)
+
+// words feeds commit-message generation; "postgres" appears so that the
+// dashboard query's ILIKE '%postgres%' is selective but non-empty (the
+// paper counts commits mentioning postgres per day).
+var words = []string{
+	"fix", "bug", "add", "feature", "update", "docs", "refactor", "test",
+	"remove", "improve", "cleanup", "merge", "branch", "release", "version",
+	"postgres", "index", "query", "cache", "api", "server", "client",
+	"support", "error", "handling", "performance", "initial", "commit",
+}
+
+// SchemaSQL is the events table from §4.2 (the md5 default is applied by
+// the generator instead, for determinism).
+const SchemaSQL = "CREATE TABLE github_events (event_id text PRIMARY KEY, data jsonb)"
+
+// IndexSQL is the trigram expression index from §4.2.
+const IndexSQL = "CREATE INDEX text_search_idx ON github_events USING gin " +
+	"((jsonb_path_query_array(data, '$.payload.commits[*].message')::text) gin_trgm_ops)"
+
+// DashboardSQL is the Figure 7(b) query: commits mentioning postgres per day.
+const DashboardSQL = `SELECT (data->>'created_at')::date,
+	sum(jsonb_array_length(data->'payload'->'commits'))
+	FROM github_events
+	WHERE jsonb_path_query_array(data, '$.payload.commits[*].message')::text ILIKE '%postgres%'
+	GROUP BY 1 ORDER BY 1 ASC`
+
+// TransformTableSQL is the destination of the Figure 7(c) INSERT..SELECT
+// data transformation (extracting commit counts per event).
+const TransformTableSQL = "CREATE TABLE push_commits (event_id text, day timestamp, commit_count bigint)"
+
+// TransformSQL pre-aggregates events into push_commits; grouping by the
+// distribution column keeps it fully pushdownable (co-located
+// INSERT..SELECT, strategy 3 of §3.8).
+const TransformSQL = `INSERT INTO push_commits (event_id, day, commit_count)
+	SELECT event_id, date_trunc('day', (data->>'created_at')::timestamp),
+	       jsonb_array_length(data->'payload'->'commits')
+	FROM github_events`
+
+// Event is one generated push event.
+type Event struct {
+	ID   string
+	Data jsonb.Value
+}
+
+// Generator produces deterministic events.
+type Generator struct {
+	rng  *rand.Rand
+	seq  int
+	base time.Time
+	days int
+}
+
+// NewGenerator seeds a generator spreading events over the given number of
+// days starting 2020-02-01 (the paper appends the first day of February
+// 2020).
+func NewGenerator(seed int64, days int) *Generator {
+	if days <= 0 {
+		days = 1
+	}
+	return &Generator{
+		rng:  rand.New(rand.NewSource(seed)),
+		base: time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC),
+		days: days,
+	}
+}
+
+// Next generates one event.
+func (g *Generator) Next() Event {
+	g.seq++
+	nCommits := 1 + g.rng.Intn(4)
+	commits := make([]any, nCommits)
+	for i := range commits {
+		commits[i] = map[string]any{
+			"sha":     fmt.Sprintf("%08x%08x", g.rng.Uint32(), g.rng.Uint32()),
+			"message": g.message(),
+			"author":  map[string]any{"name": "user" + fmt.Sprint(g.rng.Intn(1000))},
+		}
+	}
+	ts := g.base.Add(time.Duration(g.rng.Intn(g.days*24*3600)) * time.Second)
+	doc := map[string]any{
+		"type":       "PushEvent",
+		"created_at": ts.Format("2006-01-02T15:04:05Z07:00"),
+		"actor":      map[string]any{"login": "user" + fmt.Sprint(g.rng.Intn(1000))},
+		"repo":       map[string]any{"name": "org/repo" + fmt.Sprint(g.rng.Intn(200))},
+		"payload":    map[string]any{"push_id": g.seq, "commits": commits},
+	}
+	return Event{
+		ID:   fmt.Sprintf("evt-%012d", g.seq),
+		Data: jsonb.FromGo(doc),
+	}
+}
+
+func (g *Generator) message() string {
+	n := 3 + g.rng.Intn(6)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = words[g.rng.Intn(len(words))]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Batch generates n events as COPY-ready rows.
+func (g *Generator) Batch(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		ev := g.Next()
+		rows[i] = types.Row{ev.ID, ev.Data}
+	}
+	return rows
+}
+
+// Setup creates the events table (and optional distribution + GIN index).
+func Setup(s *engine.Session, distributed, withIndex bool) error {
+	if _, err := s.Exec(SchemaSQL); err != nil {
+		return err
+	}
+	if distributed {
+		if _, err := s.Exec("SELECT create_distributed_table('github_events', 'event_id')"); err != nil {
+			return err
+		}
+	}
+	if withIndex {
+		if _, err := s.Exec(IndexSQL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetupTransformTarget creates the push_commits rollup table co-located
+// with github_events.
+func SetupTransformTarget(s *engine.Session, distributed bool) error {
+	if _, err := s.Exec(TransformTableSQL); err != nil {
+		return err
+	}
+	if distributed {
+		if _, err := s.Exec("SELECT create_distributed_table('push_commits', 'event_id', colocate_with := 'github_events')"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package gharchive_test
+
+import (
+	"testing"
+
+	"citusgo/internal/cluster"
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/workload/gharchive"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := gharchive.NewGenerator(1, 3)
+	g2 := gharchive.NewGenerator(1, 3)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.ID != b.ID || a.Data.String() != b.Data.String() {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}
+
+func TestRealTimeAnalyticsPipeline(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Workers: 2, ShardCount: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Session()
+	if err := gharchive.Setup(s, true, true); err != nil {
+		t.Fatal(err)
+	}
+	gen := gharchive.NewGenerator(7, 2)
+	n, err := s.CopyFrom("github_events", []string{"event_id", "data"}, gen.Batch(500))
+	if err != nil || n != 500 {
+		t.Fatalf("copy: n=%d err=%v", n, err)
+	}
+
+	// Figure 7(b): the dashboard query runs and groups by day
+	res, err := s.Exec(gharchive.DashboardSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("dashboard query found no postgres commits (generator should produce some)")
+	}
+
+	// results must agree with a plain single engine on the same data
+	pg := engine.New(engine.Config{Name: "pg"})
+	defer pg.Close()
+	ps := pg.NewSession()
+	if err := gharchive.Setup(ps, false, true); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := gharchive.NewGenerator(7, 2)
+	if _, err := ps.CopyFrom("github_events", []string{"event_id", "data"}, gen2.Batch(500)); err != nil {
+		t.Fatal(err)
+	}
+	pres, err := ps.Exec(gharchive.DashboardSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text(res.Rows) != text(pres.Rows) {
+		t.Fatalf("distributed dashboard differs from local:\n%s\nvs\n%s", text(res.Rows), text(pres.Rows))
+	}
+
+	// Figure 7(c): the INSERT..SELECT transformation is co-located
+	if err := gharchive.SetupTransformTarget(s, true); err != nil {
+		t.Fatal(err)
+	}
+	ir, err := s.Exec(gharchive.TransformSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Affected != 500 {
+		t.Fatalf("transform inserted %d rows, want 500", ir.Affected)
+	}
+}
+
+func text(rows []types.Row) string {
+	out := ""
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				out += "|"
+			}
+			out += types.Format(v)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package pgbench reproduces the synthetic distributed-transaction
+// benchmark of §4.1.1 (Figure 9): two co-located distributed tables and a
+// two-statement transaction
+//
+//	UPDATE a1 SET v = v + :d WHERE key = :key1;
+//	UPDATE a2 SET v = v - :d WHERE key = :key2;
+//
+// run either with key1 = key2 (two co-located updates, single-node commit)
+// or with independent keys (a 2PC when the keys land on different nodes),
+// measuring the multi-node commit penalty.
+package pgbench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/workload"
+)
+
+// Config sizes the benchmark.
+type Config struct {
+	Rows        int           // rows per table
+	Connections int           // concurrent clients
+	Duration    time.Duration // measurement window
+	SameKey     bool          // key2 == key1 (co-located) vs independent
+	Distributed bool          // distribute the tables (vs plain local)
+}
+
+// Load creates and populates the two tables through the given session
+// factory; sessions[0] is used for DDL.
+func Load(s *engine.Session, cfg Config) error {
+	for _, tbl := range []string{"a1", "a2"} {
+		if _, err := s.Exec(fmt.Sprintf(
+			"CREATE TABLE %s (key bigint PRIMARY KEY, v bigint, filler text)", tbl)); err != nil {
+			return err
+		}
+		if cfg.Distributed {
+			colocate := ""
+			if tbl == "a2" {
+				colocate = ", colocate_with := 'a1'"
+			}
+			if _, err := s.Exec(fmt.Sprintf(
+				"SELECT create_distributed_table('%s', 'key'%s)", tbl, colocate)); err != nil {
+				return err
+			}
+		}
+		rng := rand.New(rand.NewSource(42))
+		batch := make([]types.Row, 0, 1000)
+		for i := 0; i < cfg.Rows; i++ {
+			batch = append(batch, types.Row{int64(i), int64(0), workload.RandString(rng, 64)})
+			if len(batch) == 1000 || i == cfg.Rows-1 {
+				if _, err := s.CopyFrom(tbl, []string{"key", "v", "filler"}, batch); err != nil {
+					return err
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	return nil
+}
+
+// Result reports throughput and latency.
+type Result struct {
+	TPS     float64
+	MeanLat time.Duration
+	P95Lat  time.Duration
+	Errors  int64
+}
+
+// Run executes the two-update transaction workload. newSession must return
+// an independent session per client.
+func Run(newSession func(worker int) *engine.Session, cfg Config) Result {
+	sessions := make([]*engine.Session, cfg.Connections)
+	for i := range sessions {
+		sessions[i] = newSession(i)
+	}
+	stats := workload.RunClosedLoop(cfg.Connections, cfg.Duration, 0, func(worker int, rng *rand.Rand) error {
+		s := sessions[worker]
+		key1 := int64(rng.Intn(cfg.Rows))
+		key2 := key1
+		if !cfg.SameKey {
+			key2 = int64(rng.Intn(cfg.Rows))
+		}
+		delta := int64(rng.Intn(100))
+		if _, err := s.Exec("BEGIN"); err != nil {
+			return err
+		}
+		if _, err := s.Exec("UPDATE a1 SET v = v + $1 WHERE key = $2", delta, key1); err != nil {
+			_, _ = s.Exec("ROLLBACK")
+			return err
+		}
+		if _, err := s.Exec("UPDATE a2 SET v = v - $1 WHERE key = $2", delta, key2); err != nil {
+			_, _ = s.Exec("ROLLBACK")
+			return err
+		}
+		_, err := s.Exec("COMMIT")
+		return err
+	})
+	return Result{
+		TPS:     float64(stats.Ops()) / cfg.Duration.Seconds(),
+		MeanLat: stats.Mean(),
+		P95Lat:  stats.Percentile(95),
+		Errors:  stats.Errors(),
+	}
+}

@@ -1,0 +1,45 @@
+package pgbench_test
+
+import (
+	"testing"
+	"time"
+
+	"citusgo/internal/cluster"
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/workload/pgbench"
+)
+
+func TestSameKeyAndDifferentKeyTransactions(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Workers: 2, ShardCount: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cfg := pgbench.Config{Rows: 200, Connections: 4, Duration: 200 * time.Millisecond, Distributed: true}
+	if err := pgbench.Load(c.Session(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.SameKey = true
+	same := pgbench.Run(func(int) *engine.Session { return c.Session() }, cfg)
+	if same.TPS <= 0 {
+		t.Fatalf("no same-key transactions: %+v", same)
+	}
+	cfg.SameKey = false
+	diff := pgbench.Run(func(int) *engine.Session { return c.Session() }, cfg)
+	if diff.TPS <= 0 {
+		t.Fatalf("no different-key transactions: %+v", diff)
+	}
+
+	// invariant: the +d/-d updates must cancel out overall when keys are
+	// equal, and sum(a1.v) + sum(a2.v) == 0 in all committed transactions
+	s := c.Session()
+	res, err := s.Exec("SELECT (SELECT sum(v) FROM a1) + (SELECT sum(v) FROM a2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types.Format(res.Rows[0][0]) != "0" {
+		t.Fatalf("2PC atomicity violated: a1+a2 sums to %s", types.Format(res.Rows[0][0]))
+	}
+}

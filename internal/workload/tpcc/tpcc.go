@@ -1,0 +1,428 @@
+// Package tpcc implements a HammerDB-style TPC-C-derived OLTP workload —
+// the multi-tenant benchmark of §4.1 (Figure 6). Warehouses are the
+// tenants: every table except item carries a warehouse id, the tables are
+// distributed and co-located on it, item becomes a reference table, and
+// the transaction procedures are delegated to workers by warehouse id.
+//
+// Like HammerDB (and unlike full TPC-C), keying and think times are
+// simplified; the transaction mix and the ~7-10% of transactions that span
+// warehouses (remote payments and remote stock updates) are preserved,
+// since those cross-warehouse transactions are exactly what exercises 2PC.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"citusgo/internal/citus"
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/workload"
+)
+
+// Config sizes the workload.
+type Config struct {
+	Warehouses           int
+	Districts            int // per warehouse (TPC-C: 10)
+	CustomersPerDistrict int // TPC-C: 3000; scaled down by default
+	Items                int // TPC-C: 100000; scaled down by default
+
+	VUsers    int
+	Duration  time.Duration
+	ThinkTime time.Duration // the paper uses 1ms between transactions
+
+	// RemotePaymentPct is the fraction of payments to a customer of
+	// another warehouse (TPC-C: 15%).
+	RemotePaymentPct float64
+	// RemoteItemPct is the per-order-line chance of a remote supplying
+	// warehouse (TPC-C: 1%).
+	RemoteItemPct float64
+
+	Distributed bool
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Districts == 0 {
+		c.Districts = 10
+	}
+	if c.CustomersPerDistrict == 0 {
+		c.CustomersPerDistrict = 30
+	}
+	if c.Items == 0 {
+		c.Items = 1000
+	}
+	if c.RemotePaymentPct == 0 {
+		c.RemotePaymentPct = 0.15
+	}
+	if c.RemoteItemPct == 0 {
+		c.RemoteItemPct = 0.01
+	}
+	if c.VUsers == 0 {
+		c.VUsers = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	return c
+}
+
+// DDL is the schema (warehouse id first in every compound key so the
+// per-warehouse indexes support router-query lookups).
+var DDL = []string{
+	`CREATE TABLE item (i_id bigint PRIMARY KEY, i_name text, i_price double precision)`,
+	`CREATE TABLE warehouse (w_id bigint PRIMARY KEY, w_name text, w_tax double precision, w_ytd double precision)`,
+	`CREATE TABLE district (d_w_id bigint, d_id bigint, d_tax double precision, d_ytd double precision, d_next_o_id bigint, PRIMARY KEY (d_w_id, d_id))`,
+	`CREATE TABLE customer (c_w_id bigint, c_d_id bigint, c_id bigint, c_last text, c_balance double precision, c_ytd_payment double precision, c_payment_cnt bigint, c_delivery_cnt bigint, PRIMARY KEY (c_w_id, c_d_id, c_id))`,
+	`CREATE TABLE history (h_w_id bigint, h_d_id bigint, h_c_w_id bigint, h_c_id bigint, h_amount double precision, h_data text)`,
+	`CREATE TABLE orders (o_w_id bigint, o_d_id bigint, o_id bigint, o_c_id bigint, o_entry_d timestamp, o_carrier_id bigint, o_ol_cnt bigint, PRIMARY KEY (o_w_id, o_d_id, o_id))`,
+	`CREATE TABLE new_order (no_w_id bigint, no_d_id bigint, no_o_id bigint, PRIMARY KEY (no_w_id, no_d_id, no_o_id))`,
+	`CREATE TABLE order_line (ol_w_id bigint, ol_d_id bigint, ol_o_id bigint, ol_number bigint, ol_i_id bigint, ol_supply_w_id bigint, ol_quantity bigint, ol_amount double precision, PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))`,
+	`CREATE TABLE stock (s_w_id bigint, s_i_id bigint, s_quantity bigint, s_ytd bigint, s_order_cnt bigint, s_remote_cnt bigint, PRIMARY KEY (s_w_id, s_i_id))`,
+}
+
+// distributedTables lists the tables co-located on the warehouse id, with
+// their distribution columns.
+var distributedTables = [][2]string{
+	{"warehouse", "w_id"},
+	{"district", "d_w_id"},
+	{"customer", "c_w_id"},
+	{"history", "h_w_id"},
+	{"orders", "o_w_id"},
+	{"new_order", "no_w_id"},
+	{"order_line", "ol_w_id"},
+	{"stock", "s_w_id"},
+}
+
+// Load creates and populates the schema. For distributed runs the item
+// table becomes a reference table and the rest co-located distributed
+// tables, exactly as in §4.1.
+func Load(s *engine.Session, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	for _, ddl := range DDL {
+		if _, err := s.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	if cfg.Distributed {
+		if _, err := s.Exec("SELECT create_reference_table('item')"); err != nil {
+			return err
+		}
+		for i, td := range distributedTables {
+			q := fmt.Sprintf("SELECT create_distributed_table('%s', '%s'", td[0], td[1])
+			if i > 0 {
+				q += fmt.Sprintf(", colocate_with := '%s'", distributedTables[0][0])
+			}
+			q += ")"
+			if _, err := s.Exec(q); err != nil {
+				return err
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	itemRows := make([]types.Row, cfg.Items)
+	for i := range itemRows {
+		itemRows[i] = types.Row{int64(i + 1), "item-" + fmt.Sprint(i+1), 1 + rng.Float64()*99}
+	}
+	if _, err := s.CopyFrom("item", nil, itemRows); err != nil {
+		return err
+	}
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if _, err := s.CopyFrom("warehouse", nil, []types.Row{
+			{int64(w), fmt.Sprintf("wh-%d", w), rng.Float64() * 0.2, 0.0},
+		}); err != nil {
+			return err
+		}
+		var districts, customers, stock []types.Row
+		for d := 1; d <= cfg.Districts; d++ {
+			districts = append(districts, types.Row{int64(w), int64(d), rng.Float64() * 0.2, 0.0, int64(1)})
+			for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+				customers = append(customers, types.Row{
+					int64(w), int64(d), int64(c),
+					"LAST" + fmt.Sprint(c%10), -10.0, 10.0, int64(1), int64(0),
+				})
+			}
+		}
+		for i := 1; i <= cfg.Items; i++ {
+			stock = append(stock, types.Row{int64(w), int64(i), int64(50 + rng.Intn(50)), int64(0), int64(0), int64(0)})
+		}
+		if _, err := s.CopyFrom("district", nil, districts); err != nil {
+			return err
+		}
+		if _, err := s.CopyFrom("customer", nil, customers); err != nil {
+			return err
+		}
+		if _, err := s.CopyFrom("stock", nil, stock); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterProcedures installs the five TPC-C transaction procedures on an
+// engine. Call it for every node so delegated procedures can run anywhere.
+func RegisterProcedures(eng *engine.Engine, cfg Config) {
+	cfg = cfg.WithDefaults()
+	eng.RegisterProcedure("new_order", func(s *engine.Session, args []types.Datum) error {
+		return newOrderProc(s, cfg, args)
+	})
+	eng.RegisterProcedure("payment", func(s *engine.Session, args []types.Datum) error {
+		return paymentProc(s, args)
+	})
+	eng.RegisterProcedure("order_status", func(s *engine.Session, args []types.Datum) error {
+		return orderStatusProc(s, args)
+	})
+	eng.RegisterProcedure("delivery", func(s *engine.Session, args []types.Datum) error {
+		return deliveryProc(s, args)
+	})
+	eng.RegisterProcedure("stock_level", func(s *engine.Session, args []types.Datum) error {
+		return stockLevelProc(s, args)
+	})
+}
+
+// RegisterDelegation marks the procedures for worker delegation by their
+// warehouse-id argument (§3.8; the paper's TPC-C run delegates on the
+// warehouse id).
+func RegisterDelegation(node *citus.Node) {
+	for _, name := range []string{"new_order", "payment", "order_status", "delivery", "stock_level"} {
+		node.RegisterDistributedProcedure(name, citus.DistProcedure{
+			ArgIndex:      0,
+			ColocatedWith: "warehouse",
+		})
+	}
+}
+
+// newOrderProc implements the New-Order transaction.
+// args: w_id, d_id, c_id, ol_cnt, seed, remote_w (0 = all local).
+func newOrderProc(s *engine.Session, cfg Config, args []types.Datum) error {
+	w, d, c := args[0].(int64), args[1].(int64), args[2].(int64)
+	olCnt, seed := args[3].(int64), args[4].(int64)
+	remoteW := args[5].(int64)
+	rng := rand.New(rand.NewSource(seed))
+
+	res, err := s.Exec("SELECT d_next_o_id, d_tax FROM district WHERE d_w_id = $1 AND d_id = $2 FOR UPDATE", w, d)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 {
+		return fmt.Errorf("district %d/%d not found", w, d)
+	}
+	oID := res.Rows[0][0].(int64)
+	if _, err := s.Exec("UPDATE district SET d_next_o_id = $1 WHERE d_w_id = $2 AND d_id = $3", oID+1, w, d); err != nil {
+		return err
+	}
+	if _, err := s.Exec(
+		"INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt) VALUES ($1, $2, $3, $4, now(), 0, $5)",
+		w, d, oID, c, olCnt); err != nil {
+		return err
+	}
+	if _, err := s.Exec("INSERT INTO new_order (no_w_id, no_d_id, no_o_id) VALUES ($1, $2, $3)", w, d, oID); err != nil {
+		return err
+	}
+	for ol := int64(1); ol <= olCnt; ol++ {
+		iID := int64(rng.Intn(cfg.Items) + 1)
+		supplyW := w
+		if remoteW != 0 && ol == 1 {
+			supplyW = remoteW // a remote order line makes this a multi-warehouse transaction
+		}
+		qty := int64(rng.Intn(10) + 1)
+		res, err := s.Exec("SELECT i_price FROM item WHERE i_id = $1", iID)
+		if err != nil {
+			return err
+		}
+		price := res.Rows[0][0].(float64)
+		if _, err := s.Exec(
+			"UPDATE stock SET s_quantity = CASE WHEN s_quantity > $1 + 10 THEN s_quantity - $1 ELSE s_quantity - $1 + 91 END, s_ytd = s_ytd + $1, s_order_cnt = s_order_cnt + 1, s_remote_cnt = s_remote_cnt + $2 WHERE s_w_id = $3 AND s_i_id = $4",
+			qty, boolToInt(supplyW != w), supplyW, iID); err != nil {
+			return err
+		}
+		if _, err := s.Exec(
+			"INSERT INTO order_line (ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_supply_w_id, ol_quantity, ol_amount) VALUES ($1, $2, $3, $4, $5, $6, $7, $8)",
+			w, d, oID, ol, iID, supplyW, qty, float64(qty)*price); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// paymentProc implements Payment. args: w_id, d_id, c_w_id, c_d_id, c_id,
+// amount. A c_w_id different from w_id makes this a multi-node transaction.
+func paymentProc(s *engine.Session, args []types.Datum) error {
+	w, d := args[0].(int64), args[1].(int64)
+	cw, cd, c := args[2].(int64), args[3].(int64), args[4].(int64)
+	amount := args[5].(float64)
+	if _, err := s.Exec("UPDATE warehouse SET w_ytd = w_ytd + $1 WHERE w_id = $2", amount, w); err != nil {
+		return err
+	}
+	if _, err := s.Exec("UPDATE district SET d_ytd = d_ytd + $1 WHERE d_w_id = $2 AND d_id = $3", amount, w, d); err != nil {
+		return err
+	}
+	if _, err := s.Exec(
+		"UPDATE customer SET c_balance = c_balance - $1, c_ytd_payment = c_ytd_payment + $1, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4",
+		amount, cw, cd, c); err != nil {
+		return err
+	}
+	_, err := s.Exec(
+		"INSERT INTO history (h_w_id, h_d_id, h_c_w_id, h_c_id, h_amount, h_data) VALUES ($1, $2, $3, $4, $5, 'payment')",
+		w, d, cw, c, amount)
+	return err
+}
+
+// orderStatusProc implements Order-Status. args: w_id, d_id, c_id.
+func orderStatusProc(s *engine.Session, args []types.Datum) error {
+	w, d, c := args[0].(int64), args[1].(int64), args[2].(int64)
+	if _, err := s.Exec("SELECT c_balance, c_last FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3", w, d, c); err != nil {
+		return err
+	}
+	res, err := s.Exec("SELECT max(o_id) FROM orders WHERE o_w_id = $1 AND o_d_id = $2 AND o_c_id = $3", w, d, c)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0] == nil {
+		return nil
+	}
+	oID := res.Rows[0][0].(int64)
+	_, err = s.Exec("SELECT ol_i_id, ol_quantity, ol_amount FROM order_line WHERE ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id = $3", w, d, oID)
+	return err
+}
+
+// deliveryProc implements a simplified Delivery for one district.
+// args: w_id, d_id.
+func deliveryProc(s *engine.Session, args []types.Datum) error {
+	w, d := args[0].(int64), args[1].(int64)
+	res, err := s.Exec("SELECT min(no_o_id) FROM new_order WHERE no_w_id = $1 AND no_d_id = $2", w, d)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0] == nil {
+		return nil
+	}
+	oID := res.Rows[0][0].(int64)
+	if _, err := s.Exec("DELETE FROM new_order WHERE no_w_id = $1 AND no_d_id = $2 AND no_o_id = $3", w, d, oID); err != nil {
+		return err
+	}
+	if _, err := s.Exec("UPDATE orders SET o_carrier_id = 7 WHERE o_w_id = $1 AND o_d_id = $2 AND o_id = $3", w, d, oID); err != nil {
+		return err
+	}
+	res, err = s.Exec("SELECT o_c_id FROM orders WHERE o_w_id = $1 AND o_d_id = $2 AND o_id = $3", w, d, oID)
+	if err != nil || len(res.Rows) == 0 {
+		return err
+	}
+	cID := res.Rows[0][0].(int64)
+	res, err = s.Exec("SELECT sum(ol_amount) FROM order_line WHERE ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id = $3", w, d, oID)
+	if err != nil {
+		return err
+	}
+	total := 0.0
+	if res.Rows[0][0] != nil {
+		total = res.Rows[0][0].(float64)
+	}
+	_, err = s.Exec(
+		"UPDATE customer SET c_balance = c_balance + $1, c_delivery_cnt = c_delivery_cnt + 1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4",
+		total, w, d, cID)
+	return err
+}
+
+// stockLevelProc implements Stock-Level. args: w_id, d_id, threshold.
+func stockLevelProc(s *engine.Session, args []types.Datum) error {
+	w, d, threshold := args[0].(int64), args[1].(int64), args[2].(int64)
+	res, err := s.Exec("SELECT d_next_o_id FROM district WHERE d_w_id = $1 AND d_id = $2", w, d)
+	if err != nil || len(res.Rows) == 0 {
+		return err
+	}
+	nextO := res.Rows[0][0].(int64)
+	// both distribution columns carry the literal filter so the router
+	// planner can scope the whole join to one shard group
+	_, err = s.Exec(
+		`SELECT count(DISTINCT s_i_id) FROM order_line JOIN stock
+		 ON s_w_id = ol_w_id AND s_i_id = ol_i_id
+		 WHERE ol_w_id = $1 AND s_w_id = $1 AND ol_d_id = $2 AND ol_o_id >= $3 AND ol_o_id < $4 AND s_quantity < $5`,
+		w, d, nextO-20, nextO, threshold)
+	return err
+}
+
+// Result summarizes a run.
+type Result struct {
+	NOPM        float64 // New Orders Per Minute, the Figure 6 metric
+	TPM         float64 // total transactions per minute
+	NewOrderP50 time.Duration
+	NewOrderP95 time.Duration
+	Errors      int64
+}
+
+// Run drives the transaction mix from VUsers sessions.
+func Run(newSession func(worker int) *engine.Session, cfg Config) Result {
+	cfg = cfg.WithDefaults()
+	sessions := make([]*engine.Session, cfg.VUsers)
+	for i := range sessions {
+		sessions[i] = newSession(i)
+	}
+	newOrderStats := &workload.Stats{}
+	all := workload.RunClosedLoop(cfg.VUsers, cfg.Duration, cfg.ThinkTime, func(worker int, rng *rand.Rand) error {
+		s := sessions[worker]
+		w := int64(rng.Intn(cfg.Warehouses) + 1)
+		d := int64(rng.Intn(cfg.Districts) + 1)
+		c := int64(rng.Intn(cfg.CustomersPerDistrict) + 1)
+		roll := rng.Float64()
+		switch {
+		case roll < 0.45: // New-Order
+			olCnt := int64(5 + rng.Intn(11))
+			remoteW := int64(0)
+			if cfg.Warehouses > 1 && rng.Float64() < cfg.RemoteItemPct*float64(olCnt) {
+				remoteW = otherWarehouse(rng, cfg.Warehouses, w)
+			}
+			start := time.Now()
+			_, err := s.Exec(fmt.Sprintf("CALL new_order(%d, %d, %d, %d, %d, %d)",
+				w, d, c, olCnt, rng.Int63(), remoteW))
+			if err == nil {
+				newOrderStats.Record(time.Since(start))
+			}
+			return err
+		case roll < 0.88: // Payment
+			cw, cd := w, d
+			if cfg.Warehouses > 1 && rng.Float64() < cfg.RemotePaymentPct {
+				cw = otherWarehouse(rng, cfg.Warehouses, w)
+				cd = int64(rng.Intn(cfg.Districts) + 1)
+			}
+			_, err := s.Exec(fmt.Sprintf("CALL payment(%d, %d, %d, %d, %d, %f)",
+				w, d, cw, cd, c, 1+rng.Float64()*4999))
+			return err
+		case roll < 0.92: // Order-Status
+			_, err := s.Exec(fmt.Sprintf("CALL order_status(%d, %d, %d)", w, d, c))
+			return err
+		case roll < 0.96: // Delivery
+			_, err := s.Exec(fmt.Sprintf("CALL delivery(%d, %d)", w, d))
+			return err
+		default: // Stock-Level
+			_, err := s.Exec(fmt.Sprintf("CALL stock_level(%d, %d, %d)", w, d, 70+rng.Intn(20)))
+			return err
+		}
+	})
+	minutes := cfg.Duration.Minutes()
+	return Result{
+		NOPM:        float64(newOrderStats.Ops()) / minutes,
+		TPM:         float64(all.Ops()) / minutes,
+		NewOrderP50: newOrderStats.Percentile(50),
+		NewOrderP95: newOrderStats.Percentile(95),
+		Errors:      all.Errors(),
+	}
+}
+
+func otherWarehouse(rng *rand.Rand, warehouses int, w int64) int64 {
+	for {
+		o := int64(rng.Intn(warehouses) + 1)
+		if o != w {
+			return o
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package tpcc_test
+
+import (
+	"testing"
+	"time"
+
+	"citusgo/internal/cluster"
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/workload/tpcc"
+)
+
+func format(v types.Datum) string { return types.Format(v) }
+
+func TestLoadAndRunLocal(t *testing.T) {
+	eng := engine.New(engine.Config{Name: "pg"})
+	defer eng.Close()
+	cfg := tpcc.Config{
+		Warehouses: 2, Districts: 3, CustomersPerDistrict: 10, Items: 50,
+		VUsers: 4, Duration: 300 * time.Millisecond,
+	}
+	tpcc.RegisterProcedures(eng, cfg)
+	s := eng.NewSession()
+	if err := tpcc.Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := tpcc.Run(func(int) *engine.Session { return eng.NewSession() }, cfg)
+	if res.NOPM <= 0 {
+		t.Fatalf("no new orders completed: %+v", res)
+	}
+	// consistency: every order has order lines, every new_order matches an
+	// order
+	q, err := s.Exec(`SELECT count(*) FROM orders o LEFT JOIN order_line l
+		ON o.o_w_id = l.ol_w_id AND o.o_d_id = l.ol_d_id AND o.o_id = l.ol_o_id
+		WHERE l.ol_o_id IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format(q.Rows[0][0]) != "0" {
+		t.Fatalf("%s orders without order lines", format(q.Rows[0][0]))
+	}
+}
+
+func TestLoadAndRunDistributed(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Workers: 2, ShardCount: 8, SyncMetadata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cfg := tpcc.Config{
+		Warehouses: 4, Districts: 2, CustomersPerDistrict: 10, Items: 50,
+		VUsers: 4, Duration: 400 * time.Millisecond, Distributed: true,
+	}
+	for _, eng := range c.Engines {
+		tpcc.RegisterProcedures(eng, cfg)
+	}
+	for _, node := range c.Nodes {
+		tpcc.RegisterDelegation(node)
+	}
+	s := c.Session()
+	if err := tpcc.Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := tpcc.Run(func(i int) *engine.Session { return c.Session() }, cfg)
+	if res.NOPM <= 0 {
+		t.Fatalf("no new orders completed: %+v", res)
+	}
+
+	// the cross-warehouse payments keep warehouse/district/customer books
+	// consistent: sum of history amounts equals sum of warehouse ytd
+	hq, err := s.Exec("SELECT sum(h_amount) FROM history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wq, err := s.Exec("SELECT sum(w_ytd) FROM warehouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hq.Rows[0][0] == nil {
+		t.Skip("no payments completed in the short run")
+	}
+	h, w := hq.Rows[0][0].(float64), wq.Rows[0][0].(float64)
+	if diff := h - w; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("books inconsistent after 2PC transactions: history=%f warehouse_ytd=%f", h, w)
+	}
+}

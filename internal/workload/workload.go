@@ -1,0 +1,142 @@
+// Package workload provides the shared benchmark-driver machinery: a
+// closed-loop multi-client runner and latency statistics, used by the
+// TPC-C-like, YCSB, TPC-H-like, GitHub-archive, and pgbench workloads that
+// reproduce the paper's evaluation (§4, Table 3).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats aggregates operation latencies.
+type Stats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	errors    int64
+	ops       int64
+}
+
+// Record adds one operation's latency.
+func (s *Stats) Record(d time.Duration) {
+	atomic.AddInt64(&s.ops, 1)
+	s.mu.Lock()
+	s.latencies = append(s.latencies, d)
+	s.mu.Unlock()
+}
+
+// RecordError counts a failed operation (e.g. a deadlock abort).
+func (s *Stats) RecordError() { atomic.AddInt64(&s.errors, 1) }
+
+// Ops returns the completed operation count.
+func (s *Stats) Ops() int64 { return atomic.LoadInt64(&s.ops) }
+
+// Errors returns the failed operation count.
+func (s *Stats) Errors() int64 { return atomic.LoadInt64(&s.errors) }
+
+// Percentile returns the p-th latency percentile (0 < p <= 100).
+func (s *Stats) Percentile(p float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted)-1) * p / 100)
+	return sorted[idx]
+}
+
+// Mean returns the mean latency.
+func (s *Stats) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.latencies {
+		total += d
+	}
+	return total / time.Duration(len(s.latencies))
+}
+
+// RunClosedLoop drives op from clients concurrent workers for the given
+// duration (closed loop: each worker issues the next operation as soon as
+// the previous one finishes, plus thinkTime). op receives the worker id and
+// a private random source.
+func RunClosedLoop(clients int, duration, thinkTime time.Duration, op func(worker int, rng *rand.Rand) error) *Stats {
+	stats := &Stats{}
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)*7919 + 17))
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				if err := op(worker, rng); err != nil {
+					stats.RecordError()
+				} else {
+					stats.Record(time.Since(start))
+				}
+				if thinkTime > 0 {
+					time.Sleep(thinkTime)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return stats
+}
+
+// RunFixedOps drives exactly total operations across clients workers.
+func RunFixedOps(clients, total int, op func(worker, seq int, rng *rand.Rand) error) *Stats {
+	stats := &Stats{}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)*104729 + 31))
+			for {
+				seq := int(next.Add(1)) - 1
+				if seq >= total {
+					return
+				}
+				start := time.Now()
+				if err := op(worker, seq, rng); err != nil {
+					stats.RecordError()
+				} else {
+					stats.Record(time.Since(start))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return stats
+}
+
+// FormatThroughput renders ops over a duration as "N/s".
+func FormatThroughput(ops int64, d time.Duration) string {
+	if d <= 0 {
+		return "0/s"
+	}
+	return fmt.Sprintf("%.0f/s", float64(ops)/d.Seconds())
+}
+
+// RandString produces deterministic filler text of length n.
+func RandString(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}

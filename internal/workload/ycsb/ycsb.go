@@ -1,0 +1,127 @@
+// Package ycsb implements the YCSB workload-A driver (50% reads / 50%
+// updates by key, uniform distribution) used by the paper's
+// high-performance CRUD benchmark (§4.3, Figure 10). The paper runs it with
+// every node acting as coordinator (metadata synced, clients load-balanced
+// across nodes); the driver takes a session factory so the harness can
+// round-robin clients over all nodes.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/types"
+	"citusgo/internal/workload"
+)
+
+// Fields is the number of payload columns (YCSB default is 10).
+const Fields = 10
+
+// Config sizes the workload.
+type Config struct {
+	Rows        int
+	Threads     int
+	Duration    time.Duration
+	ReadPortion float64 // 0.5 for workload A
+	FieldLength int     // payload size per field (YCSB default 100)
+	Distributed bool
+}
+
+// SchemaSQL returns the usertable definition.
+func SchemaSQL() string {
+	ddl := "CREATE TABLE usertable (ycsb_key bigint PRIMARY KEY"
+	for i := 0; i < Fields; i++ {
+		ddl += fmt.Sprintf(", field%d text", i)
+	}
+	return ddl + ")"
+}
+
+// Load creates and fills usertable.
+func Load(s *engine.Session, cfg Config) error {
+	if cfg.FieldLength == 0 {
+		cfg.FieldLength = 100
+	}
+	if _, err := s.Exec(SchemaSQL()); err != nil {
+		return err
+	}
+	if cfg.Distributed {
+		if _, err := s.Exec("SELECT create_distributed_table('usertable', 'ycsb_key')"); err != nil {
+			return err
+		}
+	}
+	cols := []string{"ycsb_key"}
+	for i := 0; i < Fields; i++ {
+		cols = append(cols, fmt.Sprintf("field%d", i))
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]types.Row, 0, 500)
+	for i := 0; i < cfg.Rows; i++ {
+		row := types.Row{int64(i)}
+		for f := 0; f < Fields; f++ {
+			row = append(row, workload.RandString(rng, cfg.FieldLength))
+		}
+		batch = append(batch, row)
+		if len(batch) == 500 || i == cfg.Rows-1 {
+			if _, err := s.CopyFrom("usertable", cols, batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	return nil
+}
+
+// Result reports throughput and update latency.
+type Result struct {
+	Throughput float64
+	UpdateMean time.Duration
+	UpdateP95  time.Duration
+	ReadMean   time.Duration
+	Errors     int64
+	TotalOps   int64
+}
+
+// Run executes workload A.
+func Run(newSession func(worker int) *engine.Session, cfg Config) Result {
+	if cfg.ReadPortion == 0 {
+		cfg.ReadPortion = 0.5
+	}
+	if cfg.FieldLength == 0 {
+		cfg.FieldLength = 100
+	}
+	sessions := make([]*engine.Session, cfg.Threads)
+	for i := range sessions {
+		sessions[i] = newSession(i)
+	}
+	updateStats := &workload.Stats{}
+	readStats := &workload.Stats{}
+	all := workload.RunClosedLoop(cfg.Threads, cfg.Duration, 0, func(worker int, rng *rand.Rand) error {
+		s := sessions[worker]
+		key := int64(rng.Intn(cfg.Rows)) // uniform request distribution
+		start := time.Now()
+		if rng.Float64() < cfg.ReadPortion {
+			_, err := s.Exec("SELECT * FROM usertable WHERE ycsb_key = $1", key)
+			if err == nil {
+				readStats.Record(time.Since(start))
+			}
+			return err
+		}
+		field := rng.Intn(Fields)
+		val := workload.RandString(rng, cfg.FieldLength)
+		_, err := s.Exec(fmt.Sprintf("UPDATE usertable SET field%d = $1 WHERE ycsb_key = $2", field), val, key)
+		if err == nil {
+			updateStats.Record(time.Since(start))
+		}
+		return err
+	})
+	return Result{
+		Throughput: float64(all.Ops()) / cfg.Duration.Seconds(),
+		UpdateMean: updateStats.Mean(),
+		UpdateP95:  updateStats.Percentile(95),
+		ReadMean:   readStats.Mean(),
+		Errors:     all.Errors(),
+		TotalOps:   all.Ops(),
+	}
+}

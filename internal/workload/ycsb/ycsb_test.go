@@ -1,0 +1,47 @@
+package ycsb_test
+
+import (
+	"testing"
+	"time"
+
+	"citusgo/internal/cluster"
+	"citusgo/internal/engine"
+	"citusgo/internal/workload/ycsb"
+)
+
+func TestWorkloadALocal(t *testing.T) {
+	eng := engine.New(engine.Config{Name: "pg"})
+	defer eng.Close()
+	s := eng.NewSession()
+	cfg := ycsb.Config{Rows: 500, Threads: 4, Duration: 200 * time.Millisecond, FieldLength: 20}
+	if err := ycsb.Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := ycsb.Run(func(int) *engine.Session { return eng.NewSession() }, cfg)
+	if res.TotalOps == 0 || res.Errors > 0 {
+		t.Fatalf("bad run: %+v", res)
+	}
+}
+
+func TestWorkloadADistributedMX(t *testing.T) {
+	// the paper's Figure 10 setup: metadata synced, clients load-balanced
+	// over every node acting as coordinator
+	c, err := cluster.New(cluster.Config{Workers: 2, ShardCount: 8, SyncMetadata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cfg := ycsb.Config{Rows: 500, Threads: 6, Duration: 200 * time.Millisecond, FieldLength: 20, Distributed: true}
+	if err := ycsb.Load(c.Session(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := ycsb.Run(func(worker int) *engine.Session {
+		return c.SessionOn(worker % c.NumNodes()) // round-robin load balancing
+	}, cfg)
+	if res.TotalOps == 0 {
+		t.Fatalf("no operations completed: %+v", res)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d errors during YCSB run", res.Errors)
+	}
+}
