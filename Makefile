@@ -1,6 +1,6 @@
 # Convenience targets for the citusgo reproduction.
 
-.PHONY: all build test bench figures examples vet fmt
+.PHONY: all build test bench figures examples vet fmt fmt-check race bench-smoke ci
 
 all: build vet test
 
@@ -13,8 +13,26 @@ vet:
 fmt:
 	gofmt -w .
 
+# fail if any file needs gofmt (mirrors the CI job)
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 test:
-	go test ./...
+	go test -timeout 15m ./...
+
+# race-enabled tests over the concurrent internals (mirrors the CI job)
+race:
+	go test -race -timeout 20m ./internal/...
+
+# run every benchmark once so benchmark code can't bit-rot (the figure
+# benchmarks live in the root package, on top of internal/bench)
+bench-smoke:
+	go test -bench=. -benchtime=1x -run '^$$' -timeout 15m . ./internal/bench/...
+
+# the full CI pipeline (.github/workflows/ci.yml), reproducible locally
+ci: build vet fmt-check test race bench-smoke
 
 # one testing.B benchmark per paper figure (test scale)
 bench:

@@ -43,14 +43,19 @@ func main() {
 		sc.YCSBRun = *duration
 	}
 
+	// Every figure run ends with the distributed-layer obs counters it
+	// accumulated, so throughput numbers come with their mechanism
+	// (tasks placed, 2PC outcomes, pool pressure) attached.
 	run := func(name string, f func(bench.Scale) (bench.Series, error)) {
 		start := time.Now()
+		pre := bench.ObsSnapshot()
 		s, err := f(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(s.String())
+		fmt.Println(bench.FormatDistCounters(bench.ObsSnapshot().Delta(pre)))
 		fmt.Printf("  (measured in %s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
@@ -66,6 +71,7 @@ func main() {
 	case "8":
 		run("8", bench.Figure8)
 	case "9":
+		pre := bench.ObsSnapshot()
 		series, err := bench.Figure9(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure 9 failed: %v\n", err)
@@ -74,9 +80,11 @@ func main() {
 		for _, s := range series {
 			fmt.Println(s.String())
 		}
+		fmt.Println(bench.FormatDistCounters(bench.ObsSnapshot().Delta(pre)))
 	case "10":
 		run("10", bench.Figure10)
 	case "all":
+		pre := bench.ObsSnapshot()
 		series, err := bench.AllFigures(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark failed: %v\n", err)
@@ -90,6 +98,7 @@ func main() {
 		for _, s := range series {
 			fmt.Println(s.String())
 		}
+		fmt.Println(bench.FormatDistCounters(bench.ObsSnapshot().Delta(pre)))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

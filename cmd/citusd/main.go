@@ -10,11 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"citusgo/internal/cluster"
+	"citusgo/internal/obs"
 	"citusgo/internal/wire"
 )
 
@@ -24,6 +27,7 @@ func main() {
 	shards := flag.Int("shards", 32, "shard count for new distributed tables")
 	rtt := flag.Duration("rtt", 0, "simulated network round-trip between nodes")
 	mx := flag.Bool("mx", false, "sync metadata to workers (any node can coordinate)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics (text exposition of the obs registry) on this address; empty disables")
 	flag.Parse()
 
 	c, err := cluster.New(cluster.Config{
@@ -44,6 +48,21 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics listen failed: %v\n", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = obs.Default().WriteText(w)
+		})
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("citusd: serving /metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	fmt.Printf("citusd: coordinator + %d workers, %d shards per table\n", *workers, *shards)
 	fmt.Printf("citusd: serving the wire protocol on %s\n", srv.Addr())

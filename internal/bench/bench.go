@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"citusgo/internal/cluster"
+	"citusgo/internal/obs"
 )
 
 // Spec is one cluster configuration of the paper's comparison.
@@ -165,6 +166,42 @@ func boundMemory(c *cluster.Cluster, sc Scale) {
 		eng.Pool.SetIOLatency(sc.IOLatency, sc.IOConcurrency)
 		eng.Pool.SetCapacity(capacity)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// obs integration: figures report distributed-layer counters next to
+// throughput, so a perf regression shows up with its mechanism attached
+// (e.g. TPS down while pool_limit_waits_total is up).
+
+// ObsSnapshot captures the process-global obs registry; diff two of them
+// with Delta to isolate what one benchmark run did.
+func ObsSnapshot() obs.Snapshot { return obs.Default().Snapshot() }
+
+// distFamilies are the metric-name prefixes that belong to the distributed
+// layer's instrumentation (see docs/observability.md).
+var distFamilies = []string{"executor_", "dtxn_", "deadlock_", "pool_", "engine_", "wal_"}
+
+// FormatDistCounters renders the distributed-layer entries of a snapshot
+// delta as an indented, sorted block (citusbench prints this after each
+// figure run).
+func FormatDistCounters(delta obs.Snapshot) string {
+	var sb strings.Builder
+	for _, k := range delta.Keys() {
+		dist := false
+		for _, p := range distFamilies {
+			if strings.HasPrefix(k, p) {
+				dist = true
+				break
+			}
+		}
+		if dist {
+			fmt.Fprintf(&sb, "    %-56s %12d\n", k, delta[k])
+		}
+	}
+	if sb.Len() == 0 {
+		return "  obs: no distributed-layer activity recorded"
+	}
+	return "  obs counter deltas:\n" + strings.TrimRight(sb.String(), "\n")
 }
 
 // speedup computes point value relative to the first point.

@@ -47,13 +47,17 @@ func Figure6(sc Scale) (Series, error) {
 			return out, fmt.Errorf("%s: %w", spec.Name, err)
 		}
 		boundMemory(c, sc)
+		pre := ObsSnapshot()
 		res := tpcc.Run(func(int) *engine.Session { return c.Session() }, cfg)
+		d := ObsSnapshot().Delta(pre)
 		out.Points = append(out.Points, Point{
 			Config: spec.Name,
 			Value:  res.NOPM,
 			Extra: map[string]float64{
 				"p50_ms": float64(res.NewOrderP50.Microseconds()) / 1000,
 				"p95_ms": float64(res.NewOrderP95.Microseconds()) / 1000,
+				"2pc":    float64(d.Sum("dtxn_2pc_commits_total")),
+				"tasks":  float64(d.Sum("executor_tasks_total")),
 			},
 		})
 		c.Close()
@@ -235,11 +239,16 @@ func Figure9(sc Scale) ([]Series, error) {
 		rs := pgbench.Run(func(int) *engine.Session { return c.Session() }, cfg)
 		same.Points = append(same.Points, Point{Config: spec.Name, Value: rs.TPS})
 		cfg.SameKey = false
+		pre := ObsSnapshot()
 		rd := pgbench.Run(func(int) *engine.Session { return c.Session() }, cfg)
+		d := ObsSnapshot().Delta(pre)
 		diff.Points = append(diff.Points, Point{
 			Config: spec.Name,
 			Value:  rd.TPS,
-			Extra:  map[string]float64{"penalty_pct": 100 * (1 - rd.TPS/maxf(rs.TPS, 1))},
+			Extra: map[string]float64{
+				"penalty_pct": 100 * (1 - rd.TPS/maxf(rs.TPS, 1)),
+				"2pc":         float64(d.Sum("dtxn_2pc_commits_total")),
+			},
 		})
 		c.Close()
 	}

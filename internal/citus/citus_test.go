@@ -19,11 +19,13 @@ func newCluster(t *testing.T, workers int) *cluster.Cluster {
 		ShardCount:            8,
 		SyncMetadata:          false,
 		LocalDeadlockInterval: 20 * time.Millisecond,
+		// Set before StartDaemons runs: the deadlock loop goroutine reads
+		// Cfg, so mutating it after cluster.New is a data race.
+		Citus: citus.Config{DeadlockInterval: 50 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Coordinator().Cfg.DeadlockInterval = 50 * time.Millisecond
 	t.Cleanup(c.Close)
 	return c
 }

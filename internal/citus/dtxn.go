@@ -7,9 +7,33 @@ import (
 	"time"
 
 	"citusgo/internal/engine"
+	"citusgo/internal/obs"
 	"citusgo/internal/types"
 	"citusgo/internal/wal"
 	"citusgo/internal/wire"
+)
+
+// Distributed transaction and deadlock detector metrics (§3.7).
+var (
+	metSingleNodeCommits = obs.Default().Counter("dtxn_single_node_commits_total",
+		"distributed transactions committed via single-node delegation (no 2PC, §3.7.1)").With()
+	met2pcPrepares = obs.Default().Counter("dtxn_2pc_prepares_total",
+		"PREPARE TRANSACTION calls issued to workers (§3.7.2)").With()
+	met2pcCommits = obs.Default().Counter("dtxn_2pc_commits_total",
+		"two-phase commits that reached the committed decision").With()
+	met2pcAborts = obs.Default().Counter("dtxn_2pc_aborts_total",
+		"two-phase commits that aborted (prepare failure or local rollback)").With()
+	metRecoveryResolved = obs.Default().Counter("dtxn_recovery_resolved_total",
+		"prepared transactions resolved by the 2PC recovery daemon").With()
+	metCommitLatency = obs.Default().Histogram("dtxn_commit_latency_ns",
+		"2PC commit protocol latency (prepare through resolution) in nanoseconds", nil).With()
+
+	metDeadlockPolls = obs.Default().Counter("deadlock_polls_total",
+		"distributed deadlock detector graph polls (§3.7.3)").With()
+	metDeadlockCycles = obs.Default().Counter("deadlock_cycles_total",
+		"cycles found in the merged distributed waits-for graph").With()
+	metDeadlockVictims = obs.Default().Counter("deadlock_victims_total",
+		"distributed transactions cancelled as deadlock victims").With()
 )
 
 // registerTxnCallbacks hooks the distributed commit protocol into the
@@ -41,6 +65,7 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 	}
 	var prepared []preparedConn
 	committedRecords := false
+	var commitStart time.Time
 
 	t.OnPreCommit(func() error {
 		participants := st.txnConns()
@@ -67,14 +92,19 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 				}
 				wc.inTxn = false
 			}
+			if firstErr == nil {
+				metSingleNodeCommits.Inc()
+			}
 			return firstErr
 		}
 		// Two-phase commit (§3.7.2).
+		commitStart = time.Now()
 		for i, wc := range participants {
 			if !wc.wrote {
 				continue
 			}
 			gid := fmt.Sprintf("citus_%d_%d_%d", n.ID, localXID, i)
+			met2pcPrepares.Inc()
 			if _, err := wc.conn.Query("PREPARE TRANSACTION " + types.QuoteString(gid)); err != nil {
 				wc.broken = true
 				// abort everything prepared or open so far
@@ -83,6 +113,7 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 					p.wc.inTxn = false
 				}
 				prepared = nil
+				met2pcAborts.Inc()
 				return fmt.Errorf("prepare on node %d failed: %w", wc.nodeID, err)
 			}
 			wc.inTxn = false
@@ -130,6 +161,16 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 				delete(n.commitRecords, p.gid)
 			}
 			n.commitMu.Unlock()
+		}
+		if len(prepared) > 0 {
+			if committed && committedRecords {
+				met2pcCommits.Inc()
+			} else {
+				met2pcAborts.Inc()
+			}
+			if !commitStart.IsZero() {
+				metCommitLatency.ObserveSince(commitStart)
+			}
 		}
 		// Abort any connection still holding an open transaction block
 		// (statement failure or local rollback).
@@ -239,6 +280,7 @@ func (n *Node) RecoverTwoPhaseCommits() int {
 			}
 		})
 	}
+	metRecoveryResolved.Add(int64(resolved))
 	return resolved
 }
 
@@ -287,6 +329,7 @@ func (n *Node) deadlockLoop() {
 // the youngest distributed transaction of any cycle. Returns the cancelled
 // distributed transaction id, or "".
 func (n *Node) CheckDistributedDeadlock() string {
+	metDeadlockPolls.Inc()
 	type edge struct{ from, to string }
 	var edges []edge
 	vertexName := func(nodeID int, xid uint64, dist string) string {
@@ -324,6 +367,7 @@ func (n *Node) CheckDistributedDeadlock() string {
 	if len(cycle) == 0 {
 		return ""
 	}
+	metDeadlockCycles.Inc()
 	// choose the youngest distributed transaction in the cycle (greatest
 	// start timestamp embedded in the dist id)
 	victim := ""
@@ -349,6 +393,7 @@ func (n *Node) CheckDistributedDeadlock() string {
 	if victim == "" {
 		return "" // purely local cycle: the node-local detector handles it
 	}
+	metDeadlockVictims.Inc()
 	n.Eng.CancelByDistID(victim)
 	for _, node := range n.Meta.Nodes() {
 		if node.ID == n.ID {

@@ -3,13 +3,32 @@ package citus
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"citusgo/internal/engine"
+	"citusgo/internal/obs"
 	"citusgo/internal/pool"
 	"citusgo/internal/types"
+)
+
+// Adaptive executor metrics (§3.6.1). Task counters split read/write;
+// connection opens are labeled by target node.
+var (
+	metTasksVec = obs.Default().Counter("executor_tasks_total",
+		"tasks placed by the adaptive executor, by task kind", "kind")
+	metTasksRead     = metTasksVec.With("read")
+	metTasksWrite    = metTasksVec.With("write")
+	metConnsOpenedBy = obs.Default().Counter("executor_conns_opened_total",
+		"connections the adaptive executor opened beyond its pinned set, by target node", "node")
+	metSlowStartRounds = obs.Default().Counter("executor_slow_start_rounds_total",
+		"slow-start ramp rounds elapsed while tasks were pending").With()
+	metConnWaits = obs.Default().Counter("executor_conn_waits_total",
+		"waits for a connection slot under the shared connection limit").With()
+	metTaskLatency = obs.Default().Histogram("executor_task_latency_ns",
+		"per-task execution latency in nanoseconds", nil).With()
 )
 
 // task is one query against one shard placement — the unit of distributed
@@ -47,6 +66,8 @@ func (n *Node) executeTasks(s *engine.Session, tasks []task) ([]*engine.Result, 
 			}
 		}
 	}
+	metTasksWrite.Add(int64(writeTasks))
+	metTasksRead.Add(int64(len(tasks) - writeTasks))
 	// Transaction blocks are needed inside an explicit transaction (for
 	// locks/visibility across statements) and for multi-shard writes in a
 	// single statement (atomicity via 2PC at commit).
@@ -185,6 +206,7 @@ func (n *Node) runNodeTasks(s *engine.Session, st *sessState, nodeID int, idxs [
 			noteErr(err)
 			return false
 		}
+		metConnsOpenedBy.With(strconv.Itoa(nodeID)).Inc()
 		newMu.Lock()
 		newConns = append(newConns, wc)
 		newMu.Unlock()
@@ -222,6 +244,7 @@ func (n *Node) runNodeTasks(s *engine.Session, st *sessState, nodeID int, idxs [
 					return
 				case <-ticker.C:
 					allowance++
+					metSlowStartRounds.Inc()
 					pendingTasks := int(remaining.Load())
 					want := allowance
 					if pendingTasks-started < want {
@@ -283,6 +306,7 @@ func (n *Node) acquireConn(p *pool.NodePool, nodeID int, mustHave bool) (*worker
 		if !errors.Is(err, pool.ErrLimit) || !mustHave {
 			return nil, err
 		}
+		metConnWaits.Inc()
 		time.Sleep(200 * time.Microsecond)
 	}
 }
@@ -301,7 +325,9 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 		}
 		wc.inTxn = true
 	}
+	start := time.Now()
 	res, err := wc.conn.Query(t.sql, t.params...)
+	metTaskLatency.ObserveSince(start)
 	if err != nil {
 		return fmt.Errorf("task on node %d failed: %w", wc.nodeID, err)
 	}

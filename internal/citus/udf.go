@@ -7,6 +7,7 @@ import (
 	"citusgo/internal/citus/metadata"
 	"citusgo/internal/engine"
 	"citusgo/internal/expr"
+	"citusgo/internal/obs"
 	"citusgo/internal/sql"
 	"citusgo/internal/types"
 	"citusgo/internal/wire"
@@ -23,6 +24,8 @@ import (
 //	SELECT create_restore_point('name')
 //	SELECT citus_recover_prepared_transactions()
 //	SELECT citus_move_shard_placement(shard_id, from_node, to_node)
+//	SELECT citus_stat_counters()
+//	SELECT citus_stat_activity()
 func (n *Node) matchUDF(s *engine.Session, stmt sql.Statement, params []types.Datum) (engine.Plan, bool, error) {
 	sel, ok := stmt.(*sql.SelectStmt)
 	if !ok || len(sel.From) != 0 || len(sel.Columns) != 1 {
@@ -157,8 +160,77 @@ func (n *Node) matchUDF(s *engine.Session, stmt sql.Statement, params []types.Da
 	case "citus_tables":
 		// introspection: one row per citus table (the citus_tables view)
 		return &tablesPlan{node: n}, true, nil
+
+	case "citus_stat_counters":
+		// observability: one row per metric in the global obs registry
+		return &statCountersPlan{}, true, nil
+
+	case "citus_stat_activity":
+		// observability: active/prepared transactions across the cluster
+		return &statActivityPlan{node: n, clusterWide: true}, true, nil
+
+	case "citus_node_stat_activity":
+		// node-local part of citus_stat_activity, invoked over the wire
+		return &statActivityPlan{node: n}, true, nil
 	}
 	return nil, false, nil
+}
+
+// statCountersPlan renders the obs registry as a two-column relation — the
+// SQL-queryable counterpart of the citus_stat_* views (§5–6 of the paper's
+// operational story).
+type statCountersPlan struct{}
+
+func (p *statCountersPlan) Columns() []string      { return []string{"name", "value"} }
+func (p *statCountersPlan) ExplainLines() []string { return []string{"Citus Stat Counters"} }
+
+func (p *statCountersPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Result, error) {
+	snap := obs.Default().Snapshot()
+	res := &engine.Result{Columns: p.Columns()}
+	for _, k := range snap.Keys() {
+		res.Rows = append(res.Rows, types.Row{k, snap[k]})
+	}
+	res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+	return res, nil
+}
+
+// statActivityPlan lists in-flight transactions: the local engine's active
+// and prepared transactions, and — cluster-wide from a coordinator — every
+// other node's, gathered over the wire via citus_node_stat_activity().
+type statActivityPlan struct {
+	node        *Node
+	clusterWide bool
+}
+
+func (p *statActivityPlan) Columns() []string {
+	return []string{"node_id", "xid", "dist_txn_id", "state"}
+}
+func (p *statActivityPlan) ExplainLines() []string { return []string{"Citus Stat Activity"} }
+
+func (p *statActivityPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Result, error) {
+	res := &engine.Result{Columns: p.Columns()}
+	for _, t := range p.node.Eng.Txns.ActiveTxns() {
+		res.Rows = append(res.Rows, types.Row{int64(p.node.ID), int64(t.XID), t.DistID, "active"})
+	}
+	for _, pi := range p.node.Eng.Txns.ListPrepared() {
+		res.Rows = append(res.Rows, types.Row{int64(p.node.ID), int64(pi.XID), pi.DistID, "prepared"})
+	}
+	if p.clusterWide {
+		for _, node := range p.node.Meta.Nodes() {
+			if node.ID == p.node.ID {
+				continue
+			}
+			p.node.withNodeConn(node.ID, func(c *wire.Conn) {
+				remote, err := c.Query("SELECT citus_node_stat_activity()")
+				if err != nil {
+					return
+				}
+				res.Rows = append(res.Rows, remote.Rows...)
+			})
+		}
+	}
+	res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+	return res, nil
 }
 
 // tablesPlan renders the citus_tables metadata view.

@@ -785,6 +785,7 @@ func returningNames(items []sql.SelectItem, store *storage) []string {
 // CopyFrom bulk-inserts pre-parsed rows (the COPY protocol's data phase).
 // Values are positional per the column list (nil = all columns).
 func (s *Session) CopyFrom(table string, columns []string, rows []types.Row) (int, error) {
+	metStatements["copy"].Inc()
 	if hook := s.Eng.CopyHook; hook != nil {
 		handled, n, err := hook(s, table, columns, rows)
 		if handled {

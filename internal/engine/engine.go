@@ -25,11 +25,62 @@ import (
 	"citusgo/internal/heap"
 	"citusgo/internal/index"
 	"citusgo/internal/lock"
+	"citusgo/internal/obs"
 	"citusgo/internal/sql"
 	"citusgo/internal/txn"
 	"citusgo/internal/types"
 	"citusgo/internal/wal"
 )
+
+// metStatements counts statements executed on this process's engines by
+// statement kind; the per-kind counters are resolved once at init so the
+// per-statement cost is a single atomic add.
+var metStatements = map[string]*obs.Counter{}
+
+func init() {
+	vec := obs.Default().Counter("engine_statements_total",
+		"statements executed by the engine, by statement kind", "kind")
+	for _, k := range []string{
+		"select", "insert", "update", "delete", "copy", "ddl", "txn_control",
+		"set", "explain", "vacuum", "call", "other",
+	} {
+		metStatements[k] = vec.With(k)
+	}
+}
+
+func countStatement(stmt sql.Statement) {
+	metStatements[stmtKind(stmt)].Inc()
+}
+
+func stmtKind(stmt sql.Statement) string {
+	switch stmt.(type) {
+	case *sql.SelectStmt:
+		return "select"
+	case *sql.InsertStmt:
+		return "insert"
+	case *sql.UpdateStmt:
+		return "update"
+	case *sql.DeleteStmt:
+		return "delete"
+	case *sql.CopyStmt:
+		return "copy"
+	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
+		*sql.TruncateStmt, *sql.AlterTableAddColumnStmt:
+		return "ddl"
+	case *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt,
+		*sql.PrepareTransactionStmt, *sql.CommitPreparedStmt, *sql.RollbackPreparedStmt:
+		return "txn_control"
+	case *sql.SetStmt:
+		return "set"
+	case *sql.ExplainStmt:
+		return "explain"
+	case *sql.VacuumStmt:
+		return "vacuum"
+	case *sql.CallStmt:
+		return "call"
+	}
+	return "other"
+}
 
 // Result is the outcome of executing one statement.
 type Result struct {
@@ -427,6 +478,7 @@ func (s *Session) ExecScript(script string) error {
 
 // ExecStmt executes a parsed statement with bound parameters.
 func (s *Session) ExecStmt(stmt sql.Statement, params []types.Datum) (*Result, error) {
+	countStatement(stmt)
 	// Transaction control is handled before the failed-transaction check,
 	// like PostgreSQL (ROLLBACK must always work).
 	switch st := stmt.(type) {

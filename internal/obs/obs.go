@@ -1,0 +1,146 @@
+// Package obs is the cluster-wide observability layer: a small,
+// dependency-free metrics subsystem the distributed stack threads through
+// its hot paths, playing the role of the citus_stat_* infrastructure the
+// paper's operational story rests on (§5–6: observing the adaptive
+// executor, 2PC outcomes, and the deadlock detector in production).
+//
+// The primitives are deliberately minimal — atomic counters, gauges, and
+// bounded histograms with quantile estimates — organized into labeled
+// metric families by a Registry. Instrumented packages declare their
+// families once at init time against the process-global Default registry
+// and pay one atomic add per event on the hot path. Consumers read the
+// registry three ways: Snapshot (a point-in-time map the benchmarks diff
+// around a run), WriteText (a Prometheus-style text exposition served by
+// citusd's /metrics endpoint), and the citus_stat_counters() /
+// citus_stat_activity() UDFs in the citus layer.
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a bounded histogram over int64 observations (latencies are
+// recorded in nanoseconds). Observations are counted into buckets with
+// fixed upper bounds plus one overflow bucket, so memory stays constant
+// regardless of observation volume and quantiles are estimated without
+// retaining samples.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// DurationBounds are the default histogram bounds for latencies: powers of
+// two from 1µs to ~8.4s, in nanoseconds.
+var DurationBounds = ExponentialBounds(int64(time.Microsecond), 2, 24)
+
+// ExponentialBounds returns n ascending bounds start, start*factor, ...
+func ExponentialBounds(start, factor int64, n int) []int64 {
+	out := make([]int64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// NewHistogram creates a histogram with the given bucket upper bounds
+// (nil means DurationBounds). Bounds must be ascending.
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBounds
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+}
+
+// ObserveSince records the elapsed time since t0 in nanoseconds.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(int64(time.Since(t0))) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation seen.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket holding the target rank — an upper bound of the true quantile at
+// bucket resolution. Observations in the overflow bucket report the
+// maximum seen. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	var total int64
+	loaded := make([]int64, len(h.counts))
+	for i := range h.counts {
+		loaded[i] = h.counts[i].Load()
+		total += loaded[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if float64(target) < q*float64(total) || target == 0 {
+		target++ // ceil, at least rank 1
+	}
+	var cum int64
+	for i, c := range loaded {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max.Load()
+		}
+	}
+	return h.max.Load()
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrentCounterIncrements(t *testing.T) {
+	r := NewRegistry()
+	vec := r.Counter("test_ops_total", "ops", "kind")
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, b := vec.With("read"), vec.With("write")
+			for i := 0; i < perWorker; i++ {
+				a.Inc()
+				b.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := vec.With("read").Value(); got != workers*perWorker {
+		t.Errorf("read counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := vec.With("write").Value(); got != 2*workers*perWorker {
+		t.Errorf("write counter = %d, want %d", got, 2*workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_open", "open things").With()
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000, 10000})
+	// 90 observations <= 10, 9 in (10,100], 1 in (1000,10000]
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50)
+	}
+	h.Observe(5000)
+
+	if got := h.Quantile(0.50); got != 10 {
+		t.Errorf("p50 = %d, want 10 (bucket upper bound of value 5)", got)
+	}
+	if got := h.Quantile(0.95); got != 100 {
+		t.Errorf("p95 = %d, want 100", got)
+	}
+	if got := h.Quantile(1.0); got != 10000 {
+		t.Errorf("p100 = %d, want 10000", got)
+	}
+	if got, want := h.Count(), int64(100); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), int64(90*5+9*50+5000); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if got := h.Max(); got != 5000 {
+		t.Errorf("max = %d, want 5000", got)
+	}
+}
+
+func TestHistogramOverflowUsesMax(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.Observe(99)
+	if got := h.Quantile(0.5); got != 99 {
+		t.Errorf("overflow quantile = %d, want observed max 99", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(time.Millisecond))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+	// 1ms lands in the power-of-two bucket with upper bound 1024µs
+	if got := h.Quantile(0.5); got != 1024*int64(time.Microsecond) {
+		t.Errorf("p50 = %d, want %d (bucket upper bound)", got, 1024*int64(time.Microsecond))
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "t").With()
+	h := r.Histogram("test_lat", "t", []int64{10, 100}).With()
+	c.Add(7)
+	h.Observe(5)
+
+	snap := r.Snapshot()
+	c.Add(100)
+	h.Observe(5)
+	h.Observe(5)
+
+	if got := snap.Get("test_total"); got != 7 {
+		t.Errorf("snapshot mutated: test_total = %d, want 7", got)
+	}
+	if got := snap.Get("test_lat_count"); got != 1 {
+		t.Errorf("snapshot mutated: test_lat_count = %d, want 1", got)
+	}
+	if got := r.Snapshot().Get("test_total"); got != 107 {
+		t.Errorf("live registry = %d, want 107", got)
+	}
+}
+
+func TestSnapshotDeltaAndSum(t *testing.T) {
+	r := NewRegistry()
+	vec := r.Counter("test_gets_total", "t", "node")
+	vec.With("n1").Add(3)
+	vec.With("n2").Add(4)
+	before := r.Snapshot()
+	vec.With("n1").Add(10)
+	d := r.Snapshot().Delta(before)
+
+	if got := d.Get(`test_gets_total{node="n1"}`); got != 10 {
+		t.Errorf("delta n1 = %d, want 10", got)
+	}
+	if _, ok := d[`test_gets_total{node="n2"}`]; ok {
+		t.Error("unchanged counter should be dropped from delta")
+	}
+	if got := r.Snapshot().Sum("test_gets_total"); got != 17 {
+		t.Errorf("sum = %d, want 17", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "help a", "node").With("n1").Add(2)
+	r.Gauge("test_b", "help b").With().Set(-3)
+	r.Histogram("test_c", "help c", []int64{100}).With().Observe(50)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_a_total counter",
+		`test_a_total{node="n1"} 2`,
+		"# TYPE test_b gauge",
+		"test_b -3",
+		"# TYPE test_c histogram",
+		`test_c{quantile="0.5"} 100`,
+		"test_c_count 1",
+		"test_c_sum 50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFamilyReRegistrationReturnsSame(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_same_total", "h").With()
+	b := r.Counter("test_same_total", "h").With()
+	if a != b {
+		t.Error("re-registering a family must return the same metric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("test_same_total", "h")
+}

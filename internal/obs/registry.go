@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind enumerates metric family kinds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// labelSep joins label values into a family's metric key; it cannot appear
+// in reasonable label values.
+const labelSep = "\x1f"
+
+// family is one named metric family: a kind, a label schema, and one
+// metric instance per distinct label-value combination.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+	bounds []int64 // histogram bucket bounds
+
+	mu      sync.RWMutex
+	metrics map[string]any // label-values key -> *Counter | *Gauge | *Histogram
+}
+
+func (f *family) with(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	m, ok := f.metrics[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.metrics[key]; ok {
+		return m
+	}
+	switch f.kind {
+	case KindCounter:
+		m = &Counter{}
+	case KindGauge:
+		m = &Gauge{}
+	case KindHistogram:
+		m = NewHistogram(f.bounds)
+	}
+	f.metrics[key] = m
+	return m
+}
+
+// Registry holds labeled metric families. The zero-value is not usable;
+// create with NewRegistry or use the process-global Default.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry every instrumented package
+// registers into.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) family(name, help string, kind Kind, bounds []int64, labels []string) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		f, ok = r.families[name]
+		if !ok {
+			f = &family{
+				name: name, help: help, kind: kind,
+				labels: labels, bounds: bounds,
+				metrics: make(map[string]any),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %s re-registered with a different kind or label schema", name))
+	}
+	return f
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, KindCounter, nil, labels)}
+}
+
+// With returns the counter for the given label values (one per label name;
+// none for an unlabeled family).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).(*Counter) }
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, KindGauge, nil, labels)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).(*Gauge) }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ f *family }
+
+// Histogram registers (or returns) a histogram family. bounds nil means
+// DurationBounds (latency in nanoseconds).
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, KindHistogram, bounds, labels)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).(*Histogram) }
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+// Snapshot is a point-in-time copy of every metric in a registry, keyed by
+// `name` or `name{label="value",...}`. Histograms expand into _count, _sum,
+// _p50, _p95, and _p99 entries. A Snapshot is fully isolated from the live
+// registry: later metric updates never change it.
+type Snapshot map[string]int64
+
+// labelSuffix renders `{a="x",b="y"}` for a metric key, or "".
+func labelSuffix(names []string, key string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	values := strings.Split(key, labelSep)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", n, values[i])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	out := make(Snapshot)
+	for _, f := range r.sortedFamilies() {
+		f.mu.RLock()
+		for key, m := range f.metrics {
+			lbl := labelSuffix(f.labels, key)
+			switch v := m.(type) {
+			case *Counter:
+				out[f.name+lbl] = v.Value()
+			case *Gauge:
+				out[f.name+lbl] = v.Value()
+			case *Histogram:
+				out[f.name+"_count"+lbl] = v.Count()
+				out[f.name+"_sum"+lbl] = v.Sum()
+				out[f.name+"_p50"+lbl] = v.Quantile(0.50)
+				out[f.name+"_p95"+lbl] = v.Quantile(0.95)
+				out[f.name+"_p99"+lbl] = v.Quantile(0.99)
+			}
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}
+
+// Get returns the value for an exact snapshot key (0 when absent).
+func (s Snapshot) Get(key string) int64 { return s[key] }
+
+// Sum adds up every entry belonging to the named family: the exact key
+// plus every labeled variant `name{...}`.
+func (s Snapshot) Sum(name string) int64 {
+	var total int64
+	for k, v := range s {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Delta returns s - prev for counter-like keys, dropping zero deltas.
+// Histogram quantile entries (_p50/_p95/_p99) are carried over from s
+// as-is rather than subtracted — a quantile difference is meaningless.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := make(Snapshot)
+	for k, v := range s {
+		if isQuantileKey(k) {
+			if v != 0 {
+				out[k] = v
+			}
+			continue
+		}
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+func isQuantileKey(k string) bool {
+	base := k
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		base = k[:i]
+	}
+	return strings.HasSuffix(base, "_p50") || strings.HasSuffix(base, "_p95") || strings.HasSuffix(base, "_p99")
+}
+
+// Keys returns the snapshot's keys, sorted.
+func (s Snapshot) Keys() []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ---------------------------------------------------------------------------
+// Text exposition
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// WriteText renders the registry in a Prometheus-style text format:
+// HELP/TYPE comment lines followed by one `name{labels} value` line per
+// metric. Histograms are rendered summary-style (quantile label plus
+// _count/_sum), keeping the exposition bounded.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.metrics))
+		for k := range f.metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			f.mu.RUnlock()
+			return err
+		}
+		for _, key := range keys {
+			lbl := labelSuffix(f.labels, key)
+			var err error
+			switch v := f.metrics[key].(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, lbl, v.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, lbl, v.Value())
+			case *Histogram:
+				for _, q := range []struct {
+					q float64
+					s string
+				}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+					qlbl := lbl
+					if qlbl == "" {
+						qlbl = fmt.Sprintf("{quantile=%q}", q.s)
+					} else {
+						qlbl = strings.TrimSuffix(qlbl, "}") + fmt.Sprintf(",quantile=%q}", q.s)
+					}
+					if _, err = fmt.Fprintf(w, "%s%s %d\n", f.name, qlbl, v.Quantile(q.q)); err != nil {
+						break
+					}
+				}
+				if err == nil {
+					_, err = fmt.Fprintf(w, "%s_count%s %d\n%s_sum%s %d\n", f.name, lbl, v.Count(), f.name, lbl, v.Sum())
+				}
+			}
+			if err != nil {
+				f.mu.RUnlock()
+				return err
+			}
+		}
+		f.mu.RUnlock()
+	}
+	return nil
+}

@@ -10,7 +10,23 @@ import (
 	"errors"
 	"sync"
 
+	"citusgo/internal/obs"
 	"citusgo/internal/wire"
+)
+
+// Metric families, labeled by node name (obs: "which worker is the
+// connection pressure against?").
+var (
+	metGets = obs.Default().Counter("pool_gets_total",
+		"connections handed out by a node pool (idle reuse or fresh dial)", "node")
+	metDials = obs.Default().Counter("pool_dials_total",
+		"new connections dialed by a node pool", "node")
+	metLimitWaits = obs.Default().Counter("pool_limit_waits_total",
+		"Get calls turned away at the shared connection limit (paper §3.6.1)", "node")
+	metDiscards = obs.Default().Counter("pool_discards_total",
+		"connections closed instead of returned to the pool", "node")
+	metOpen = obs.Default().Gauge("pool_open_conns",
+		"currently open connections per node pool", "node")
 )
 
 // Dialer opens a new connection to the pool's node.
@@ -30,11 +46,21 @@ type NodePool struct {
 	mu    sync.Mutex
 	idle  []*wire.Conn
 	total int
+
+	gets, dials, limitWaits, discards *obs.Counter
+	open                              *obs.Gauge
 }
 
 // New creates a pool. limit <= 0 means unlimited.
 func New(node string, limit int, dial Dialer) *NodePool {
-	return &NodePool{Node: node, dial: dial, limit: limit}
+	return &NodePool{
+		Node: node, dial: dial, limit: limit,
+		gets:       metGets.With(node),
+		dials:      metDials.With(node),
+		limitWaits: metLimitWaits.With(node),
+		discards:   metDiscards.With(node),
+		open:       metOpen.With(node),
+	}
 }
 
 // Get returns an idle cached connection, or dials a new one if under the
@@ -46,10 +72,12 @@ func (p *NodePool) Get() (*wire.Conn, error) {
 		c := p.idle[n-1]
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
+		p.gets.Inc()
 		return c, nil
 	}
 	if p.limit > 0 && p.total >= p.limit {
 		p.mu.Unlock()
+		p.limitWaits.Inc()
 		return nil, ErrLimit
 	}
 	p.total++
@@ -62,6 +90,9 @@ func (p *NodePool) Get() (*wire.Conn, error) {
 		p.mu.Unlock()
 		return nil, err
 	}
+	p.gets.Inc()
+	p.dials.Inc()
+	p.open.Inc()
 	return c, nil
 }
 
@@ -80,6 +111,8 @@ func (p *NodePool) Discard(c *wire.Conn) {
 	p.mu.Lock()
 	p.total--
 	p.mu.Unlock()
+	p.discards.Inc()
+	p.open.Dec()
 }
 
 // Stats reports (total open, idle cached) connections.
@@ -96,6 +129,7 @@ func (p *NodePool) CloseAll() {
 	p.idle = nil
 	p.total -= len(idle)
 	p.mu.Unlock()
+	p.open.Add(int64(-len(idle)))
 	for _, c := range idle {
 		_ = c.Close()
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"citusgo/internal/obs"
 	"citusgo/internal/types"
 )
 
@@ -38,6 +39,45 @@ const (
 	// the local commit is what makes 2PC recovery decisions safe.
 	RecCommitRecord
 )
+
+func (t RecordType) String() string {
+	switch t {
+	case RecBegin:
+		return "begin"
+	case RecInsert:
+		return "insert"
+	case RecDelete:
+		return "delete"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecPrepare:
+		return "prepare"
+	case RecCommitPrepared:
+		return "commit_prepared"
+	case RecAbortPrepared:
+		return "abort_prepared"
+	case RecRestorePoint:
+		return "restore_point"
+	case RecDDL:
+		return "ddl"
+	case RecCommitRecord:
+		return "commit_record"
+	}
+	return "unknown"
+}
+
+// metRecords counts appended WAL records by type; the per-type counters
+// are resolved once at init so Append pays a single atomic add.
+var metRecords [RecCommitRecord + 2]*obs.Counter
+
+func init() {
+	vec := obs.Default().Counter("wal_records_total", "WAL records appended, by record type", "type")
+	for t := RecBegin; t <= RecCommitRecord+1; t++ {
+		metRecords[t] = vec.With(t.String())
+	}
+}
 
 // Record is one WAL entry.
 type Record struct {
@@ -64,6 +104,9 @@ func New() *Log { return &Log{nextLSN: 1} }
 
 // Append writes a record and returns its LSN.
 func (l *Log) Append(rec Record) int64 {
+	if t := int(rec.Type); t >= 0 && t < len(metRecords) {
+		metRecords[t].Inc()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	rec.LSN = l.nextLSN
