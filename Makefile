@@ -27,9 +27,11 @@ race:
 	go test -race -timeout 20m ./internal/...
 
 # run every benchmark once so benchmark code can't bit-rot (the figure
-# benchmarks live in the root package, on top of internal/bench)
+# benchmarks live in the root package, on top of internal/bench), and run
+# the A3 plan-cache ablation once so the cached execution path can't either
 bench-smoke:
 	go test -bench=. -benchtime=1x -run '^$$' -timeout 15m . ./internal/bench/...
+	go test -run TestAblationSlowStartPlanCache -count=1 -timeout 10m ./internal/bench
 
 # the full CI pipeline (.github/workflows/ci.yml), reproducible locally
 ci: build vet fmt-check test race bench-smoke

@@ -22,3 +22,53 @@ func TestAblations(t *testing.T) {
 		t.Log("\n" + s.String())
 	}
 }
+
+// TestAblationSlowStartPlanCache is the CI bench smoke for the plan-cache
+// ablation dimension: A3 must run both cache variants without error and the
+// cached variant must actually exercise the coordinator plan cache and the
+// worker prepared-statement path.
+func TestAblationSlowStartPlanCache(t *testing.T) {
+	pre := ObsSnapshot()
+	series, err := AblationSlowStart(Tiny())
+	if err != nil {
+		t.Fatalf("A3: %v", err)
+	}
+	d := ObsSnapshot().Delta(pre)
+	if len(series) == 0 || len(series[0].Points) < 3 {
+		t.Fatalf("A3 router series incomplete: %+v", series)
+	}
+	for _, s := range series {
+		t.Log("\n" + s.String())
+	}
+	router := series[0]
+	var on, off *Point
+	for i := range router.Points {
+		switch router.Points[i].Config {
+		case "slow start 10ms, plancache on":
+			on = &router.Points[i]
+		case "slow start 10ms, plancache off":
+			off = &router.Points[i]
+		}
+	}
+	if on == nil || off == nil {
+		t.Fatalf("A3 missing plancache on/off variants: %+v", router.Points)
+	}
+	if on.Extra["plancache_hits"] <= 0 {
+		t.Errorf("plancache-on variant recorded no citus_plancache_hits: %+v", on.Extra)
+	}
+	if on.Extra["prepared_exec"] <= 0 {
+		t.Errorf("plancache-on variant recorded no wire_prepared_executes: %+v", on.Extra)
+	}
+	if off.Extra["plancache_hits"] != 0 {
+		t.Errorf("plancache-off variant hit the plan cache: %+v", off.Extra)
+	}
+	// measured headroom is ~35% on an idle machine; assert a conservative
+	// 10% so a loaded CI runner doesn't flake, while still catching a
+	// regression that nullifies the cache
+	if on.Value >= off.Value*0.9 {
+		t.Errorf("plancache on (%.1fµs) not at least 10%% faster than off (%.1fµs)", on.Value, off.Value)
+	}
+	if d.Sum("citus_plancache_hits") <= 0 || d.Sum("wire_prepared_executes") <= 0 {
+		t.Error("A3 run left no plan-cache activity in the obs registry")
+	}
+}

@@ -179,7 +179,10 @@ func ObsSnapshot() obs.Snapshot { return obs.Default().Snapshot() }
 
 // distFamilies are the metric-name prefixes that belong to the distributed
 // layer's instrumentation (see docs/observability.md).
-var distFamilies = []string{"executor_", "dtxn_", "deadlock_", "pool_", "engine_", "wal_"}
+var distFamilies = []string{
+	"executor_", "dtxn_", "deadlock_", "pool_", "engine_", "wal_",
+	"citus_plancache_", "wire_prepared_",
+}
 
 // FormatDistCounters renders the distributed-layer entries of a snapshot
 // delta as an indented, sorted block (citusbench prints this after each

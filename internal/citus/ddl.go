@@ -30,6 +30,7 @@ func (n *Node) utilityHook(s *engine.Session, stmt sql.Statement) (bool, *engine
 		if _, err := s.ExecUtilityLocal(st); err != nil {
 			return true, nil, err
 		}
+		n.Meta.BumpVersion()
 		return true, &engine.Result{Tag: "CREATE INDEX"}, nil
 	case *sql.TruncateStmt:
 		if !n.Meta.IsCitusTable(st.Name) {
@@ -40,6 +41,7 @@ func (n *Node) utilityHook(s *engine.Session, stmt sql.Statement) (bool, *engine
 		}); err != nil {
 			return true, nil, err
 		}
+		n.Meta.BumpVersion()
 		return true, &engine.Result{Tag: "TRUNCATE TABLE"}, nil
 	case *sql.DropTableStmt:
 		if !n.Meta.IsCitusTable(st.Name) {
@@ -50,10 +52,13 @@ func (n *Node) utilityHook(s *engine.Session, stmt sql.Statement) (bool, *engine
 		}); err != nil {
 			return true, nil, err
 		}
-		n.Meta.RemoveTable(st.Name)
+		n.Meta.RemoveTable(st.Name) // bumps the metadata version
 		if _, err := s.ExecUtilityLocal(st); err != nil {
 			return true, nil, err
 		}
+		// idle pooled connections hold prepared statements against the
+		// dropped shards; discard them rather than revalidate on checkout
+		n.flushIdleConns()
 		return true, &engine.Result{Tag: "DROP TABLE"}, nil
 	case *sql.AlterTableAddColumnStmt:
 		if !n.Meta.IsCitusTable(st.Table) {
@@ -70,6 +75,7 @@ func (n *Node) utilityHook(s *engine.Session, stmt sql.Statement) (bool, *engine
 			return true, nil, err
 		}
 		n.refreshSchemaSQL(st.Table)
+		n.Meta.BumpVersion()
 		return true, &engine.Result{Tag: "ALTER TABLE"}, nil
 	case *sql.VacuumStmt:
 		if st.Table == "" || !n.Meta.IsCitusTable(st.Table) {

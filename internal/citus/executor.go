@@ -3,6 +3,7 @@ package citus
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"citusgo/internal/obs"
 	"citusgo/internal/pool"
 	"citusgo/internal/types"
+	"citusgo/internal/wire"
 )
 
 // Adaptive executor metrics (§3.6.1). Task counters split read/write;
@@ -326,7 +328,7 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 		wc.inTxn = true
 	}
 	start := time.Now()
-	res, err := wc.conn.Query(t.sql, t.params...)
+	res, err := n.queryTask(wc, t)
 	metTaskLatency.ObserveSince(start)
 	if err != nil {
 		return fmt.Errorf("task on node %d failed: %w", wc.nodeID, err)
@@ -343,4 +345,40 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 		st.mu.Unlock()
 	}
 	return nil
+}
+
+// queryTask ships one task to its worker. Parameterized tasks use the
+// prepared-statement protocol so each (connection, statement shape) pair
+// parses at most once worker-side; subsequent executions ship only the
+// statement name and parameters. DDL and other parameterless one-off
+// statements use plain Query. A plan-invalid rejection (worker DDL bumped
+// its schema version since Prepare) is returned before the worker executes
+// anything, so re-preparing and retrying once is safe even for writes.
+func (n *Node) queryTask(wc *workerConn, t *task) (*engine.Result, error) {
+	if n.Cfg.DisablePlanCache || len(t.params) == 0 {
+		return wc.conn.Query(t.sql, t.params...)
+	}
+	name := preparedName(t.sql)
+	if wc.conn.PreparedSQL(name) != t.sql {
+		if err := wc.conn.Prepare(name, t.sql); err != nil {
+			return nil, err
+		}
+	}
+	res, err := wc.conn.ExecutePrepared(name, t.params...)
+	if wire.IsPlanInvalid(err) {
+		if perr := wc.conn.Prepare(name, t.sql); perr != nil {
+			return nil, perr
+		}
+		res, err = wc.conn.ExecutePrepared(name, t.params...)
+	}
+	return res, err
+}
+
+// preparedName derives a stable statement name from the task SQL. A hash
+// collision is harmless: PreparedSQL compares the full text, so a colliding
+// shape just re-Prepares (the server overwrites the name).
+func preparedName(sqlText string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(sqlText))
+	return "cs_" + strconv.FormatUint(h.Sum64(), 16)
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"citusgo/internal/types"
 )
@@ -73,6 +74,12 @@ type Catalog struct {
 	nextShard      int64
 	nextColocation int
 	colocationRef  map[int]colocationGroup
+
+	// version is a monotonic counter covering every change that can
+	// invalidate a cached distributed plan: table create/drop, placement
+	// moves, metadata sync, and explicitly propagated DDL. Cached plans
+	// embed the version they were built under and are dropped on mismatch.
+	version atomic.Int64
 }
 
 type colocationGroup struct {
@@ -137,7 +144,18 @@ func (c *Catalog) SetHasMetadata(nodeID int, v bool) {
 	if n, ok := c.nodes[nodeID]; ok {
 		n.HasMetadata = v
 	}
+	c.version.Add(1)
 }
+
+// Version returns the monotonic metadata version cached distributed plans
+// are keyed on.
+func (c *Catalog) Version() int64 { return c.version.Load() }
+
+// BumpVersion invalidates every cached distributed plan built against the
+// current catalog. Called for catalog changes made outside this package,
+// e.g. propagated DDL that alters shard schemas without touching placement
+// metadata (CREATE INDEX, ALTER TABLE ... ADD COLUMN, TRUNCATE).
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // NewColocationGroup allocates a co-location group id.
 func (c *Catalog) NewColocationGroup(shardCount int, distColType types.Type) int {
@@ -184,6 +202,7 @@ func (c *Catalog) AddTable(t *DistTable, shards []*Shard, placements map[int64][
 		c.shardByID[sh.ID] = sh
 		c.placements[sh.ID] = placements[sh.ID]
 	}
+	c.version.Add(1)
 	return nil
 }
 
@@ -197,6 +216,7 @@ func (c *Catalog) RemoveTable(name string) {
 	}
 	delete(c.shards, name)
 	delete(c.tables, name)
+	c.version.Add(1)
 }
 
 // NextShardID allocates n consecutive shard ids.
@@ -275,6 +295,7 @@ func (c *Catalog) MovePlacement(shardID int64, from, to int) error {
 	for i, n := range nodes {
 		if n == from {
 			nodes[i] = to
+			c.version.Add(1)
 			return nil
 		}
 	}

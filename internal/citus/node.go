@@ -49,6 +49,10 @@ type Config struct {
 	// BroadcastRowThreshold is the size under which the join-order planner
 	// prefers broadcasting a relation over repartitioning (rows).
 	BroadcastRowThreshold int64
+	// DisablePlanCache turns off the coordinator distributed-plan cache and
+	// the prepared-statement task execution path (the ablation toggle; off
+	// means every execution re-plans and ships full SQL text).
+	DisablePlanCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +112,10 @@ type Node struct {
 	// shard-move write fences (rebalancer)
 	fenceMu sync.Mutex
 	fences  map[int64]chan struct{}
+
+	// planCache caches fast-path router plans keyed by normalized statement
+	// text and metadata version (see plancache.go).
+	planCache *planCache
 }
 
 // DistProcedure marks a stored procedure as delegatable to the worker that
@@ -133,6 +141,7 @@ func NewNode(id int, eng *engine.Engine, meta *metadata.Catalog, cfg Config) *No
 		stopCh:        make(chan struct{}),
 		distProcs:     make(map[string]DistProcedure),
 		fences:        make(map[int64]chan struct{}),
+		planCache:     newPlanCache(),
 	}
 	eng.PlannerHook = n.plannerHook
 	eng.UtilityHook = n.utilityHook
@@ -198,6 +207,24 @@ func (n *Node) Close() {
 	n.mu.Unlock()
 	for _, p := range pools {
 		p.CloseAll()
+	}
+}
+
+// flushIdleConns closes idle pooled connections toward every node. Called
+// when DDL invalidates server-side prepared statements wholesale (DROP
+// TABLE): idle connections' sessions hold statements referencing dropped
+// shards, and discarding them is cheaper than re-validating on checkout.
+// Checked-out and transaction-pinned connections are untouched — their
+// stale statements bounce off the worker's schema-version check instead.
+func (n *Node) flushIdleConns() {
+	n.mu.Lock()
+	pools := make([]*pool.NodePool, 0, len(n.pools))
+	for _, p := range n.pools {
+		pools = append(pools, p)
+	}
+	n.mu.Unlock()
+	for _, p := range pools {
+		p.FlushIdle()
 	}
 }
 

@@ -1,6 +1,7 @@
 package citus_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -143,5 +144,59 @@ func TestObsSingleNodeCommitDelegation(t *testing.T) {
 	}
 	if d := familyDelta(before, after, "dtxn_2pc_prepares_total"); d != 0 {
 		t.Errorf("dtxn_2pc_prepares_total delta = %d, want 0", d)
+	}
+}
+
+func TestObsPlanCacheCounters(t *testing.T) {
+	c := newCluster(t, 2)
+	s := c.Session()
+	mustExec(t, s, "CREATE TABLE obs_pc (id bigint PRIMARY KEY, val bigint)")
+	mustExec(t, s, "SELECT create_distributed_table('obs_pc', 'id')")
+	for i := 0; i < 8; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO obs_pc (id, val) VALUES (%d, %d)", i, i))
+	}
+
+	before := statCounters(t, s)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 8; i++ {
+			mustExec(t, s, "SELECT val FROM obs_pc WHERE id = $1", int64(i))
+		}
+	}
+	after := statCounters(t, s)
+
+	// all three caching layers must be exercised by the repeated workload:
+	// the coordinator plan cache, the wire prepared-statement path, and the
+	// worker session statement cache
+	if d := familyDelta(before, after, "citus_plancache_hits"); d <= 0 {
+		t.Errorf("citus_plancache_hits delta = %d, want > 0", d)
+	}
+	if d := familyDelta(before, after, "wire_prepared_executes"); d <= 0 {
+		t.Errorf("wire_prepared_executes delta = %d, want > 0", d)
+	}
+	if d := familyDelta(before, after, "engine_plancache_hits"); d <= 0 {
+		t.Errorf("engine_plancache_hits delta = %d, want > 0", d)
+	}
+
+	// citus_plancache_stats() exposes the same cache as a relation
+	res := mustExec(t, s, "SELECT citus_plancache_stats()")
+	if len(res.Columns) != 2 || res.Columns[0] != "name" || res.Columns[1] != "value" {
+		t.Fatalf("citus_plancache_stats columns = %v", res.Columns)
+	}
+	stats := make(map[string]int64, len(res.Rows))
+	entryRows := 0
+	for _, row := range res.Rows {
+		stats[row[0].(string)] = row[1].(int64)
+		if strings.HasPrefix(row[0].(string), "shard_groups[") {
+			entryRows++
+		}
+	}
+	if stats["entries"] <= 0 || stats["hits"] <= 0 {
+		t.Errorf("citus_plancache_stats entries=%d hits=%d, want both > 0", stats["entries"], stats["hits"])
+	}
+	if entryRows == 0 {
+		t.Error("citus_plancache_stats returned no shard_groups[...] per-entry rows")
+	}
+	if int64(entryRows) != stats["entries"] {
+		t.Errorf("per-entry rows = %d, entries = %d; want equal", entryRows, stats["entries"])
 	}
 }

@@ -1,0 +1,115 @@
+package citus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"citusgo/internal/sql"
+)
+
+func parseOne(t *testing.T, q string) sql.Statement {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return stmt
+}
+
+// The literal and parameterized spellings of a router statement must share
+// one cache key, with the lifted literals appended after the caller's
+// parameters.
+func TestNormalizeUnifiesLiteralAndParamForms(t *testing.T) {
+	lit := parseOne(t, "SELECT v FROM t WHERE k = 42")
+	par := parseOne(t, "SELECT v FROM t WHERE k = $1")
+
+	litKey, litLifted, ok := normalizeStatement(lit, 0)
+	if !ok {
+		t.Fatal("literal form not normalizable")
+	}
+	parKey, parLifted, ok := normalizeStatement(par, 1)
+	if !ok {
+		t.Fatal("param form not normalizable")
+	}
+	if litKey != parKey {
+		t.Fatalf("keys differ:\n  literal: %s\n  param:   %s", litKey, parKey)
+	}
+	if len(litLifted) != 1 || fmt.Sprint(litLifted[0]) != "42" {
+		t.Fatalf("literal form lifted = %v, want [42]", litLifted)
+	}
+	if len(parLifted) != 0 {
+		t.Fatalf("param form lifted = %v, want none", parLifted)
+	}
+}
+
+// Normalization mutates the AST in place and must restore it exactly.
+func TestNormalizeRestoresStatement(t *testing.T) {
+	for _, q := range []string{
+		"SELECT v FROM t WHERE k = 42",
+		"SELECT v FROM t WHERE k = 42 AND v > 7",
+		"UPDATE t SET v = v + 1 WHERE k = 3",
+		"UPDATE t SET v = 9, w = $1 WHERE k = 3",
+		"DELETE FROM t WHERE k = 5",
+	} {
+		stmt := parseOne(t, q)
+		before := stmt.String()
+		if _, _, ok := normalizeStatement(stmt, 1); !ok {
+			t.Fatalf("%q: not normalizable", q)
+		}
+		if after := stmt.String(); after != before {
+			t.Fatalf("%q: statement mutated by normalization:\n  before: %s\n  after:  %s", q, before, after)
+		}
+	}
+}
+
+// UPDATE lifts SET values (including one arithmetic level, the pgbench
+// `v = v + 1` shape) and WHERE comparisons, in statement order, numbering
+// synthetic parameters after the caller's.
+func TestNormalizeUpdateLiftsSetAndWhere(t *testing.T) {
+	stmt := parseOne(t, "UPDATE t SET v = v + 7 WHERE k = 3")
+	key, lifted, ok := normalizeStatement(stmt, 2)
+	if !ok {
+		t.Fatal("not normalizable")
+	}
+	if len(lifted) != 2 || fmt.Sprint(lifted[0]) != "7" || fmt.Sprint(lifted[1]) != "3" {
+		t.Fatalf("lifted = %v, want [7 3]", lifted)
+	}
+	// caller holds $1/$2, so the synthetic parameters are $3 and $4
+	if !strings.Contains(key, "$3") || !strings.Contains(key, "$4") {
+		t.Fatalf("key %q missing synthetic params $3/$4", key)
+	}
+	if strings.Contains(key, "7") || strings.ContainsAny(key, "3") && strings.Contains(key, "= 3") {
+		t.Fatalf("key %q still contains lifted literals", key)
+	}
+}
+
+// Shapes the fast path cannot serve must be rejected before any lifting.
+func TestNormalizeRejectsIneligibleShapes(t *testing.T) {
+	for _, q := range []string{
+		"SELECT count(*) FROM a JOIN b ON a.k = b.k",
+		"SELECT v FROM a, b WHERE a.k = 1",
+		"INSERT INTO t (k, v) VALUES (1, 2)",
+		"CREATE TABLE x (k int)",
+	} {
+		stmt := parseOne(t, q)
+		if key, _, ok := normalizeStatement(stmt, 0); ok {
+			t.Fatalf("%q: unexpectedly normalized to %q", q, key)
+		}
+	}
+}
+
+// Distinct constants outside the lifted positions must stay in the key:
+// they change the plan, so they must not share a cache entry.
+func TestNormalizeKeepsNonLiftedLiteralsDistinct(t *testing.T) {
+	a := parseOne(t, "SELECT v FROM t WHERE k = 1 ORDER BY v LIMIT 5")
+	b := parseOne(t, "SELECT v FROM t WHERE k = 1 ORDER BY v LIMIT 9")
+	ka, _, okA := normalizeStatement(a, 0)
+	kb, _, okB := normalizeStatement(b, 0)
+	if !okA || !okB {
+		t.Skip("parser does not support LIMIT on this shape")
+	}
+	if ka == kb {
+		t.Fatalf("different LIMITs share key %q", ka)
+	}
+}

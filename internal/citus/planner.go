@@ -121,6 +121,9 @@ func (p *distPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Res
 	res := &engine.Result{Columns: p.columns}
 	for _, r := range results {
 		if r != nil {
+			if res.Columns == nil {
+				res.Columns = r.Columns
+			}
 			res.Rows = append(res.Rows, r.Rows...)
 		}
 	}
@@ -174,6 +177,13 @@ func (n *Node) plannerHook(s *engine.Session, stmt sql.Statement, params []types
 	if !n.canCoordinate() {
 		return nil, fmt.Errorf("node %d cannot plan distributed queries: metadata is not synced (run start_metadata_sync_to_node)", n.ID)
 	}
+	// fast path: repeated router statements plan from the distributed-plan
+	// cache, skipping the tier walk below entirely
+	if !n.Cfg.DisablePlanCache {
+		if plan, handled, err := n.planCache.tryPlan(n, stmt, params); handled || err != nil {
+			return plan, err
+		}
+	}
 	switch st := stmt.(type) {
 	case *sql.SelectStmt:
 		return n.planDistSelect(st, params)
@@ -197,10 +207,16 @@ type distFilters map[string]types.Datum // range or table name (lower) -> value
 // statement for the given (rangeName -> tableName) map, keyed per citus
 // table. The router and fast-path planners both use it.
 func (n *Node) collectDistFilters(stmt sql.Statement, params []types.Datum) (map[string]types.Datum, map[string]string) {
-	// map range names to table names across all FROM clauses
+	// map range names to table names across all FROM clauses; tables keeps
+	// each table once so unqualified conjuncts probe it once (ranges holds
+	// both alias and name entries, which would double-probe)
 	ranges := map[string]string{}
+	var tables []string
 	sql.WalkTables(stmt, func(bt *sql.BaseTable) {
 		name := bt.Name
+		if _, seen := ranges[name]; !seen {
+			tables = append(tables, name)
+		}
 		ranges[bt.RefName()] = name
 		ranges[name] = name
 	})
@@ -222,7 +238,7 @@ func (n *Node) collectDistFilters(stmt sql.Statement, params []types.Datum) (map
 			}
 			return
 		}
-		for _, tbl := range ranges {
+		for _, tbl := range tables {
 			tryTable(tbl)
 		}
 	}

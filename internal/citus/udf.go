@@ -165,6 +165,10 @@ func (n *Node) matchUDF(s *engine.Session, stmt sql.Statement, params []types.Da
 		// observability: one row per metric in the global obs registry
 		return &statCountersPlan{}, true, nil
 
+	case "citus_plancache_stats":
+		// observability: the coordinator distributed-plan cache
+		return &planCacheStatsPlan{node: n}, true, nil
+
 	case "citus_stat_activity":
 		// observability: active/prepared transactions across the cluster
 		return &statActivityPlan{node: n, clusterWide: true}, true, nil
@@ -189,6 +193,32 @@ func (p *statCountersPlan) Execute(s *engine.Session, params []types.Datum) (*en
 	res := &engine.Result{Columns: p.Columns()}
 	for _, k := range snap.Keys() {
 		res.Rows = append(res.Rows, types.Row{k, snap[k]})
+	}
+	res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+	return res, nil
+}
+
+// planCacheStatsPlan renders this node's distributed-plan cache as a
+// name/value relation: aggregate counters first, then one
+// `shard_groups[<normalized sql>]` row per cached entry reporting how many
+// per-shard-group deparses it has memoized.
+type planCacheStatsPlan struct{ node *Node }
+
+func (p *planCacheStatsPlan) Columns() []string      { return []string{"name", "value"} }
+func (p *planCacheStatsPlan) ExplainLines() []string { return []string{"Citus Plan Cache Stats"} }
+
+func (p *planCacheStatsPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Result, error) {
+	entries, hits, misses, invalidations := p.node.planCache.stats()
+	res := &engine.Result{Columns: p.Columns()}
+	add := func(name string, v int64) {
+		res.Rows = append(res.Rows, types.Row{name, v})
+	}
+	add("entries", int64(len(entries)))
+	add("hits", hits)
+	add("misses", misses)
+	add("invalidations", invalidations)
+	for _, e := range entries {
+		add(fmt.Sprintf("shard_groups[%s]", e.key), int64(e.shardGroups))
 	}
 	res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
 	return res, nil

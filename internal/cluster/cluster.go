@@ -94,6 +94,11 @@ func New(cfg Config) (*Cluster, error) {
 			AutoVacuumInterval: autovac,
 		})
 		c.Engines = append(c.Engines, eng)
+		if cfg.Citus.DisablePlanCache {
+			// the ablation toggle disables all caching layers together so
+			// the off variant measures the genuinely uncached baseline
+			eng.SetStmtCacheEnabled(false)
+		}
 		node := citus.NewNode(i+1, eng, meta, cfg.Citus)
 		c.Nodes = append(c.Nodes, node)
 		meta.AddNode(&metadata.Node{

@@ -52,6 +52,17 @@ func countStatement(stmt sql.Statement) {
 	metStatements[stmtKind(stmt)].Inc()
 }
 
+// Session statement-cache counters (the "engine plan cache" layer: parsed
+// statements reused across executions, invalidated by schema changes).
+var (
+	metStmtCacheHits = obs.Default().Counter("engine_plancache_hits",
+		"session statement-cache hits (parse skipped)").With()
+	metStmtCacheMisses = obs.Default().Counter("engine_plancache_misses",
+		"session statement-cache misses (statement parsed and cached)").With()
+	metStmtCacheInvalid = obs.Default().Counter("engine_plancache_invalidations",
+		"session statement-cache entries dropped after a schema version bump").With()
+)
+
 func stmtKind(stmt sql.Statement) string {
 	switch stmt.(type) {
 	case *sql.SelectStmt:
@@ -158,9 +169,28 @@ type Engine struct {
 
 	nextObjID atomic.Int64
 
+	// schemaVer is bumped by DDL (table/index create/drop, column adds) and
+	// keys the per-session statement cache: a cached statement whose version
+	// no longer matches is re-parsed, and prepared wire statements built
+	// against an older version are rejected with a retryable error.
+	schemaVer atomic.Int64
+	// stmtCacheOff disables per-session statement caching (ablation toggle).
+	stmtCacheOff atomic.Bool
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 }
+
+// SchemaVersion returns the engine's DDL version counter.
+func (e *Engine) SchemaVersion() int64 { return e.schemaVer.Load() }
+
+// bumpSchemaVersion invalidates cached statements engine-wide; called by
+// every DDL path (including WAL replay, which reuses the same methods).
+func (e *Engine) bumpSchemaVersion() { e.schemaVer.Add(1) }
+
+// SetStmtCacheEnabled toggles the per-session statement cache, on by
+// default. Benchmarks disable it to measure the uncached baseline.
+func (e *Engine) SetStmtCacheEnabled(enabled bool) { e.stmtCacheOff.Store(!enabled) }
 
 // IntermediateResult is a named, in-memory relation used by the
 // distributed executor for broadcast and repartition joins and for
@@ -415,7 +445,23 @@ type Session struct {
 	txn       *txn.Txn
 	explicit  bool
 	txnFailed bool
+
+	// stmtCache holds parsed statements keyed by query text — PostgreSQL's
+	// prepared-statement plan cache scoped to the session. Entries carry the
+	// schema version they were parsed under and are dropped on mismatch.
+	// Sessions are single-threaded, so no lock.
+	stmtCache map[string]cachedStmt
 }
+
+type cachedStmt struct {
+	stmt sql.Statement
+	ver  int64
+}
+
+// sessionStmtCacheCap bounds the per-session statement cache. On overflow
+// the whole map is flushed: repeated shapes re-enter immediately while
+// one-off literal statements churn through without LRU bookkeeping.
+const sessionStmtCacheCap = 256
 
 // InTransaction reports whether an explicit transaction block is open.
 func (s *Session) InTransaction() bool { return s.txn != nil && s.explicit }
@@ -453,13 +499,54 @@ func (s *Session) finishImplicit(t *txn.Txn, commit bool) error {
 	return nil
 }
 
-// Exec parses and executes one statement.
+// Exec parses and executes one statement. Repeated statements skip the
+// parser: parsed trees are cached per session keyed by query text and
+// invalidated when DDL bumps the engine schema version. The cached tree is
+// reused as-is — the only AST mutator in the tree (sql.RewriteTables) runs
+// exclusively on clones, so re-execution is safe.
 func (s *Session) Exec(query string, params ...types.Datum) (*Result, error) {
+	if s.Eng.stmtCacheOff.Load() {
+		stmt, err := sql.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+		return s.ExecStmt(stmt, params)
+	}
+	ver := s.Eng.schemaVer.Load()
+	if cs, ok := s.stmtCache[query]; ok {
+		if cs.ver == ver {
+			metStmtCacheHits.Inc()
+			return s.ExecStmt(cs.stmt, params)
+		}
+		delete(s.stmtCache, query)
+		metStmtCacheInvalid.Inc()
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
+	if cacheableStmt(stmt) {
+		metStmtCacheMisses.Inc()
+		if s.stmtCache == nil {
+			s.stmtCache = make(map[string]cachedStmt)
+		} else if len(s.stmtCache) >= sessionStmtCacheCap {
+			s.stmtCache = make(map[string]cachedStmt)
+		}
+		s.stmtCache[query] = cachedStmt{stmt: stmt, ver: ver}
+	}
 	return s.ExecStmt(stmt, params)
+}
+
+// cacheableStmt limits the statement cache to the shapes that repeat in
+// OLTP workloads. Utility and transaction-control statements are cheap to
+// parse and would pollute the cache (every `SET citus.dist_txn_id = ...`
+// has a distinct text).
+func cacheableStmt(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.SelectStmt, *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		return true
+	}
+	return false
 }
 
 // ExecScript runs a multi-statement script, stopping at the first error.

@@ -67,6 +67,7 @@ func (s *Session) ExecUtilityLocal(stmt sql.Statement) (*Result, error) {
 			return nil, s.statementFailed(err)
 		}
 		s.Eng.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+		s.Eng.bumpSchemaVersion()
 		return &Result{Tag: "ALTER TABLE"}, nil
 	case *sql.VacuumStmt:
 		n := s.Eng.Vacuum(st.Table)
@@ -147,6 +148,7 @@ func (e *Engine) CreateTable(st *sql.CreateTableStmt) error {
 		}
 	}
 	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+	e.bumpSchemaVersion()
 	return nil
 }
 
@@ -173,6 +175,7 @@ func (e *Engine) CreateIndex(st *sql.CreateIndexStmt) error {
 		return err
 	}
 	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+	e.bumpSchemaVersion()
 	return nil
 }
 
@@ -285,6 +288,7 @@ func (e *Engine) DropTable(name string, ifExists bool) error {
 		store.col.Truncate()
 	}
 	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: "DROP TABLE " + name})
+	e.bumpSchemaVersion()
 	return nil
 }
 

@@ -11,12 +11,24 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"citusgo/internal/engine"
 	"citusgo/internal/jsonb"
+	"citusgo/internal/obs"
+	"citusgo/internal/sql"
 	"citusgo/internal/types"
+)
+
+// Prepared-statement protocol counters (the extended-query-protocol
+// analog: Parse once, Execute many).
+var (
+	metPreparedParses = obs.Default().Counter("wire_prepared_parses",
+		"statements parsed server-side via the prepared-statement protocol").With()
+	metPreparedExecs = obs.Default().Counter("wire_prepared_executes",
+		"prepared-statement executions served").With()
 )
 
 func init() {
@@ -53,6 +65,12 @@ const (
 	ReqListPrepared
 	// ReqPing checks liveness.
 	ReqPing
+	// ReqPrepare parses and names a statement in the server session (the
+	// Parse message of PostgreSQL's extended query protocol).
+	ReqPrepare
+	// ReqExecPrepared executes a named prepared statement with parameters
+	// (Bind + Execute).
+	ReqExecPrepared
 )
 
 // Request is one protocol request.
@@ -100,6 +118,12 @@ type Conn struct {
 	t      transport
 	node   string
 	closed bool
+
+	// prepared mirrors the server session's named prepared statements
+	// (name -> SQL). Connections survive in the pool across executor
+	// checkouts, so this is the per-connection statement cache: callers
+	// check PreparedSQL before paying a Prepare round trip.
+	prepared map[string]string
 }
 
 // Node returns the peer node's name.
@@ -121,6 +145,59 @@ func (c *Conn) Query(sqlText string, params ...types.Datum) (*engine.Result, err
 		return nil, err
 	}
 	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return respToResult(resp), nil
+}
+
+// ErrPlanInvalid is the retryable prepared-statement failure: the server
+// dropped or invalidated the named statement (DDL bumped its engine schema
+// version, or the session never prepared it). The server rejects before
+// executing anything, so callers can safely re-Prepare and retry — even
+// for writes.
+var ErrPlanInvalid = errors.New("cached plan is invalid")
+
+// planInvalidPrefix marks plan-invalid failures in Response.Err (errors
+// cross the wire as text).
+const planInvalidPrefix = "plan invalid: "
+
+// IsPlanInvalid reports whether err is the retryable plan-invalid error.
+func IsPlanInvalid(err error) bool { return errors.Is(err, ErrPlanInvalid) }
+
+// Prepare parses and names a statement in the server-side session. The
+// connection records what it prepared so the executor prepares each task
+// shape at most once per connection.
+func (c *Conn) Prepare(name, sqlText string) error {
+	resp, err := c.t.roundTrip(&Request{Kind: ReqPrepare, Name: name, SQL: sqlText})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	if c.prepared == nil {
+		c.prepared = make(map[string]string)
+	}
+	c.prepared[name] = sqlText
+	return nil
+}
+
+// PreparedSQL returns the SQL this connection last prepared under name, or
+// "" if the name is unknown.
+func (c *Conn) PreparedSQL(name string) string { return c.prepared[name] }
+
+// ExecutePrepared runs a named prepared statement with fresh parameters.
+// A plan-invalid failure (see ErrPlanInvalid) means the server refused
+// before executing; re-Prepare and retry.
+func (c *Conn) ExecutePrepared(name string, params ...types.Datum) (*engine.Result, error) {
+	resp, err := c.t.roundTrip(&Request{Kind: ReqExecPrepared, Name: name, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		if strings.HasPrefix(resp.Err, planInvalidPrefix) {
+			return nil, fmt.Errorf("%w: %s", ErrPlanInvalid, strings.TrimPrefix(resp.Err, planInvalidPrefix))
+		}
 		return nil, errors.New(resp.Err)
 	}
 	return respToResult(resp), nil
@@ -246,6 +323,18 @@ func respToResult(resp *Response) *engine.Result {
 type handler struct {
 	eng  *engine.Engine
 	sess *engine.Session
+
+	// prepared holds the session's named statements, parsed once at
+	// Prepare time and stamped with the engine schema version; execution
+	// rejects stale versions with a retryable plan-invalid error instead
+	// of running against a pre-DDL parse tree.
+	prepared map[string]*preparedStmt
+}
+
+type preparedStmt struct {
+	sql       string
+	stmt      sql.Statement
+	schemaVer int64
 }
 
 func newHandler(e *engine.Engine) *handler {
@@ -289,6 +378,37 @@ func (h *handler) handle(req *Request) *Response {
 		return &Response{Prepared: out}
 	case ReqPing:
 		return &Response{OK: true}
+	case ReqPrepare:
+		stmt, err := sql.Parse(req.SQL)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		metPreparedParses.Inc()
+		if h.prepared == nil {
+			h.prepared = make(map[string]*preparedStmt)
+		}
+		h.prepared[req.Name] = &preparedStmt{
+			sql: req.SQL, stmt: stmt, schemaVer: h.eng.SchemaVersion(),
+		}
+		return &Response{OK: true}
+	case ReqExecPrepared:
+		ps := h.prepared[req.Name]
+		if ps == nil {
+			return &Response{Err: planInvalidPrefix + fmt.Sprintf("no prepared statement %q", req.Name)}
+		}
+		if ps.schemaVer != h.eng.SchemaVersion() {
+			delete(h.prepared, req.Name)
+			return &Response{Err: planInvalidPrefix + "schema version changed"}
+		}
+		metPreparedExecs.Inc()
+		res, err := h.sess.ExecStmt(ps.stmt, req.Params)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{
+			Columns: res.Columns, Rows: rowsToWire(res.Rows),
+			Tag: res.Tag, Affected: res.Affected,
+		}
 	}
 	return &Response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
 }
