@@ -1,6 +1,6 @@
 # Convenience targets for the citusgo reproduction.
 
-.PHONY: all build test bench figures examples vet fmt fmt-check race bench-smoke ci
+.PHONY: all build test bench figures examples vet fmt fmt-check race bench-smoke trace-smoke ci
 
 all: build vet test
 
@@ -33,8 +33,14 @@ bench-smoke:
 	go test -bench=. -benchtime=1x -run '^$$' -timeout 15m . ./internal/bench/...
 	go test -run TestAblationSlowStartPlanCache -count=1 -timeout 10m ./internal/bench
 
+# run citusbench with the slow-query log catching everything and assert the
+# tracing pipeline emitted at least one trace (see docs/tracing.md)
+trace-smoke:
+	@n=$$(go run ./cmd/citusbench -fig 7a -tiny -trace-slow 0 2>&1 | grep -c 'slow-trace'); \
+		echo "trace-smoke: $$n slow-trace lines emitted"; test "$$n" -ge 1
+
 # the full CI pipeline (.github/workflows/ci.yml), reproducible locally
-ci: build vet fmt-check test race bench-smoke
+ci: build vet fmt-check test race bench-smoke trace-smoke
 
 # one testing.B benchmark per paper figure (test scale)
 bench:

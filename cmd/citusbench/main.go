@@ -11,10 +11,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"time"
 
 	"citusgo/internal/bench"
+	"citusgo/internal/trace"
 )
 
 func main() {
@@ -23,11 +25,20 @@ func main() {
 	capabilities := flag.Bool("capabilities", false, "print the Table 2 capability matrix and exit")
 	warehouses := flag.Int("warehouses", 0, "override TPC-C warehouse count")
 	duration := flag.Duration("duration", 0, "override per-benchmark run duration")
+	traceSlow := flag.Duration("trace-slow", -1, "log statements slower than this to stderr (0 logs every statement; negative disables the slow log)")
 	flag.Parse()
 
 	if *capabilities {
 		printCapabilities()
 		return
+	}
+
+	if *traceSlow >= 0 {
+		bench.ClusterTrace = trace.Config{
+			SlowLog:       true,
+			SlowThreshold: *traceSlow,
+			Logf:          log.Printf,
+		}
 	}
 
 	sc := bench.Default()
@@ -102,6 +113,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+
+	// Tracing is always on in the benchmark clusters; report the slowest
+	// traced statement of the whole run as a starting point for digging in
+	// (citus_trace(<id>) or citusd's /trace/<id> shows the full breakdown).
+	if root, ok := trace.Slowest(); ok {
+		fmt.Printf("slowest traced statement: %s\n", trace.FormatSpan(root))
 	}
 }
 

@@ -10,14 +10,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"citusgo/internal/cluster"
 	"citusgo/internal/obs"
+	"citusgo/internal/trace"
 	"citusgo/internal/wire"
 )
 
@@ -27,14 +31,24 @@ func main() {
 	shards := flag.Int("shards", 32, "shard count for new distributed tables")
 	rtt := flag.Duration("rtt", 0, "simulated network round-trip between nodes")
 	mx := flag.Bool("mx", false, "sync metadata to workers (any node can coordinate)")
-	metricsAddr := flag.String("metrics", "", "serve /metrics (text exposition of the obs registry) on this address; empty disables")
+	metricsAddr := flag.String("metrics", "", "serve /metrics (text exposition of the obs registry) and /trace/{id} on this address; empty disables")
+	traceLog := flag.Bool("trace-log", false, "log statements slower than -trace-threshold (the slow-query log)")
+	traceThreshold := flag.Duration("trace-threshold", 100*time.Millisecond, "slow-query log threshold (with -trace-log)")
+	traceSample := flag.Float64("trace-sample", 1, "trace sampling rate in [0,1]; negative disables tracing")
 	flag.Parse()
 
+	traceCfg := trace.Config{
+		SampleRate:    *traceSample,
+		SlowLog:       *traceLog,
+		SlowThreshold: *traceThreshold,
+		Logf:          log.Printf,
+	}
 	c, err := cluster.New(cluster.Config{
 		Workers:      *workers,
 		ShardCount:   *shards,
 		NetworkRTT:   *rtt,
 		SyncMetadata: *mx,
+		Trace:        traceCfg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cluster start failed: %v\n", err)
@@ -60,11 +74,33 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = obs.Default().WriteText(w)
 		})
+		// /trace/{id}: the reassembled distributed trace, one line per span
+		// (the HTTP face of SELECT citus_trace(id)).
+		mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+			idStr := strings.TrimPrefix(r.URL.Path, "/trace/")
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "trace id must be an unsigned integer", http.StatusBadRequest)
+				return
+			}
+			spans := c.Coordinator().CollectTrace(id)
+			if len(spans) == 0 {
+				http.Error(w, "no spans recorded for this trace (evicted from the ring, or never sampled)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, sp := range spans {
+				fmt.Fprintln(w, trace.FormatSpan(sp))
+			}
+		})
 		go func() { _ = http.Serve(ln, mux) }()
-		fmt.Printf("citusd: serving /metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Printf("citusd: serving /metrics and /trace/{id} on http://%s/\n", ln.Addr())
 	}
 
 	fmt.Printf("citusd: coordinator + %d workers, %d shards per table\n", *workers, *shards)
+	if *traceLog {
+		fmt.Printf("citusd: slow-query log enabled at %v (grep the log for \"slow-trace\")\n", *traceThreshold)
+	}
 	fmt.Printf("citusd: serving the wire protocol on %s\n", srv.Addr())
 	fmt.Println("citusd: connect with: citusctl -addr " + srv.Addr())
 

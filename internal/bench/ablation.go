@@ -25,7 +25,7 @@ import (
 // AblationPlannerOverhead measures per-tier planning+execution latency.
 func AblationPlannerOverhead(sc Scale) (Series, error) {
 	out := Series{Figure: "Ablation A1", Metric: "planner tier latency µs/query"}
-	c, err := cluster.New(cluster.Config{Workers: 4, ShardCount: sc.ShardCount})
+	c, err := cluster.New(cluster.Config{Workers: 4, ShardCount: sc.ShardCount, Trace: ClusterTrace})
 	if err != nil {
 		return out, err
 	}
@@ -91,7 +91,7 @@ func AblationColumnar(sc Scale) (Series, error) {
 		{"heap (row store)", ""},
 		{"columnar", " USING columnar"},
 	} {
-		c, err := cluster.New(cluster.Config{Workers: 0, ShardCount: sc.ShardCount})
+		c, err := cluster.New(cluster.Config{Workers: 0, ShardCount: sc.ShardCount, Trace: ClusterTrace})
 		if err != nil {
 			return out, err
 		}
@@ -159,6 +159,7 @@ func AblationSlowStart(sc Scale) ([]Series, error) {
 			Workers:    2,
 			ShardCount: sc.ShardCount,
 			Citus:      citus.Config{DisablePlanCache: variant.noCache},
+			Trace:      ClusterTrace,
 		})
 		if err != nil {
 			return nil, err

@@ -16,7 +16,13 @@ import (
 
 	"citusgo/internal/cluster"
 	"citusgo/internal/obs"
+	"citusgo/internal/trace"
 )
+
+// ClusterTrace is the trace configuration applied to every benchmark
+// cluster (citusbench sets it from -trace-slow; tests override SampleRate
+// to measure tracing overhead).
+var ClusterTrace trace.Config
 
 // Spec is one cluster configuration of the paper's comparison.
 type Spec struct {
@@ -143,6 +149,7 @@ func newCluster(spec Spec, sc Scale, syncMetadata bool) (*cluster.Cluster, error
 		ShardCount:   sc.ShardCount,
 		NetworkRTT:   sc.NetworkRTT,
 		SyncMetadata: syncMetadata,
+		Trace:        ClusterTrace,
 	}
 	if sc.SlowStart != 0 {
 		cfg.Citus.SlowStartInterval = sc.SlowStart
@@ -181,7 +188,7 @@ func ObsSnapshot() obs.Snapshot { return obs.Default().Snapshot() }
 // layer's instrumentation (see docs/observability.md).
 var distFamilies = []string{
 	"executor_", "dtxn_", "deadlock_", "pool_", "engine_", "wal_",
-	"citus_plancache_", "wire_prepared_",
+	"citus_plancache_", "wire_prepared_", "trace_",
 }
 
 // FormatDistCounters renders the distributed-layer entries of a snapshot

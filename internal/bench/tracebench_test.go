@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"citusgo/internal/cluster"
+	"citusgo/internal/trace"
+)
+
+func benchRouter(b *testing.B, cfg trace.Config) {
+	c, err := cluster.New(cluster.Config{Workers: 2, ShardCount: 8, Trace: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Session()
+	mustE := func(q string, args ...any) {
+		if _, err := s.Exec(q, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustE("CREATE TABLE bkv (k bigint PRIMARY KEY, v bigint)")
+	mustE("SELECT create_distributed_table('bkv', 'k')")
+	for i := 0; i < 64; i++ {
+		mustE(fmt.Sprintf("INSERT INTO bkv (k, v) VALUES (%d, %d)", i, i))
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec("SELECT v FROM bkv WHERE k = $1", int64(i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouterTraceOn(b *testing.B)  { benchRouter(b, trace.Config{}) }
+func BenchmarkRouterTraceOff(b *testing.B) { benchRouter(b, trace.Config{SampleRate: -1}) }

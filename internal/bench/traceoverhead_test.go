@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"citusgo/internal/trace"
+)
+
+// TestTraceOverheadReport measures the cost of always-on tracing on the A3
+// cached-router benchmark: the same run with tracing enabled (the cluster
+// default) and fully disabled (SampleRate < 0). It logs the numbers rather
+// than asserting a threshold — per-query costs at test scale are noisy
+// enough that a hard bound would flake in CI; run with -v to read the
+// overhead. At the benchmark's own scale (TRACE_OVERHEAD_SCALE=default,
+// which includes the simulated 100µs network RTT) the overhead is ~1%;
+// the tiny CI scale with zero RTT is the worst case.
+func TestTraceOverheadReport(t *testing.T) {
+	sc := Tiny()
+	if os.Getenv("TRACE_OVERHEAD_SCALE") == "default" {
+		sc = Default()
+	}
+	routerMicros := func(cfg trace.Config) float64 {
+		prev := ClusterTrace
+		ClusterTrace = cfg
+		defer func() { ClusterTrace = prev }()
+		series, err := AblationSlowStart(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range series[0].Points {
+			if p.Config == "slow start 10ms, plancache on" {
+				return p.Value
+			}
+		}
+		t.Fatal("cached-router point missing from A3")
+		return 0
+	}
+	// Alternate off/on runs and keep the best of each: scheduler and GC
+	// noise between whole-cluster runs otherwise dwarfs the per-query
+	// tracing cost being measured.
+	off, on := -1.0, -1.0
+	for i := 0; i < 3; i++ {
+		if v := routerMicros(trace.Config{SampleRate: -1}); off < 0 || v < off {
+			off = v
+		}
+		if v := routerMicros(trace.Config{}); on < 0 || v < on {
+			on = v
+		}
+	}
+	t.Logf("A3 cached router: tracing off %.2f µs/query, on %.2f µs/query (%+.1f%%)",
+		off, on, (on-off)/off*100)
+}

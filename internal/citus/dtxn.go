@@ -58,6 +58,12 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 	}
 	t.DistID = st.distID
 	localXID := t.XID
+	// The trace context of the statement that opened the distributed
+	// transaction. 2PC spans attach here so the commit protocol shows up in
+	// the same trace as the work it makes atomic (the callbacks may fire
+	// after that statement's root span has closed — the spans still land in
+	// the ring and reassemble via citus_trace, they just miss the slow log).
+	traceID, traceSpanID := s.TraceID, s.SpanID
 
 	type preparedConn struct {
 		wc  *workerConn
@@ -99,6 +105,8 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 		}
 		// Two-phase commit (§3.7.2).
 		commitStart = time.Now()
+		psp := n.Eng.Tracer.StartSpan(traceID, traceSpanID, "2pc_prepare", st.distID)
+		defer psp.Finish()
 		for i, wc := range participants {
 			if !wc.wrote {
 				continue
@@ -142,6 +150,10 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 	t.OnEnd(func(committed bool) {
 		// Resolve prepared transactions best-effort; failures are left to
 		// the recovery daemon, guided by the commit records.
+		if len(prepared) > 0 {
+			rsp := n.Eng.Tracer.StartSpan(traceID, traceSpanID, "2pc_resolve", st.distID)
+			defer rsp.Finish()
+		}
 		allResolved := true
 		for _, p := range prepared {
 			var err error

@@ -41,6 +41,7 @@ type task struct {
 	sql        string
 	params     []types.Datum
 	isWrite    bool
+	cache      string // plan-cache disposition for tracing: "hit" or "" (miss)
 }
 
 // executeTasks is the adaptive executor (§3.6.1). It runs tasks over the
@@ -327,9 +328,35 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 		}
 		wc.inTxn = true
 	}
+	// One child span per task (§3.6.1 meets the trace model): labeled with
+	// the shard group, target node, plan-cache disposition, and — after the
+	// round trip — the attempt count and row count. The trace context is
+	// stamped onto the connection so the worker's engine spans (parse, plan,
+	// execute, lock_wait, wal_fsync) nest under this task span.
+	sp := n.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "task", t.sql)
+	if sp != nil {
+		sp.SetAttr("shard_group", strconv.FormatInt(t.shardGroup, 10))
+		sp.SetAttr("node", strconv.Itoa(t.nodeID))
+		cache := t.cache
+		if cache == "" {
+			cache = "miss"
+		}
+		sp.SetAttr("plancache", cache)
+		wc.conn.SetTrace(s.TraceID, sp.SpanID())
+	}
 	start := time.Now()
-	res, err := n.queryTask(wc, t)
+	res, attempts, err := n.queryTask(wc, t)
 	metTaskLatency.ObserveSince(start)
+	if sp != nil {
+		sp.SetAttr("attempt", strconv.Itoa(attempts))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		} else {
+			sp.SetAttr("rows", strconv.Itoa(len(res.Rows)))
+		}
+		sp.Finish()
+		wc.conn.ClearTrace()
+	}
 	if err != nil {
 		return fmt.Errorf("task on node %d failed: %w", wc.nodeID, err)
 	}
@@ -354,24 +381,29 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 // statements use plain Query. A plan-invalid rejection (worker DDL bumped
 // its schema version since Prepare) is returned before the worker executes
 // anything, so re-preparing and retrying once is safe even for writes.
-func (n *Node) queryTask(wc *workerConn, t *task) (*engine.Result, error) {
+// The second return value is the number of execution attempts (2 after a
+// plan-invalid retry), recorded on the task span.
+func (n *Node) queryTask(wc *workerConn, t *task) (*engine.Result, int, error) {
 	if n.Cfg.DisablePlanCache || len(t.params) == 0 {
-		return wc.conn.Query(t.sql, t.params...)
+		res, err := wc.conn.Query(t.sql, t.params...)
+		return res, 1, err
 	}
 	name := preparedName(t.sql)
 	if wc.conn.PreparedSQL(name) != t.sql {
 		if err := wc.conn.Prepare(name, t.sql); err != nil {
-			return nil, err
+			return nil, 1, err
 		}
 	}
+	attempts := 1
 	res, err := wc.conn.ExecutePrepared(name, t.params...)
 	if wire.IsPlanInvalid(err) {
+		attempts++
 		if perr := wc.conn.Prepare(name, t.sql); perr != nil {
-			return nil, perr
+			return nil, attempts, perr
 		}
 		res, err = wc.conn.ExecutePrepared(name, t.params...)
 	}
-	return res, err
+	return res, attempts, err
 }
 
 // preparedName derives a stable statement name from the task SQL. A hash

@@ -146,7 +146,7 @@ func (pc *planCache) tryPlan(n *Node, stmt sql.Statement, params []types.Datum) 
 		}
 		installed = true
 	}
-	p, err := e.plan(n, combined)
+	p, err := e.plan(n, combined, !installed)
 	if err != nil {
 		return nil, false, err
 	}
@@ -287,8 +287,10 @@ func analyzeRouterShape(n *Node, key string, ver int64) *planEntry {
 // plan re-runs only shard pruning: evaluate the distribution value, hash
 // it to a shard, look up the current primary placement (placement moves
 // are picked up without eviction — shard names are stable across moves),
-// and fetch or build the memoized per-shard task SQL.
-func (e *planEntry) plan(n *Node, params []types.Datum) (engine.Plan, error) {
+// and fetch or build the memoized per-shard task SQL. cached marks the task
+// as a plan-cache hit for tracing and EXPLAIN ANALYZE (the first execution
+// of a shape installs the entry and still counts as a miss).
+func (e *planEntry) plan(n *Node, params []types.Datum, cached bool) (engine.Plan, error) {
 	val, err := e.distValue(&expr.Ctx{Params: params})
 	if err != nil || val == nil {
 		return nil, nil
@@ -306,11 +308,16 @@ func (e *planEntry) plan(n *Node, params []types.Datum) (engine.Plan, error) {
 		return nil, err
 	}
 	group := metadata.ShardGroupID(e.colocation, sh.Index)
+	cacheMark := ""
+	if cached {
+		cacheMark = "hit"
+	}
 	return &distPlan{
 		node: n,
 		tasks: []task{{
 			nodeID: nodeID, shardGroup: group,
 			sql: sqlText, params: params, isWrite: e.isWrite,
+			cache: cacheMark,
 		}},
 		isDML: e.isDML,
 		tag:   e.tag,

@@ -1,0 +1,122 @@
+package citus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/trace"
+	"citusgo/internal/types"
+	"citusgo/internal/wire"
+)
+
+// Trace reassembly: spans are recorded in per-node ring buffers (the
+// coordinator's own engine plus every worker's), and the coordinator pulls
+// the remote rings over the wire — the same gather pattern as
+// citus_stat_activity — to rebuild one distributed trace.
+
+// CollectTrace gathers every span recorded for a trace across the cluster
+// and returns them in start order: the coordinator's root and task spans
+// plus each worker's engine spans (parse/plan/execute/lock_wait/wal_fsync),
+// all sharing the trace id the wire header propagated.
+func (n *Node) CollectTrace(traceID uint64) []trace.Span {
+	spans := n.Eng.Tracer.Collect(traceID)
+	for _, node := range n.Meta.Nodes() {
+		if node.ID == n.ID {
+			continue
+		}
+		n.withNodeConn(node.ID, func(c *wire.Conn) {
+			remote, err := c.TraceSpans(traceID)
+			if err == nil {
+				spans = append(spans, remote...)
+			}
+		})
+	}
+	trace.SortSpans(spans)
+	return spans
+}
+
+// tracePlan implements `SELECT citus_trace(<trace_id>)`: one row per span
+// of the reassembled distributed trace.
+type tracePlan struct {
+	node *Node
+	arg  func() (types.Datum, error)
+}
+
+func (p *tracePlan) Columns() []string {
+	return []string{"trace_id", "span_id", "parent_id", "node", "kind", "label", "duration_us", "attrs"}
+}
+func (p *tracePlan) ExplainLines() []string { return []string{"Citus Trace"} }
+
+func (p *tracePlan) Execute(s *engine.Session, params []types.Datum) (*engine.Result, error) {
+	v, err := p.arg()
+	if err != nil {
+		return nil, err
+	}
+	id, err := types.CoerceTo(v, types.Int)
+	if err != nil || id == nil {
+		return nil, fmt.Errorf("citus_trace: trace id must be an integer")
+	}
+	res := &engine.Result{Columns: p.Columns()}
+	for _, sp := range p.node.CollectTrace(uint64(id.(int64))) {
+		res.Rows = append(res.Rows, types.Row{
+			int64(sp.TraceID), int64(sp.SpanID), int64(sp.ParentID),
+			sp.Node, sp.Kind, sp.Label,
+			sp.Duration.Microseconds(),
+			strings.TrimSpace(trace.FormatAttrs(sp.Attrs)),
+		})
+	}
+	res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+	return res, nil
+}
+
+// ExplainAnalyzeLines implements engine.ExplainAnalyzer: after the traced
+// execution, reassemble the trace and render one timed line per executor
+// task, with the worker-side spans indented beneath the task that carried
+// them. Tasks sort by shard group then node so the output is stable across
+// runs (wall-clock ordering of concurrent tasks is not).
+func (p *distPlan) ExplainAnalyzeLines(traceID uint64) []string {
+	spans := p.node.CollectTrace(traceID)
+	children := make(map[uint64][]trace.Span)
+	var tasks []trace.Span
+	for _, sp := range spans {
+		if sp.Kind == "task" {
+			tasks = append(tasks, sp)
+		} else if sp.ParentID != 0 {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	sort.SliceStable(tasks, func(i, j int) bool {
+		gi, _ := strconv.ParseInt(tasks[i].Attrs.Get("shard_group"), 10, 64)
+		gj, _ := strconv.ParseInt(tasks[j].Attrs.Get("shard_group"), 10, 64)
+		if gi != gj {
+			return gi < gj
+		}
+		return tasks[i].Attrs.Get("node") < tasks[j].Attrs.Get("node")
+	})
+	ms := func(d time.Duration) float64 {
+		return float64(d.Nanoseconds()) / 1e6
+	}
+	var lines []string
+	var render func(parent uint64, indent string)
+	render = func(parent uint64, indent string) {
+		for _, c := range children[parent] {
+			lines = append(lines, fmt.Sprintf("%s%s on %s: %.3f ms", indent, c.Kind, c.Node, ms(c.Duration)))
+			render(c.SpanID, indent+"  ")
+		}
+	}
+	lines = append(lines, fmt.Sprintf("Distributed Tasks (%d):", len(tasks)))
+	for _, t := range tasks {
+		lines = append(lines, fmt.Sprintf("  Task (shard group %s, node %s, plancache %s): rows=%s, attempt %s, %.3f ms",
+			t.Attrs.Get("shard_group"), t.Attrs.Get("node"), t.Attrs.Get("plancache"),
+			t.Attrs.Get("rows"), t.Attrs.Get("attempt"), ms(t.Duration)))
+		render(t.SpanID, "    ")
+	}
+	return lines
+}

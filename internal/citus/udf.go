@@ -26,6 +26,7 @@ import (
 //	SELECT citus_move_shard_placement(shard_id, from_node, to_node)
 //	SELECT citus_stat_counters()
 //	SELECT citus_stat_activity()
+//	SELECT citus_trace(trace_id)
 func (n *Node) matchUDF(s *engine.Session, stmt sql.Statement, params []types.Datum) (engine.Plan, bool, error) {
 	sel, ok := stmt.(*sql.SelectStmt)
 	if !ok || len(sel.From) != 0 || len(sel.Columns) != 1 {
@@ -176,6 +177,10 @@ func (n *Node) matchUDF(s *engine.Session, stmt sql.Statement, params []types.Da
 	case "citus_node_stat_activity":
 		// node-local part of citus_stat_activity, invoked over the wire
 		return &statActivityPlan{node: n}, true, nil
+
+	case "citus_trace":
+		// observability: the reassembled distributed trace, one row per span
+		return &tracePlan{node: n, arg: func() (types.Datum, error) { return evalArg(0) }}, true, nil
 	}
 	return nil, false, nil
 }
@@ -233,17 +238,18 @@ type statActivityPlan struct {
 }
 
 func (p *statActivityPlan) Columns() []string {
-	return []string{"node_id", "xid", "dist_txn_id", "state"}
+	return []string{"node_id", "xid", "dist_txn_id", "state", "trace_id", "span_kind"}
 }
 func (p *statActivityPlan) ExplainLines() []string { return []string{"Citus Stat Activity"} }
 
 func (p *statActivityPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Result, error) {
 	res := &engine.Result{Columns: p.Columns()}
 	for _, t := range p.node.Eng.Txns.ActiveTxns() {
-		res.Rows = append(res.Rows, types.Row{int64(p.node.ID), int64(t.XID), t.DistID, "active"})
+		traceID, spanKind := t.TraceSpan()
+		res.Rows = append(res.Rows, types.Row{int64(p.node.ID), int64(t.XID), t.DistID, "active", int64(traceID), spanKind})
 	}
 	for _, pi := range p.node.Eng.Txns.ListPrepared() {
-		res.Rows = append(res.Rows, types.Row{int64(p.node.ID), int64(pi.XID), pi.DistID, "prepared"})
+		res.Rows = append(res.Rows, types.Row{int64(p.node.ID), int64(pi.XID), pi.DistID, "prepared", int64(0), ""})
 	}
 	if p.clusterWide {
 		for _, node := range p.node.Meta.Nodes() {

@@ -16,6 +16,7 @@ import (
 	"citusgo/internal/citus"
 	"citusgo/internal/citus/metadata"
 	"citusgo/internal/engine"
+	"citusgo/internal/trace"
 	"citusgo/internal/wire"
 )
 
@@ -44,6 +45,10 @@ type Config struct {
 	SyncMetadata bool
 	// Citus layer tuning; zero values use the defaults.
 	Citus citus.Config
+	// Trace configures every node's tracer (sampling, ring size, slow-query
+	// log). The zero value means always-on tracing with defaults; set
+	// SampleRate negative to disable tracing entirely.
+	Trace trace.Config
 	// DeadlockInterval overrides the per-node local deadlock detector
 	// period (tests use small values).
 	LocalDeadlockInterval time.Duration
@@ -94,6 +99,7 @@ func New(cfg Config) (*Cluster, error) {
 			AutoVacuumInterval: autovac,
 		})
 		c.Engines = append(c.Engines, eng)
+		eng.Tracer = trace.New(i+1, name, cfg.Trace)
 		if cfg.Citus.DisablePlanCache {
 			// the ablation toggle disables all caching layers together so
 			// the off variant measures the genuinely uncached baseline

@@ -145,6 +145,7 @@ func (s *Session) insertRow(store *storage, t *txn.Txn, full types.Row, onConfli
 	}
 	if store.col != nil {
 		store.col.Insert(t.XID, full)
+		t.MarkWrite()
 		s.Eng.WAL.Append(wal.Record{Type: wal.RecInsert, XID: t.XID, Table: store.table.Name, Row: full})
 		return full, true, nil
 	}
@@ -201,6 +202,7 @@ func (s *Session) insertRow(store *storage, t *txn.Txn, full types.Row, onConfli
 		return nil, false, err
 	}
 	store.mu.Unlock()
+	t.MarkWrite()
 	s.Eng.WAL.Append(wal.Record{Type: wal.RecInsert, XID: t.XID, Table: store.table.Name, Row: full})
 	return full, true, nil
 }
@@ -475,8 +477,18 @@ func (s *Session) lockAndChase(store *storage, t *txn.Txn, tid heap.TID) (heap.T
 		// Every writer locks a version before stamping its xmax, so
 		// acquiring the lock both serializes writers and waits out any
 		// in-progress deleter of this version.
-		err := s.Eng.Locks.Acquire(context.Background(), t.XID,
-			lock.Key{Table: store.table.ID, Tuple: int64(cur)}, t.AbortCh())
+		key := lock.Key{Table: store.table.ID, Tuple: int64(cur)}
+		var err error
+		if s.TraceID != 0 && !s.Eng.Locks.TryAcquire(t.XID, key) {
+			// Contended and traced: the blocking wait gets its own span
+			// (uncontended acquisitions stay span-free, keeping the hot
+			// path cheap and the trace focused on actual waiting).
+			sp := s.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "lock_wait", "")
+			err = s.Eng.Locks.Acquire(context.Background(), t.XID, key, t.AbortCh())
+			sp.Finish()
+		} else if s.TraceID == 0 {
+			err = s.Eng.Locks.Acquire(context.Background(), t.XID, key, t.AbortCh())
+		}
 		if err != nil {
 			return heap.NilTID, heap.Tuple{}, false, err
 		}
@@ -536,6 +548,7 @@ func (s *Session) writeNewVersion(store *storage, t *txn.Txn, oldTID heap.TID, n
 		return err
 	}
 	old, _ := store.heap.Get(oldTID)
+	t.MarkWrite()
 	s.Eng.WAL.Append(wal.Record{Type: wal.RecDelete, XID: t.XID, Table: store.table.Name, Row: old.Row})
 	s.Eng.WAL.Append(wal.Record{Type: wal.RecInsert, XID: t.XID, Table: store.table.Name, Row: newRow})
 	return nil
@@ -676,6 +689,7 @@ func (s *Session) execDelete(stmt *sql.DeleteStmt, params []types.Datum, t *txn.
 			}
 		}
 		store.heap.MarkDeleted(latestTID, t.XID, heap.NilTID)
+		t.MarkWrite()
 		s.Eng.WAL.Append(wal.Record{Type: wal.RecDelete, XID: t.XID, Table: store.table.Name, Row: tup.Row})
 		affected++
 	}

@@ -27,6 +27,7 @@ import (
 	"citusgo/internal/lock"
 	"citusgo/internal/obs"
 	"citusgo/internal/sql"
+	"citusgo/internal/trace"
 	"citusgo/internal/txn"
 	"citusgo/internal/types"
 	"citusgo/internal/wal"
@@ -46,10 +47,6 @@ func init() {
 	} {
 		metStatements[k] = vec.With(k)
 	}
-}
-
-func countStatement(stmt sql.Statement) {
-	metStatements[stmtKind(stmt)].Inc()
 }
 
 // Session statement-cache counters (the "engine plan cache" layer: parsed
@@ -159,6 +156,12 @@ type Engine struct {
 	// CopyHook intercepts COPY data loading (the distributed layer fans
 	// rows out to shards here).
 	CopyHook func(s *Session, table string, columns []string, rows []types.Row) (handled bool, n int, err error)
+
+	// Tracer records per-statement spans for this node (nil disables
+	// tracing). On a coordinator every sampled statement gets a root span;
+	// on a worker, requests arriving with a trace context get child spans
+	// for parse/plan/execute, lock waits, and WAL appends.
+	Tracer *trace.Tracer
 
 	mu         sync.RWMutex
 	stores     map[string]*storage
@@ -442,6 +445,24 @@ type Session struct {
 	// per-session connection cache and transaction bookkeeping here.
 	Ext any
 
+	// TraceID/SpanID are the trace context of the statement currently
+	// executing: on a coordinator they are set for the duration of a
+	// sampled root statement; on a worker the wire handler stamps them
+	// from the request header before executing. SpanID is the parent for
+	// any child span opened while the statement runs.
+	TraceID uint64
+	SpanID  uint64
+	// LastTraceID is the trace ID of the most recent traced root
+	// statement (tests and EXPLAIN ANALYZE reassemble it afterwards).
+	LastTraceID uint64
+	// QueryLabel labels the next statement's span with its source text;
+	// Exec sets it from the raw query, the wire layer sets it for
+	// prepared-statement executions. Consumed (and cleared) by ExecStmt.
+	QueryLabel string
+	// curSpanKind mirrors the kind of the statement span currently open,
+	// copied into the transaction for citus_stat_activity.
+	curSpanKind string
+
 	txn       *txn.Txn
 	explicit  bool
 	txnFailed bool
@@ -479,6 +500,9 @@ func (s *Session) ensureTxn() (*txn.Txn, bool) {
 	if dist := s.Settings["citus.dist_txn_id"]; dist != "" {
 		t.DistID = dist
 	}
+	if s.TraceID != 0 {
+		t.SetTraceSpan(s.TraceID, s.curSpanKind)
+	}
 	s.txn = t
 	return t, true
 }
@@ -491,7 +515,17 @@ func (s *Session) finishImplicit(t *txn.Txn, commit bool) error {
 			s.Eng.WAL.Append(wal.Record{Type: wal.RecAbort, XID: t.XID})
 			return err
 		}
+		// The commit record's WAL append is the durability point (the
+		// stand-in for an fsync), so it gets its own span when traced —
+		// but only for transactions that wrote: a read-only commit does
+		// not make anything durable, and spanning it would tax every
+		// traced SELECT.
+		var sp *trace.ActiveSpan
+		if t.DidWrite() {
+			sp = s.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "wal_fsync", "")
+		}
 		s.Eng.WAL.Append(wal.Record{Type: wal.RecCommit, XID: t.XID})
+		sp.Finish()
 		return nil
 	}
 	s.Eng.Txns.Abort(t)
@@ -505,8 +539,9 @@ func (s *Session) finishImplicit(t *txn.Txn, commit bool) error {
 // reused as-is — the only AST mutator in the tree (sql.RewriteTables) runs
 // exclusively on clones, so re-execution is safe.
 func (s *Session) Exec(query string, params ...types.Datum) (*Result, error) {
+	s.QueryLabel = query
 	if s.Eng.stmtCacheOff.Load() {
-		stmt, err := sql.Parse(query)
+		stmt, err := s.parse(query)
 		if err != nil {
 			return nil, err
 		}
@@ -521,7 +556,7 @@ func (s *Session) Exec(query string, params ...types.Datum) (*Result, error) {
 		delete(s.stmtCache, query)
 		metStmtCacheInvalid.Inc()
 	}
-	stmt, err := sql.Parse(query)
+	stmt, err := s.parse(query)
 	if err != nil {
 		return nil, err
 	}
@@ -535,6 +570,19 @@ func (s *Session) Exec(query string, params ...types.Datum) (*Result, error) {
 		s.stmtCache[query] = cachedStmt{stmt: stmt, ver: ver}
 	}
 	return s.ExecStmt(stmt, params)
+}
+
+// parse wraps sql.Parse in a "parse" span when the session carries a
+// trace context (on a worker, the statement's cost is attributed to the
+// coordinator statement that fanned it out).
+func (s *Session) parse(query string) (sql.Statement, error) {
+	if s.TraceID == 0 {
+		return sql.Parse(query)
+	}
+	sp := s.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "parse", "")
+	stmt, err := sql.Parse(query)
+	sp.Finish()
+	return stmt, err
 }
 
 // cacheableStmt limits the statement cache to the shapes that repeat in
@@ -565,7 +613,10 @@ func (s *Session) ExecScript(script string) error {
 
 // ExecStmt executes a parsed statement with bound parameters.
 func (s *Session) ExecStmt(stmt sql.Statement, params []types.Datum) (*Result, error) {
-	countStatement(stmt)
+	kind := stmtKind(stmt)
+	metStatements[kind].Inc()
+	label := s.QueryLabel
+	s.QueryLabel = ""
 	// Transaction control is handled before the failed-transaction check,
 	// like PostgreSQL (ROLLBACK must always work).
 	switch st := stmt.(type) {
@@ -602,9 +653,46 @@ func (s *Session) ExecStmt(stmt sql.Statement, params []types.Datum) (*Result, e
 		return nil, fmt.Errorf("current transaction is aborted, commands ignored until end of transaction block")
 	}
 
+	// Open the statement span: a new root trace on an untraced session
+	// (coordinator entry point, subject to sampling), a child "execute"
+	// span when the session already carries a trace context (worker-side
+	// task execution). Nested statements — e.g. the inner statement of
+	// EXPLAIN — nest naturally because s.SpanID is the parent.
+	var sp *trace.ActiveSpan
+	rootSpan := false
+	prevSpanID, prevKind := s.SpanID, s.curSpanKind
+	if tr := s.Eng.Tracer; tr != nil {
+		if label == "" {
+			label = kind
+		}
+		if s.TraceID == 0 {
+			if sp = tr.StartRoot(label); sp != nil {
+				rootSpan = true
+				s.TraceID, s.SpanID, s.curSpanKind = sp.TraceID(), sp.SpanID(), "statement"
+			}
+		} else if sp = tr.StartSpan(s.TraceID, s.SpanID, "execute", label); sp != nil {
+			s.SpanID, s.curSpanKind = sp.SpanID(), "execute"
+		}
+		if sp != nil && s.txn != nil {
+			s.txn.SetTraceSpan(s.TraceID, s.curSpanKind)
+		}
+	}
+
 	res, err := s.execute(stmt, params)
 	if err != nil {
 		s.abortFailedStatement()
+	}
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.Finish()
+		if rootSpan {
+			s.LastTraceID = s.TraceID
+			s.TraceID, s.SpanID, s.curSpanKind = 0, 0, ""
+		} else {
+			s.SpanID, s.curSpanKind = prevSpanID, prevKind
+		}
 	}
 	return res, err
 }
@@ -642,7 +730,9 @@ func (s *Session) execute(stmt sql.Statement, params []types.Datum) (*Result, er
 		if st.ForUpdate && len(st.From) == 1 {
 			return s.execLockingSelect(st, params)
 		}
+		psp := s.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "plan", "")
 		plan, err := s.planSelect(st, params)
+		psp.Finish()
 		if err != nil {
 			return nil, err
 		}

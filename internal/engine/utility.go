@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"citusgo/internal/catalog"
 	"citusgo/internal/columnar"
@@ -362,35 +363,95 @@ func (e *Engine) Vacuum(table string) int {
 	return total
 }
 
-// execExplain renders the plan of the inner statement.
+// ExplainAnalyzer lets a plan append per-execution detail to EXPLAIN
+// ANALYZE output. The distributed layer implements it on its custom-scan
+// plan: after the traced execution it reassembles the per-task spans
+// (coordinator + workers) for the trace and renders one timed line per
+// task.
+type ExplainAnalyzer interface {
+	ExplainAnalyzeLines(traceID uint64) []string
+}
+
+// execExplain renders the plan of the inner statement; with ANALYZE it
+// also executes the statement under a (forced) trace and appends actual
+// rows and timings.
 func (s *Session) execExplain(st *sql.ExplainStmt, params []types.Datum) (*Result, error) {
-	var lines []string
+	var plan Plan
 	if hook := s.Eng.PlannerHook; hook != nil {
-		plan, err := hook(s, st.Stmt, params)
+		p, err := hook(s, st.Stmt, params)
 		if err != nil {
 			return nil, err
 		}
-		if plan != nil {
-			lines = plan.ExplainLines()
-		}
+		plan = p
 	}
-	if lines == nil {
-		switch inner := st.Stmt.(type) {
-		case *sql.SelectStmt:
-			plan, err := s.planSelect(inner, params)
+	if plan == nil {
+		if inner, ok := st.Stmt.(*sql.SelectStmt); ok {
+			p, err := s.planSelect(inner, params)
 			if err != nil {
 				return nil, err
 			}
-			lines = plan.ExplainLines()
-		default:
-			lines = []string{"Utility Statement"}
+			plan = p
 		}
+	}
+	var lines []string
+	if plan != nil {
+		lines = plan.ExplainLines()
+	} else {
+		lines = []string{"Utility Statement"}
+	}
+	if st.Analyze {
+		alines, err := s.runExplainAnalyze(st.Stmt, plan, params)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, alines...)
 	}
 	res := &Result{Columns: []string{"QUERY PLAN"}, Tag: "EXPLAIN"}
 	for _, l := range lines {
 		res.Rows = append(res.Rows, types.Row{l})
 	}
 	return res, nil
+}
+
+// runExplainAnalyze executes the explained statement and returns the
+// actual-execution lines. The execution always runs under a trace — if
+// the EXPLAIN statement itself was sampled out (or arrived untraced), a
+// root span is forced — so per-task timings are available to the plan's
+// ExplainAnalyzer.
+func (s *Session) runExplainAnalyze(stmt sql.Statement, plan Plan, params []types.Datum) ([]string, error) {
+	if tr := s.Eng.Tracer; tr != nil && s.TraceID == 0 {
+		sp := tr.ForceRoot("explain analyze")
+		s.TraceID, s.SpanID, s.curSpanKind = sp.TraceID(), sp.SpanID(), "statement"
+		defer func() {
+			sp.Finish()
+			s.LastTraceID = s.TraceID
+			s.TraceID, s.SpanID, s.curSpanKind = 0, 0, ""
+		}()
+	}
+	start := time.Now()
+	var res *Result
+	var err error
+	if plan != nil {
+		res, err = s.runPlan(plan, params)
+	} else {
+		res, err = s.execute(stmt, params)
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	var lines []string
+	if ea, ok := plan.(ExplainAnalyzer); ok && s.TraceID != 0 {
+		lines = append(lines, ea.ExplainAnalyzeLines(s.TraceID)...)
+	}
+	rows := res.Affected
+	if len(res.Rows) > 0 {
+		rows = len(res.Rows)
+	}
+	lines = append(lines,
+		fmt.Sprintf("Actual Rows: %d", rows),
+		fmt.Sprintf("Execution Time: %.3f ms", float64(elapsed.Nanoseconds())/1e6))
+	return lines, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -101,8 +101,11 @@ func (p *NodePool) Get() (*wire.Conn, error) {
 
 // Put returns a connection to the cache for reuse ("Citus caches
 // connections for higher performance", §3.2.1). Connections with open
-// transaction state must not be Put — Discard them instead.
+// transaction state must not be Put — Discard them instead. The trace
+// context the executor stamped for its last task is cleared here so a
+// pooled connection never attributes the next query to an old trace.
 func (p *NodePool) Put(c *wire.Conn) {
+	c.ClearTrace()
 	p.mu.Lock()
 	p.idle = append(p.idle, c)
 	p.mu.Unlock()

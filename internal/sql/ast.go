@@ -581,13 +581,19 @@ func (s *SetStmt) stmt() {}
 
 func (s *SetStmt) String() string { return "SET " + s.Name + " = " + s.Value.String() }
 
-// ExplainStmt is EXPLAIN <statement>.
+// ExplainStmt is EXPLAIN [ANALYZE] <statement>.
 type ExplainStmt struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool // EXPLAIN ANALYZE: execute the statement and report timings
 }
 
-func (s *ExplainStmt) stmt()          {}
-func (s *ExplainStmt) String() string { return "EXPLAIN " + s.Stmt.String() }
+func (s *ExplainStmt) stmt() {}
+func (s *ExplainStmt) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Stmt.String()
+	}
+	return "EXPLAIN " + s.Stmt.String()
+}
 
 // VacuumStmt is VACUUM [table]: reclaims dead MVCC tuple versions.
 type VacuumStmt struct {

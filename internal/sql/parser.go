@@ -211,11 +211,16 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseSet()
 	case "EXPLAIN":
 		p.next()
+		analyze := false
+		if p.peek().kind == tkIdent && p.peek().val == "analyze" {
+			p.next()
+			analyze = true
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	case "VACUUM":
 		p.next()
 		v := &VacuumStmt{}

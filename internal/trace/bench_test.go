@@ -1,0 +1,24 @@
+package trace
+
+import "testing"
+
+// BenchmarkSpanLifecycle measures the hot-path cost of one traced
+// statement as the adaptive executor sees it: a root span plus a task
+// span with its five standard annotations. Tracing is always on, so
+// this must stay allocation-free (attrs accumulate in the ActiveSpan's
+// fixed array and are copied into ring-owned storage at Finish).
+func BenchmarkSpanLifecycle(b *testing.B) {
+	tr := New(1, "n", Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.StartRoot("SELECT v FROM sst WHERE k = $1")
+		sp := tr.StartSpan(root.TraceID(), root.SpanID(), "task", "SELECT v FROM sst_1 WHERE k = $1")
+		sp.SetAttr("shard_group", "1048576")
+		sp.SetAttr("node", "2")
+		sp.SetAttr("plancache", "hit")
+		sp.SetAttr("attempt", "1")
+		sp.SetAttr("rows", "1")
+		sp.Finish()
+		root.Finish()
+	}
+}

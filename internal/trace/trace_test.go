@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRootAndChildSpans(t *testing.T) {
+	tr := New(1, "coordinator", Config{})
+	root := tr.StartRoot("SELECT 1")
+	if root == nil {
+		t.Fatal("root sampled out with default config")
+	}
+	if root.TraceID() == 0 || root.TraceID() != root.SpanID() {
+		t.Fatalf("root ids: trace=%d span=%d", root.TraceID(), root.SpanID())
+	}
+	traceID, rootID := root.TraceID(), root.SpanID()
+	child := tr.StartSpan(traceID, rootID, "task", "shard query")
+	child.SetAttr("shard_group", "3")
+	child.Finish()
+	root.Finish()
+
+	spans := tr.Collect(traceID)
+	if len(spans) != 2 {
+		t.Fatalf("collected %d spans, want 2", len(spans))
+	}
+	var roots int
+	for _, s := range spans {
+		if s.ParentID == 0 {
+			roots++
+		} else if s.ParentID != rootID {
+			t.Fatalf("child parent %d, want %d", s.ParentID, rootID)
+		}
+		if s.TraceID != traceID {
+			t.Fatalf("span trace %d, want %d", s.TraceID, traceID)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d root spans, want 1", roots)
+	}
+}
+
+func TestIDsArePositiveInt64(t *testing.T) {
+	tr := New(0x7fff, "w", Config{})
+	sp := tr.StartRoot("q")
+	if int64(sp.TraceID()) <= 0 {
+		t.Fatalf("trace id %d not a positive int64", int64(sp.TraceID()))
+	}
+	sp.Finish()
+}
+
+func TestRingBounded(t *testing.T) {
+	tr := New(1, "n", Config{RingSize: 8})
+	for i := 0; i < 100; i++ {
+		sp := tr.StartRoot(fmt.Sprintf("q%d", i))
+		sp.Finish()
+	}
+	if got := tr.SpanCount(); got != 8 {
+		t.Fatalf("ring holds %d spans, want exactly cap 8", got)
+	}
+	if tr.SpanCount() > tr.RingCap() {
+		t.Fatal("ring exceeded capacity")
+	}
+	// the newest span must still be collectable, the oldest evicted
+	// (capture the id before Finish — the wrapper is recycled after)
+	last := tr.StartRoot("newest")
+	lastID := last.TraceID()
+	last.Finish()
+	if len(tr.Collect(lastID)) != 1 {
+		t.Fatal("newest span missing from ring")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(1, "n", Config{SampleRate: 0.25})
+	var traced int
+	for i := 0; i < 100; i++ {
+		if sp := tr.StartRoot("q"); sp != nil {
+			traced++
+			sp.Finish()
+		}
+	}
+	if traced != 25 {
+		t.Fatalf("traced %d of 100 at rate 0.25, want 25", traced)
+	}
+	// negative rate disables tracing
+	off := New(1, "n", Config{SampleRate: -1})
+	if off.StartRoot("q") != nil {
+		t.Fatal("negative sample rate still traced")
+	}
+	// ForceRoot bypasses sampling even when disabled by rate
+	never := New(1, "n", Config{SampleRate: 0.0001})
+	never.StartRoot("warm") // consume the first (always-traced) slot
+	if never.StartRoot("q") != nil {
+		t.Fatal("rate 0.0001 traced the second statement")
+	}
+	if never.ForceRoot("explain analyze") == nil {
+		t.Fatal("ForceRoot was sampled out")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.StartRoot("q") != nil || tr.StartSpan(1, 1, "k", "l") != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if tr.Collect(1) != nil || tr.SpanCount() != 0 {
+		t.Fatal("nil tracer ring not empty")
+	}
+	var sp *ActiveSpan
+	sp.SetAttr("k", "v")
+	sp.SetKind("x")
+	sp.Finish()
+	if sp.TraceID() != 0 || sp.SpanID() != 0 {
+		t.Fatal("nil span has non-zero ids")
+	}
+	// tracer with live tracer but untraced request (traceID 0)
+	real := New(1, "n", Config{})
+	if real.StartSpan(0, 0, "task", "l") != nil {
+		t.Fatal("traceID 0 produced a span")
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	tr := New(1, "coordinator", Config{SlowLog: true, SlowThreshold: 0, Logf: logf})
+	root := tr.StartRoot("SELECT pg_sleep(0)")
+	tr.StartSpan(root.TraceID(), root.SpanID(), "task", "t1").Finish()
+	root.Finish()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) < 2 {
+		t.Fatalf("slow log emitted %d lines, want >= 2: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "slow-trace") || !strings.Contains(lines[0], "stmt=") {
+		t.Fatalf("bad slow-trace header: %q", lines[0])
+	}
+
+	// below-threshold traces are not emitted
+	lines = nil
+	mu.Unlock()
+	slow := New(1, "c", Config{SlowLog: true, SlowThreshold: time.Hour, Logf: logf})
+	slow.StartRoot("fast").Finish()
+	mu.Lock()
+	if len(lines) != 0 {
+		t.Fatalf("fast trace emitted to slow log: %v", lines)
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	ResetSlowest()
+	if _, ok := Slowest(); ok {
+		t.Fatal("slowest set after reset")
+	}
+	tr := New(1, "c", Config{})
+	a := tr.StartRoot("a")
+	time.Sleep(2 * time.Millisecond)
+	a.Finish()
+	b := tr.StartRoot("b")
+	b.Finish()
+	got, ok := Slowest()
+	if !ok || got.Label != "a" {
+		t.Fatalf("slowest = %+v ok=%v, want label a", got, ok)
+	}
+	ResetSlowest()
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(1, "n", Config{RingSize: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.StartRoot("q")
+				tr.StartSpan(sp.TraceID(), sp.SpanID(), "task", "t").Finish()
+				sp.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.SpanCount() > tr.RingCap() {
+		t.Fatalf("ring leaked: %d > %d", tr.SpanCount(), tr.RingCap())
+	}
+}

@@ -47,6 +47,59 @@ type Txn struct {
 	// considers in-progress; the vacuum horizon must not pass it (a tuple
 	// whose deleter this snapshot still sees as running must survive).
 	snapMin atomic.Uint64
+
+	// traceID/spanKind identify the trace and current span kind of the
+	// statement driving this transaction; citus_stat_activity reads them
+	// from other sessions' goroutines, hence atomics.
+	traceID  atomic.Uint64
+	spanKind atomic.Value // string
+
+	// wrote marks that the transaction appended data WAL records. The
+	// commit path reads it to attribute a wal_fsync span only to writes
+	// (a read-only commit is not a durability point). Only the
+	// transaction's own session goroutine touches it.
+	wrote bool
+}
+
+// MarkWrite records that the transaction wrote data (DML WAL append).
+func (t *Txn) MarkWrite() { t.wrote = true }
+
+// DidWrite reports whether MarkWrite was called.
+func (t *Txn) DidWrite() bool { return t.wrote }
+
+// boxedKinds pre-boxes the span kinds stored on every traced statement:
+// atomic.Value.Store(string) would otherwise heap-allocate the interface
+// conversion each time.
+var (
+	boxedStatement any = "statement"
+	boxedExecute   any = "execute"
+	boxedNoKind    any = ""
+)
+
+func boxKind(kind string) any {
+	switch kind {
+	case "statement":
+		return boxedStatement
+	case "execute":
+		return boxedExecute
+	case "":
+		return boxedNoKind
+	}
+	return kind
+}
+
+// SetTraceSpan records the trace context of the statement currently
+// running in this transaction (trace ID travels beside DistID).
+func (t *Txn) SetTraceSpan(traceID uint64, kind string) {
+	t.traceID.Store(traceID)
+	t.spanKind.Store(boxKind(kind))
+}
+
+// TraceSpan returns the transaction's current trace ID and span kind
+// (0, "" when untraced). Safe to call from any goroutine.
+func (t *Txn) TraceSpan() (uint64, string) {
+	kind, _ := t.spanKind.Load().(string)
+	return t.traceID.Load(), kind
 }
 
 // AbortCh is closed when the transaction is cancelled (deadlock victim or

@@ -19,6 +19,7 @@ import (
 	"citusgo/internal/jsonb"
 	"citusgo/internal/obs"
 	"citusgo/internal/sql"
+	"citusgo/internal/trace"
 	"citusgo/internal/types"
 )
 
@@ -71,11 +72,33 @@ const (
 	// ReqExecPrepared executes a named prepared statement with parameters
 	// (Bind + Execute).
 	ReqExecPrepared
+	// ReqTraceSpans returns the node's ring-buffered spans for the trace
+	// id in the request header (citus_trace reassembly).
+	ReqTraceSpans
 )
+
+// HeaderV1 is the current header extension version: trace context.
+const HeaderV1 = 1
+
+// Header is the versioned extension header carried by every Request.
+// New cross-cutting request metadata goes here (with a version bump)
+// instead of into ad-hoc Request fields, so servers can tell "field
+// absent" from "field zero". The zero value is what an old-style client
+// sends — a server treats it as "no extension data" and must accept it,
+// keeping mixed-version clusters working.
+type Header struct {
+	Version int
+	// TraceID/SpanID propagate the coordinator statement's trace context
+	// (Version >= HeaderV1): server-side execution records its spans
+	// under TraceID, parented at SpanID. Zero means untraced.
+	TraceID uint64
+	SpanID  uint64
+}
 
 // Request is one protocol request.
 type Request struct {
 	Kind    RequestKind
+	Hdr     Header
 	SQL     string
 	Params  []any
 	Table   string
@@ -94,6 +117,7 @@ type Response struct {
 
 	Edges    []engine.LockEdge
 	Prepared []PreparedTxn
+	Spans    []trace.Span
 	Count    int64
 	OK       bool
 }
@@ -124,6 +148,26 @@ type Conn struct {
 	// checkouts, so this is the per-connection statement cache: callers
 	// check PreparedSQL before paying a Prepare round trip.
 	prepared map[string]string
+
+	// traceID/spanID are stamped into the header of every statement
+	// request until cleared — the executor sets them per task; the pool
+	// clears them when the connection is checked back in.
+	traceID uint64
+	spanID  uint64
+}
+
+// SetTrace attaches a trace context to the connection: subsequent
+// statement requests carry it so the server's spans join the trace.
+func (c *Conn) SetTrace(traceID, spanID uint64) {
+	c.traceID, c.spanID = traceID, spanID
+}
+
+// ClearTrace detaches the trace context (pool check-in).
+func (c *Conn) ClearTrace() { c.traceID, c.spanID = 0, 0 }
+
+// hdr builds the versioned request header from the connection state.
+func (c *Conn) hdr() Header {
+	return Header{Version: HeaderV1, TraceID: c.traceID, SpanID: c.spanID}
 }
 
 // Node returns the peer node's name.
@@ -140,7 +184,7 @@ func (c *Conn) Close() error {
 
 // Query executes SQL on the peer.
 func (c *Conn) Query(sqlText string, params ...types.Datum) (*engine.Result, error) {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqQuery, SQL: sqlText, Params: params})
+	resp, err := c.t.roundTrip(&Request{Kind: ReqQuery, Hdr: c.hdr(), SQL: sqlText, Params: params})
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +212,7 @@ func IsPlanInvalid(err error) bool { return errors.Is(err, ErrPlanInvalid) }
 // connection records what it prepared so the executor prepares each task
 // shape at most once per connection.
 func (c *Conn) Prepare(name, sqlText string) error {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqPrepare, Name: name, SQL: sqlText})
+	resp, err := c.t.roundTrip(&Request{Kind: ReqPrepare, Hdr: c.hdr(), Name: name, SQL: sqlText})
 	if err != nil {
 		return err
 	}
@@ -190,7 +234,7 @@ func (c *Conn) PreparedSQL(name string) string { return c.prepared[name] }
 // A plan-invalid failure (see ErrPlanInvalid) means the server refused
 // before executing; re-Prepare and retry.
 func (c *Conn) ExecutePrepared(name string, params ...types.Datum) (*engine.Result, error) {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqExecPrepared, Name: name, Params: params})
+	resp, err := c.t.roundTrip(&Request{Kind: ReqExecPrepared, Hdr: c.hdr(), Name: name, Params: params})
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +250,7 @@ func (c *Conn) ExecutePrepared(name string, params ...types.Datum) (*engine.Resu
 // Copy bulk-loads rows.
 func (c *Conn) Copy(table string, columns []string, rows []types.Row) (int, error) {
 	resp, err := c.t.roundTrip(&Request{
-		Kind: ReqCopy, Table: table, Columns: columns, Rows: rowsToWire(rows),
+		Kind: ReqCopy, Hdr: c.hdr(), Table: table, Columns: columns, Rows: rowsToWire(rows),
 	})
 	if err != nil {
 		return 0, err
@@ -279,6 +323,21 @@ func (c *Conn) ListPrepared() ([]PreparedTxn, error) {
 	return resp.Prepared, nil
 }
 
+// TraceSpans fetches the peer's ring-buffered spans for a trace — the
+// remote half of citus_trace() reassembly.
+func (c *Conn) TraceSpans(traceID uint64) ([]trace.Span, error) {
+	resp, err := c.t.roundTrip(&Request{
+		Kind: ReqTraceSpans, Hdr: Header{Version: HeaderV1, TraceID: traceID},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Spans, nil
+}
+
 // Ping checks the peer is alive.
 func (c *Conn) Ping() error {
 	resp, err := c.t.roundTrip(&Request{Kind: ReqPing})
@@ -341,9 +400,23 @@ func newHandler(e *engine.Engine) *handler {
 	return &handler{eng: e, sess: e.NewSession()}
 }
 
+// applyTrace installs the request's trace context (if any) on the
+// server session before executing a statement. A zero-value header —
+// what an old-style client sends — installs zeros, i.e. untraced, so
+// mixed-version clusters keep working; it also guarantees a stale
+// context from a previous request never leaks into the next statement.
+func (h *handler) applyTrace(req *Request) {
+	if req.Hdr.Version >= HeaderV1 {
+		h.sess.TraceID, h.sess.SpanID = req.Hdr.TraceID, req.Hdr.SpanID
+	} else {
+		h.sess.TraceID, h.sess.SpanID = 0, 0
+	}
+}
+
 func (h *handler) handle(req *Request) *Response {
 	switch req.Kind {
 	case ReqQuery:
+		h.applyTrace(req)
 		res, err := h.sess.Exec(req.SQL, req.Params...)
 		if err != nil {
 			return &Response{Err: err.Error()}
@@ -353,6 +426,7 @@ func (h *handler) handle(req *Request) *Response {
 			Tag: res.Tag, Affected: res.Affected,
 		}
 	case ReqCopy:
+		h.applyTrace(req)
 		n, err := h.sess.CopyFrom(req.Table, req.Columns, wireToRows(req.Rows))
 		if err != nil {
 			return &Response{Err: err.Error()}
@@ -378,8 +452,13 @@ func (h *handler) handle(req *Request) *Response {
 		return &Response{Prepared: out}
 	case ReqPing:
 		return &Response{OK: true}
+	case ReqTraceSpans:
+		return &Response{Spans: h.eng.Tracer.Collect(req.Hdr.TraceID)}
 	case ReqPrepare:
+		h.applyTrace(req)
+		psp := h.eng.Tracer.StartSpan(h.sess.TraceID, h.sess.SpanID, "parse", req.SQL)
 		stmt, err := sql.Parse(req.SQL)
+		psp.Finish()
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}
@@ -401,6 +480,8 @@ func (h *handler) handle(req *Request) *Response {
 			return &Response{Err: planInvalidPrefix + "schema version changed"}
 		}
 		metPreparedExecs.Inc()
+		h.applyTrace(req)
+		h.sess.QueryLabel = ps.sql
 		res, err := h.sess.ExecStmt(ps.stmt, req.Params)
 		if err != nil {
 			return &Response{Err: err.Error()}

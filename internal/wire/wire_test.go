@@ -6,6 +6,7 @@ import (
 
 	"citusgo/internal/engine"
 	"citusgo/internal/jsonb"
+	"citusgo/internal/trace"
 	"citusgo/internal/types"
 )
 
@@ -161,5 +162,83 @@ func mustQ(t *testing.T, c *Conn, q string) {
 	t.Helper()
 	if _, err := c.Query(q); err != nil {
 		t.Fatalf("%s: %v", q, err)
+	}
+}
+
+// TestZeroValueHeaderAccepted covers the mixed-version-cluster case: an
+// old-style client that knows nothing about the header extension sends a
+// zero-value Header, and the server must execute the request normally,
+// as untraced — even when a previous request on the same session carried
+// a trace context.
+func TestZeroValueHeaderAccepted(t *testing.T) {
+	e := newEngine(t)
+	e.Tracer = trace.New(7, "node", trace.Config{})
+	h := newHandler(e)
+	if resp := h.handle(&Request{Kind: ReqQuery, SQL: "CREATE TABLE zv (k bigint)"}); resp.Err != "" {
+		t.Fatalf("zero-header DDL rejected: %s", resp.Err)
+	}
+
+	// a traced request installs a context on the session...
+	traced := &Request{
+		Kind: ReqQuery,
+		Hdr:  Header{Version: HeaderV1, TraceID: 42, SpanID: 43},
+		SQL:  "INSERT INTO zv (k) VALUES (1)",
+	}
+	if resp := h.handle(traced); resp.Err != "" {
+		t.Fatalf("traced insert failed: %s", resp.Err)
+	}
+	if spans := e.Tracer.Collect(42); len(spans) == 0 {
+		t.Fatal("traced request recorded no spans under the header's trace id")
+	}
+
+	// ...and the next zero-header request must run untraced, not inherit it
+	zero := &Request{Kind: ReqQuery, SQL: "INSERT INTO zv (k) VALUES (2)"}
+	if resp := h.handle(zero); resp.Err != "" {
+		t.Fatalf("zero-header request rejected: %s", resp.Err)
+	}
+	before := len(e.Tracer.Collect(42))
+	if h.sess.TraceID != 0 || h.sess.SpanID != 0 {
+		t.Fatalf("stale trace context leaked: trace=%d span=%d", h.sess.TraceID, h.sess.SpanID)
+	}
+	if after := len(e.Tracer.Collect(42)); after != before {
+		t.Fatalf("zero-header request recorded spans under the old trace (%d -> %d)", before, after)
+	}
+
+	res := h.handle(&Request{Kind: ReqQuery, SQL: "SELECT count(*) FROM zv"})
+	if res.Err != "" || res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("rows after mixed-header inserts: %+v", res)
+	}
+}
+
+// TestTraceSpansRequest exercises the span-fetch protocol message,
+// including against a node with no tracer installed.
+func TestTraceSpansRequest(t *testing.T) {
+	e := newEngine(t)
+	e.Tracer = trace.New(3, "node", trace.Config{})
+	conn := DialLocal(e, 0)
+	defer conn.Close()
+	conn.SetTrace(99, 100)
+	mustQ(t, conn, "CREATE TABLE ts (k bigint)")
+	mustQ(t, conn, "INSERT INTO ts (k) VALUES (1)")
+	spans, err := conn.TraceSpans(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans returned for the propagated trace id")
+	}
+	for _, s := range spans {
+		if s.TraceID != 99 {
+			t.Fatalf("span from wrong trace: %+v", s)
+		}
+	}
+	conn.ClearTrace()
+
+	// a tracer-less node answers with an empty set, not an error
+	plain := newEngine(t)
+	c2 := DialLocal(plain, 0)
+	defer c2.Close()
+	if spans, err := c2.TraceSpans(99); err != nil || len(spans) != 0 {
+		t.Fatalf("tracer-less node: spans=%v err=%v", spans, err)
 	}
 }
