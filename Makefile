@@ -1,6 +1,6 @@
 # Convenience targets for the citusgo reproduction.
 
-.PHONY: all build test bench figures examples vet fmt fmt-check race bench-smoke trace-smoke ci
+.PHONY: all build test bench figures examples vet fmt fmt-check race bench-smoke trace-smoke chaos-smoke ci
 
 all: build vet test
 
@@ -39,8 +39,14 @@ trace-smoke:
 	@n=$$(go run ./cmd/citusbench -fig 7a -tiny -trace-slow 0 2>&1 | grep -c 'slow-trace'); \
 		echo "trace-smoke: $$n slow-trace lines emitted"; test "$$n" -ge 1
 
+# race-enabled chaos run: concurrent writers + worker crash/restart under
+# probabilistic wire faults (see docs/fault.md). The seed is printed; a
+# failure reproduces with FAULT_SEED=<seed> make chaos-smoke
+chaos-smoke:
+	go test -race -run TestChaosSmoke -count=1 -timeout 120s -v ./internal/fault/chaos
+
 # the full CI pipeline (.github/workflows/ci.yml), reproducible locally
-ci: build vet fmt-check test race bench-smoke trace-smoke
+ci: build vet fmt-check test race bench-smoke trace-smoke chaos-smoke
 
 # one testing.B benchmark per paper figure (test scale)
 bench:

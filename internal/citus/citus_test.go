@@ -21,7 +21,10 @@ func newCluster(t *testing.T, workers int) *cluster.Cluster {
 		LocalDeadlockInterval: 20 * time.Millisecond,
 		// Set before StartDaemons runs: the deadlock loop goroutine reads
 		// Cfg, so mutating it after cluster.New is a data race.
-		Citus: citus.Config{DeadlockInterval: 50 * time.Millisecond},
+		// RecoveryGrace is disabled: these tests hand-craft orphaned
+		// prepared transactions and expect recovery to resolve them
+		// immediately, without waiting out the anti-race grace period.
+		Citus: citus.Config{DeadlockInterval: 50 * time.Millisecond, RecoveryGrace: -1},
 	})
 	if err != nil {
 		t.Fatal(err)

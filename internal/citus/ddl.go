@@ -294,8 +294,9 @@ func (n *Node) moveLocalDataToShards(s *engine.Session, table string, dt *metada
 		sh := shards[idx]
 		for _, nodeID := range n.Meta.Placements(sh.ID) {
 			var copyErr error
-			n.withNodeConn(nodeID, func(c *wire.Conn) {
+			n.withNodeConn(nodeID, func(c *wire.Conn) error {
 				_, copyErr = c.Copy(sh.ShardName(), cols, rows)
+				return copyErr
 			})
 			if copyErr != nil {
 				return copyErr

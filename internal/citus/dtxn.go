@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"citusgo/internal/engine"
+	"citusgo/internal/fault"
 	"citusgo/internal/obs"
 	"citusgo/internal/types"
 	"citusgo/internal/wal"
@@ -113,7 +114,14 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 			}
 			gid := fmt.Sprintf("citus_%d_%d_%d", n.ID, localXID, i)
 			met2pcPrepares.Inc()
-			if _, err := wc.conn.Query("PREPARE TRANSACTION " + types.QuoteString(gid)); err != nil {
+			// 2pc.prepare, keyed by worker node ID: chaos schedules stop
+			// here (gate) to crash a participant, or fail the prepare
+			// outright — either way the transaction must abort everywhere.
+			err := fault.CheckKey(fault.Point2PCPrepare, strconv.Itoa(wc.nodeID))
+			if err == nil {
+				_, err = wc.conn.Query("PREPARE TRANSACTION " + types.QuoteString(gid))
+			}
+			if err != nil {
 				wc.broken = true
 				// abort everything prepared or open so far
 				for _, p := range prepared {
@@ -133,6 +141,16 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 				_, _ = wc.conn.Query("COMMIT")
 				wc.inTxn = false
 			}
+		}
+		// 2pc.commit_record, keyed by dist txn id: this is the moment the
+		// commit-record rule pivots on. A failure here means no record
+		// became durable, so the abort path (OnEnd with committedRecords
+		// still false) rolls back every prepared participant; a delay here
+		// widens the prepare→record window the recovery grace period must
+		// protect (see RecoverTwoPhaseCommits).
+		if err := fault.CheckKey(fault.Point2PCCommitRecord, st.distID); err != nil {
+			met2pcAborts.Inc()
+			return fmt.Errorf("writing commit records for %s failed: %w", st.distID, err)
 		}
 		// Write the commit records; their durability with the local commit
 		// decides the transaction's fate during recovery. commitMu also
@@ -156,11 +174,21 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 		}
 		allResolved := true
 		for _, p := range prepared {
+			// 2pc.commit / 2pc.abort, keyed by worker node ID: a fault here
+			// leaves the prepared transaction dangling on that worker, which
+			// is exactly the state the recovery daemon must resolve from the
+			// commit records.
 			var err error
 			if committed && committedRecords {
-				_, err = p.wc.conn.Query("COMMIT PREPARED " + types.QuoteString(p.gid))
+				err = fault.CheckKey(fault.Point2PCCommit, strconv.Itoa(p.wc.nodeID))
+				if err == nil {
+					_, err = p.wc.conn.Query("COMMIT PREPARED " + types.QuoteString(p.gid))
+				}
 			} else {
-				_, err = p.wc.conn.Query("ROLLBACK PREPARED " + types.QuoteString(p.gid))
+				err = fault.CheckKey(fault.Point2PCAbort, strconv.Itoa(p.wc.nodeID))
+				if err == nil {
+					_, err = p.wc.conn.Query("ROLLBACK PREPARED " + types.QuoteString(p.gid))
+				}
 			}
 			if err != nil {
 				p.wc.broken = true
@@ -259,15 +287,31 @@ func (n *Node) recoveryLoop() {
 // number of transactions resolved.
 func (n *Node) RecoverTwoPhaseCommits() int {
 	myPrefix := fmt.Sprintf("citus_%d_", n.ID)
+	grace := n.Cfg.RecoveryGrace
 	resolved := 0
 	for _, node := range n.Meta.Nodes() {
-		n.withNodeConn(node.ID, func(c *wire.Conn) {
+		n.withNodeConn(node.ID, func(c *wire.Conn) error {
 			pendings, err := c.ListPrepared()
 			if err != nil {
-				return
+				return err
 			}
+			var firstErr error
 			for _, p := range pendings {
 				if !strings.HasPrefix(p.GID, myPrefix) {
+					continue
+				}
+				// Grace period: a transaction prepared moments ago almost
+				// certainly has a live coordinator txn about to write its
+				// commit record and resolve it. The Active check below
+				// covers most of that window, but it reads *current* state
+				// while this ListPrepared snapshot may be stale — the
+				// coordinator can finish (txn no longer active, records
+				// already deleted) after the snapshot was taken, and the
+				// daemon would wrongly ROLLBACK PREPARED a transaction whose
+				// COMMIT PREPARED already happened. Skipping young prepared
+				// transactions closes that race; WAL-adopted orphans report
+				// infinite age and are never graced.
+				if grace > 0 && p.AgeNs < int64(grace) {
 					continue
 				}
 				// still running locally? (the transaction may be between
@@ -288,8 +332,11 @@ func (n *Node) RecoverTwoPhaseCommits() int {
 				}
 				if qerr == nil {
 					resolved++
+				} else if firstErr == nil {
+					firstErr = qerr
 				}
 			}
+			return firstErr
 		})
 	}
 	metRecoveryResolved.Add(int64(resolved))
@@ -306,8 +353,11 @@ func gidLocalXID(gid string) (uint64, bool) {
 	return xid, err == nil
 }
 
-// withNodeConn borrows a pooled connection to a node.
-func (n *Node) withNodeConn(nodeID int, fn func(*wire.Conn)) {
+// withNodeConn borrows a pooled connection to a node. If fn reports an
+// error the connection is discarded instead of returned: a failed round
+// trip (connection drop, node crash) leaves it suspect, and recycling it
+// would wedge every later daemon poll on a dead connection.
+func (n *Node) withNodeConn(nodeID int, fn func(*wire.Conn) error) {
 	p, err := n.poolFor(nodeID)
 	if err != nil {
 		return
@@ -316,7 +366,10 @@ func (n *Node) withNodeConn(nodeID int, fn func(*wire.Conn)) {
 	if err != nil {
 		return
 	}
-	fn(c)
+	if err := fn(c); err != nil {
+		p.Discard(c)
+		return
+	}
 	p.Put(c)
 }
 
@@ -363,11 +416,12 @@ func (n *Node) CheckDistributedDeadlock() string {
 		if node.ID == n.ID {
 			continue
 		}
-		n.withNodeConn(node.ID, func(c *wire.Conn) {
+		n.withNodeConn(node.ID, func(c *wire.Conn) error {
 			les, err := c.LockGraph()
 			if err == nil {
 				collect(node.ID, les)
 			}
+			return err
 		})
 	}
 
@@ -411,8 +465,9 @@ func (n *Node) CheckDistributedDeadlock() string {
 		if node.ID == n.ID {
 			continue
 		}
-		n.withNodeConn(node.ID, func(c *wire.Conn) {
-			_, _ = c.CancelDistTxn(victim)
+		n.withNodeConn(node.ID, func(c *wire.Conn) error {
+			_, err := c.CancelDistTxn(victim)
+			return err
 		})
 	}
 	return victim

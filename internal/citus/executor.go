@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"citusgo/internal/engine"
+	"citusgo/internal/fault"
 	"citusgo/internal/obs"
 	"citusgo/internal/pool"
 	"citusgo/internal/types"
@@ -31,6 +32,18 @@ var (
 		"waits for a connection slot under the shared connection limit").With()
 	metTaskLatency = obs.Default().Histogram("executor_task_latency_ns",
 		"per-task execution latency in nanoseconds", nil).With()
+	metTaskRetries = obs.Default().Counter("executor_task_retries_total",
+		"read-only task retries after transient connection failures").With()
+)
+
+// Bounded retry policy for transient connection failures on idempotent
+// (read-only, non-transactional) tasks: up to maxTaskAttempts total
+// attempts with doubling backoff. Distinct from the plan-invalid
+// re-prepare retry inside queryTask, which may retry even writes because
+// the worker rejected before executing anything.
+const (
+	maxTaskAttempts  = 4
+	taskRetryBackoff = 500 * time.Microsecond
 )
 
 // task is one query against one shard placement — the unit of distributed
@@ -304,7 +317,7 @@ func (n *Node) acquireConn(p *pool.NodePool, nodeID int, mustHave bool) (*worker
 	for {
 		c, err := p.Get()
 		if err == nil {
-			return &workerConn{conn: c, nodeID: nodeID}, nil
+			return &workerConn{conn: c, nodeID: nodeID, pool: p}, nil
 		}
 		if !errors.Is(err, pool.ErrLimit) || !mustHave {
 			return nil, err
@@ -346,6 +359,25 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 	}
 	start := time.Now()
 	res, attempts, err := n.queryTask(wc, t)
+	// Transient transport failures (connection reset, dropped response) on
+	// idempotent work retry on a fresh connection with doubling backoff.
+	// Only read-only tasks outside a transaction block qualify: a write or
+	// an in-transaction task may have taken effect on the worker before
+	// the response was lost, so re-running it is not safe.
+	if err != nil && !t.isWrite && !txnMode && wc.pool != nil {
+		for wire.IsTransient(err) && attempts < maxTaskAttempts {
+			time.Sleep(taskRetryBackoff << (attempts - 1))
+			if rerr := n.refreshConn(wc); rerr != nil {
+				break
+			}
+			if sp != nil {
+				wc.conn.SetTrace(s.TraceID, sp.SpanID())
+			}
+			metTaskRetries.Inc()
+			attempts++
+			res, _, err = n.queryTask(wc, t)
+		}
+	}
 	metTaskLatency.ObserveSince(start)
 	if sp != nil {
 		sp.SetAttr("attempt", strconv.Itoa(attempts))
@@ -374,6 +406,23 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 	return nil
 }
 
+// refreshConn swaps a worker connection's transport for a freshly dialed
+// one from the originating pool (the old connection is presumed broken).
+// The new connection is acquired before the old one is discarded so a
+// failed dial leaves wc untouched — the normal broken-connection
+// disposition then discards it exactly once.
+func (n *Node) refreshConn(wc *workerConn) error {
+	c, err := wc.pool.Get()
+	if err != nil {
+		wc.broken = true
+		return err
+	}
+	wc.pool.Discard(wc.conn)
+	wc.conn = c
+	wc.broken = false
+	return nil
+}
+
 // queryTask ships one task to its worker. Parameterized tasks use the
 // prepared-statement protocol so each (connection, statement shape) pair
 // parses at most once worker-side; subsequent executions ship only the
@@ -384,6 +433,15 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 // The second return value is the number of execution attempts (2 after a
 // plan-invalid retry), recorded on the task span.
 func (n *Node) queryTask(wc *workerConn, t *task) (*engine.Result, int, error) {
+	// executor.task, keyed "read"/"write": fails or delays a task at the
+	// moment of issue, before anything reaches the wire.
+	kind := "read"
+	if t.isWrite {
+		kind = "write"
+	}
+	if err := fault.CheckKey(fault.PointExecutorTask, kind); err != nil {
+		return nil, 1, err
+	}
 	if n.Cfg.DisablePlanCache || len(t.params) == 0 {
 		res, err := wc.conn.Query(t.sql, t.params...)
 		return res, 1, err

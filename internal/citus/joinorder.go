@@ -65,8 +65,9 @@ func (n *Node) distTableRows(table string) (int64, error) {
 		}
 		var rows int64
 		var rerr error
-		n.withNodeConn(nodeID, func(c *wire.Conn) {
+		n.withNodeConn(nodeID, func(c *wire.Conn) error {
 			rows, rerr = c.TableRows(sh.ShardName())
+			return rerr
 		})
 		if rerr != nil {
 			return 0, rerr
@@ -123,8 +124,9 @@ func (n *Node) planBroadcastJoin(sel *sql.SelectStmt, params []types.Datum, smal
 				continue // appended locally below
 			}
 			var serr error
-			n.withNodeConn(node.ID, func(c *wire.Conn) {
+			n.withNodeConn(node.ID, func(c *wire.Conn) error {
 				serr = c.AppendIntermediateResult(irName, res.Columns, res.Rows)
+				return serr
 			})
 			if serr != nil {
 				return nil, serr
@@ -299,8 +301,9 @@ func (n *Node) repartitionTable(s *engine.Session, table, key, irName string, wo
 	}
 	for i, w := range workers {
 		var serr error
-		n.withNodeConn(w.ID, func(c *wire.Conn) {
+		n.withNodeConn(w.ID, func(c *wire.Conn) error {
 			serr = c.AppendIntermediateResult(irName, cols, buckets[i])
+			return serr
 		})
 		if serr != nil {
 			return serr

@@ -46,6 +46,14 @@ type Config struct {
 	// RecoveryInterval is the 2PC prepared-transaction recovery period.
 	// Negative disables.
 	RecoveryInterval time.Duration
+	// RecoveryGrace is how long a prepared transaction must have been
+	// sitting on a worker (by the worker's clock) before the recovery
+	// daemon will resolve it. It protects transactions whose coordinator
+	// is still between prepare and commit-record write from a wrongful
+	// rollback based on a stale ListPrepared snapshot. Default 5s;
+	// negative disables (tests that hand-craft orphans resolve at once).
+	// WAL-adopted orphans report infinite age and are never graced.
+	RecoveryGrace time.Duration
 	// BroadcastRowThreshold is the size under which the join-order planner
 	// prefers broadcasting a relation over repartitioning (rows).
 	BroadcastRowThreshold int64
@@ -70,6 +78,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecoveryInterval == 0 {
 		c.RecoveryInterval = 30 * time.Second
+	}
+	if c.RecoveryGrace == 0 {
+		c.RecoveryGrace = 5 * time.Second
+	} else if c.RecoveryGrace < 0 {
+		c.RecoveryGrace = 0
 	}
 	if c.BroadcastRowThreshold <= 0 {
 		c.BroadcastRowThreshold = 10000
@@ -151,11 +164,18 @@ func NewNode(id int, eng *engine.Engine, meta *metadata.Catalog, cfg Config) *No
 
 // SetDialer installs the connection factory for a peer node (the cluster
 // orchestrator wires this; it is the analog of node connection info in
-// pg_dist_node).
+// pg_dist_node). Re-installing a dialer — a restarted worker has a new
+// engine behind the same node ID — drops the existing pool so cached
+// connections to the dead incarnation aren't handed out again.
 func (n *Node) SetDialer(nodeID int, d pool.Dialer) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.dialers[nodeID] = d
+	old := n.pools[nodeID]
+	delete(n.pools, nodeID)
+	n.mu.Unlock()
+	if old != nil {
+		old.CloseAll()
+	}
 }
 
 // poolFor returns the shared connection pool toward a node.
@@ -311,9 +331,10 @@ type sessState struct {
 type workerConn struct {
 	conn   *wire.Conn
 	nodeID int
-	inTxn  bool // BEGIN sent for the current distributed transaction
-	wrote  bool // performed a write in this transaction
-	broken bool // protocol error: discard instead of returning to pool
+	pool   *pool.NodePool // originating pool, for mid-task replacement
+	inTxn  bool           // BEGIN sent for the current distributed transaction
+	wrote  bool           // performed a write in this transaction
+	broken bool           // protocol error: discard instead of returning to pool
 }
 
 func (n *Node) state(s *engine.Session) *sessState {

@@ -140,8 +140,8 @@ func (p *distPlan) cleanup() {
 			continue
 		}
 		nodeID := nodeID
-		p.node.withNodeConn(nodeID, func(c *wire.Conn) {
-			_ = c.DropIntermediateResults(p.cleanupPrefix)
+		p.node.withNodeConn(nodeID, func(c *wire.Conn) error {
+			return c.DropIntermediateResults(p.cleanupPrefix)
 		})
 	}
 }

@@ -158,8 +158,9 @@ func (n *Node) moveOneShard(s *engine.Session, sh *metadata.Shard, colocationID,
 	}
 	// 4. drop the source shard
 	var derr error
-	n.withNodeConn(from, func(c *wire.Conn) {
+	n.withNodeConn(from, func(c *wire.Conn) error {
 		_, derr = c.Query("DROP TABLE IF EXISTS " + shardName)
+		return derr
 	})
 	return derr
 }
@@ -202,12 +203,13 @@ func (n *Node) copyShardRows(from, to int, shardName string) error {
 	var rows []types.Row
 	var cols []string
 	var qerr error
-	n.withNodeConn(from, func(c *wire.Conn) {
+	n.withNodeConn(from, func(c *wire.Conn) error {
 		var res *engine.Result
 		res, qerr = c.Query("SELECT * FROM " + shardName)
 		if qerr == nil {
 			rows, cols = res.Rows, res.Columns
 		}
+		return qerr
 	})
 	if qerr != nil {
 		return qerr
@@ -216,8 +218,9 @@ func (n *Node) copyShardRows(from, to int, shardName string) error {
 		return nil
 	}
 	var cerr error
-	n.withNodeConn(to, func(c *wire.Conn) {
+	n.withNodeConn(to, func(c *wire.Conn) error {
 		_, cerr = c.Copy(shardName, cols, rows)
+		return cerr
 	})
 	return cerr
 }
@@ -250,12 +253,12 @@ func (n *Node) replayShardDelta(from, to int, shardName string, pos int64) error
 		return nil
 	}
 	var rerr error
-	n.withNodeConn(to, func(c *wire.Conn) {
+	n.withNodeConn(to, func(c *wire.Conn) error {
 		for _, row := range deltaDel {
 			// delete by full-row image
 			_, rerr = c.Query(deleteByImageSQL(shardName, row, to, n))
 			if rerr != nil {
-				return
+				return rerr
 			}
 		}
 		if len(deltaIns) > 0 {
@@ -265,6 +268,7 @@ func (n *Node) replayShardDelta(from, to int, shardName string, pos int64) error
 			}
 			_, rerr = c.Copy(shardName, cols, deltaIns)
 		}
+		return rerr
 	})
 	return rerr
 }

@@ -28,11 +28,12 @@ func (n *Node) CollectTrace(traceID uint64) []trace.Span {
 		if node.ID == n.ID {
 			continue
 		}
-		n.withNodeConn(node.ID, func(c *wire.Conn) {
+		n.withNodeConn(node.ID, func(c *wire.Conn) error {
 			remote, err := c.TraceSpans(traceID)
 			if err == nil {
 				spans = append(spans, remote...)
 			}
+			return err
 		})
 	}
 	trace.SortSpans(spans)

@@ -7,6 +7,7 @@ import (
 	"citusgo/internal/citus/metadata"
 	"citusgo/internal/engine"
 	"citusgo/internal/expr"
+	"citusgo/internal/fault"
 	"citusgo/internal/obs"
 	"citusgo/internal/sql"
 	"citusgo/internal/types"
@@ -256,12 +257,13 @@ func (p *statActivityPlan) Execute(s *engine.Session, params []types.Datum) (*en
 			if node.ID == p.node.ID {
 				continue
 			}
-			p.node.withNodeConn(node.ID, func(c *wire.Conn) {
+			p.node.withNodeConn(node.ID, func(c *wire.Conn) error {
 				remote, err := c.Query("SELECT citus_node_stat_activity()")
 				if err != nil {
-					return
+					return err
 				}
 				res.Rows = append(res.Rows, remote.Rows...)
+				return nil
 			})
 		}
 	}
@@ -463,6 +465,11 @@ func (n *Node) CreateReferenceTable(s *engine.Session, table string) error {
 // can coordinate queries itself (§3.2.1; the in-process catalog is shared,
 // so flipping the flag is the sync).
 func (n *Node) StartMetadataSync(nodeName string) error {
+	// metadata.sync, keyed by target node name: a sync that fails here
+	// leaves the node without metadata, exactly like a failed catalog ship.
+	if err := fault.CheckKey(fault.PointMetaSync, nodeName); err != nil {
+		return fmt.Errorf("metadata sync to %q failed: %w", nodeName, err)
+	}
 	for _, node := range n.Meta.Nodes() {
 		if node.Name == nodeName {
 			n.Meta.SetHasMetadata(node.ID, true)
@@ -485,8 +492,9 @@ func (n *Node) CreateRestorePoint(name string) (types.Datum, error) {
 			continue
 		}
 		var rerr error
-		n.withNodeConn(node.ID, func(c *wire.Conn) {
+		n.withNodeConn(node.ID, func(c *wire.Conn) error {
 			_, rerr = c.Query(fmt.Sprintf("SELECT citus_node_create_restore_point(%s)", types.QuoteString(name)))
+			return rerr
 		})
 		if rerr != nil {
 			return nil, fmt.Errorf("restore point on node %d: %w", node.ID, rerr)

@@ -76,35 +76,13 @@ func New(cfg Config) (*Cluster, error) {
 	total := cfg.Workers + 1
 	c := &Cluster{Meta: meta, cfg: cfg}
 
-	autovac := cfg.AutoVacuumInterval
-	if autovac == 0 {
-		autovac = 500 * time.Millisecond
-	} else if autovac < 0 {
-		autovac = 0
-	}
-
 	for i := 0; i < total; i++ {
 		name := "coordinator"
 		if i > 0 {
 			name = fmt.Sprintf("worker%d", i)
 		}
-		eng := engine.New(engine.Config{
-			Name: name,
-			BufferPool: bufpool.Config{
-				CapacityPages: cfg.BufferPoolPages,
-				IOLatency:     cfg.IOLatency,
-				IOConcurrency: cfg.IOConcurrency,
-			},
-			DeadlockInterval:   cfg.LocalDeadlockInterval,
-			AutoVacuumInterval: autovac,
-		})
+		eng := c.newEngine(i, name)
 		c.Engines = append(c.Engines, eng)
-		eng.Tracer = trace.New(i+1, name, cfg.Trace)
-		if cfg.Citus.DisablePlanCache {
-			// the ablation toggle disables all caching layers together so
-			// the off variant measures the genuinely uncached baseline
-			eng.SetStmtCacheEnabled(false)
-		}
 		node := citus.NewNode(i+1, eng, meta, cfg.Citus)
 		c.Nodes = append(c.Nodes, node)
 		meta.AddNode(&metadata.Node{
@@ -159,6 +137,98 @@ func New(cfg Config) (*Cluster, error) {
 		node.StartDaemons()
 	}
 	return c, nil
+}
+
+// newEngine builds one node engine with the cluster's configuration
+// (shared by initial boot and worker restart).
+func (c *Cluster) newEngine(i int, name string) *engine.Engine {
+	autovac := c.cfg.AutoVacuumInterval
+	if autovac == 0 {
+		autovac = 500 * time.Millisecond
+	} else if autovac < 0 {
+		autovac = 0
+	}
+	eng := engine.New(engine.Config{
+		Name: name,
+		BufferPool: bufpool.Config{
+			CapacityPages: c.cfg.BufferPoolPages,
+			IOLatency:     c.cfg.IOLatency,
+			IOConcurrency: c.cfg.IOConcurrency,
+		},
+		DeadlockInterval:   c.cfg.LocalDeadlockInterval,
+		AutoVacuumInterval: autovac,
+	})
+	eng.Tracer = trace.New(i+1, name, c.cfg.Trace)
+	if c.cfg.Citus.DisablePlanCache {
+		// the ablation toggle disables all caching layers together so
+		// the off variant measures the genuinely uncached baseline
+		eng.SetStmtCacheEnabled(false)
+	}
+	return eng
+}
+
+// CrashWorker simulates killing worker i's process (i is the node index;
+// the coordinator, index 0, cannot be crashed). The worker's WAL is sealed
+// at the crash instant — appends racing with the crash are lost, like
+// writes that never reached stable storage — and every connection to the
+// node starts failing. The chaos harness pairs this with RestartWorker.
+func (c *Cluster) CrashWorker(i int) error {
+	if i <= 0 || i >= len(c.Engines) {
+		return fmt.Errorf("cannot crash node %d (valid workers: 1..%d)", i, len(c.Engines)-1)
+	}
+	if c.cfg.UseTCP {
+		return fmt.Errorf("CrashWorker supports only the in-process transport")
+	}
+	eng := c.Engines[i]
+	eng.WAL.Seal()
+	eng.Crash()
+	c.Nodes[i].Close()
+	return nil
+}
+
+// RestartWorker rebuilds a crashed worker from its sealed WAL, exactly
+// like a process restart recovering from disk: a fresh engine replays the
+// old log (prepared transactions stay pending for 2PC recovery, §3.7.2),
+// a fresh Citus layer is attached, connectivity is rewired in both
+// directions, and the maintenance daemons start.
+func (c *Cluster) RestartWorker(i int) error {
+	if i <= 0 || i >= len(c.Engines) {
+		return fmt.Errorf("cannot restart node %d (valid workers: 1..%d)", i, len(c.Engines)-1)
+	}
+	old := c.Engines[i]
+	if !old.Crashed() {
+		return fmt.Errorf("node %d is not crashed", i)
+	}
+	eng := c.newEngine(i, old.Name)
+	if err := old.WAL.ReplayInto(eng.ReplayTarget(), 0); err != nil {
+		return fmt.Errorf("replaying %s WAL: %w", old.Name, err)
+	}
+	node := citus.NewNode(i+1, eng, c.Meta, c.cfg.Citus)
+	// Commit records this node wrote as a coordinator (MX mode) are
+	// rebuilt from its WAL, the same way RestoreToPoint does it.
+	node.RecoverCommitRecords(old.WAL.Records(), 0)
+	c.Engines[i] = eng
+	c.Nodes[i] = node
+	for j, peer := range c.Nodes {
+		target := c.Engines[j]
+		rtt := c.cfg.NetworkRTT
+		if i == j {
+			rtt = 0
+		}
+		node.SetDialer(j+1, func() (*wire.Conn, error) {
+			return wire.DialLocal(target, rtt), nil
+		})
+		node.RegisterPeerEngine(j+1, target)
+		if j != i {
+			peerRTT := c.cfg.NetworkRTT
+			peer.SetDialer(i+1, func() (*wire.Conn, error) {
+				return wire.DialLocal(eng, peerRTT), nil
+			})
+			peer.RegisterPeerEngine(i+1, eng)
+		}
+	}
+	node.StartDaemons()
+	return nil
 }
 
 // Coordinator returns the coordinator node.

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"context"
 	"fmt"
 
 	"citusgo/internal/expr"
@@ -484,10 +483,10 @@ func (s *Session) lockAndChase(store *storage, t *txn.Txn, tid heap.TID) (heap.T
 			// (uncontended acquisitions stay span-free, keeping the hot
 			// path cheap and the trace focused on actual waiting).
 			sp := s.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "lock_wait", "")
-			err = s.Eng.Locks.Acquire(context.Background(), t.XID, key, t.AbortCh())
+			err = s.Eng.Locks.Acquire(s.Eng.stopCtx, t.XID, key, t.AbortCh())
 			sp.Finish()
 		} else if s.TraceID == 0 {
-			err = s.Eng.Locks.Acquire(context.Background(), t.XID, key, t.AbortCh())
+			err = s.Eng.Locks.Acquire(s.Eng.stopCtx, t.XID, key, t.AbortCh())
 		}
 		if err != nil {
 			return heap.NilTID, heap.Tuple{}, false, err

@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -182,6 +183,16 @@ type Engine struct {
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
+	// stopCtx is cancelled when the engine stops (Close or Crash). Lock
+	// waits select on it so a session can never block forever inside a
+	// dead engine whose lock owners will not run again.
+	stopCtx    context.Context
+	stopCancel context.CancelFunc
+
+	// crashed marks the node as "process killed" for chaos tests: the
+	// in-process transport refuses requests against a crashed engine, so
+	// every client sees connection failures exactly as if the peer died.
+	crashed atomic.Bool
 }
 
 // SchemaVersion returns the engine's DDL version counter.
@@ -233,6 +244,7 @@ func New(cfg Config) *Engine {
 		intermediate: make(map[string]*IntermediateResult),
 		stopCh:       make(chan struct{}),
 	}
+	e.stopCtx, e.stopCancel = context.WithCancel(context.Background())
 	e.nextObjID.Store(1)
 	interval := cfg.DeadlockInterval
 	if interval == 0 {
@@ -264,8 +276,30 @@ func (e *Engine) autoVacuumLoop(interval time.Duration) {
 
 // Close stops background work.
 func (e *Engine) Close() {
-	e.stopOnce.Do(func() { close(e.stopCh) })
+	e.stopOnce.Do(func() {
+		close(e.stopCh)
+		e.stopCancel()
+	})
 }
+
+// Crash simulates a process kill: background work stops and the node
+// refuses all subsequent requests. State already in the WAL survives (a
+// restarted node replays it); everything else — memory state, prepared
+// statements, in-flight transactions — is lost, exactly like SIGKILL.
+// Active transactions are cancelled so sessions blocked in a lock wait
+// error out instead of waiting forever on a lock manager no live
+// transaction will ever release (a real process kill severs those waits
+// along with the process).
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	e.Close()
+	for _, t := range e.Txns.ActiveTxns() {
+		t.Cancel()
+	}
+}
+
+// Crashed reports whether Crash was called.
+func (e *Engine) Crashed() bool { return e.crashed.Load() }
 
 // deadlockDetectorLoop is the node-local equivalent of PostgreSQL's
 // deadlock check: find a cycle in the waits-for graph and cancel the

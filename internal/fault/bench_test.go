@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"testing"
+)
+
+// BenchmarkCheckDisarmed proves the disarmed fast path is a single atomic
+// load: ~1–2ns/op on commodity hardware, 0 allocs. This is the number that
+// justifies keeping the registry always-compiled (ISSUE 4 asks ≤2ns/check).
+func BenchmarkCheckDisarmed(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Check(PointWireSend); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckKeyDisarmed(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := CheckKey(PointWireSend, "query"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckArmedMiss measures the slow path when rules exist but none
+// match the checked point — the worst realistic case while a chaos test
+// holds rules at other points.
+func BenchmarkCheckArmedMiss(b *testing.B) {
+	Reset()
+	Arm(Rule{Point: Point2PCPrepare, Action: ActError})
+	defer Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Check(PointWireSend); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDisarmedOverheadBound is the CI-enforceable form of the ≤2ns claim.
+// Timing bounds are flaky on shared runners, so the assertion uses a
+// generous 50ns ceiling — an order of magnitude above the measured ~1–2ns,
+// but still far below what any mutex- or map-based implementation could
+// hit. The honest number lives in BenchmarkCheckDisarmed / docs/fault.md.
+func TestDisarmedOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	Reset()
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := Check(PointWireSend); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	t.Logf("disarmed Check: %.2f ns/op (%d iterations)", nsPerOp, res.N)
+	if nsPerOp > 50 {
+		t.Fatalf("disarmed Check costs %.1f ns/op; want ~1–2ns (bound 50ns)", nsPerOp)
+	}
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("disarmed Check allocates %d/op", res.AllocsPerOp())
+	}
+}

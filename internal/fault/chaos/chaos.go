@@ -1,0 +1,255 @@
+// Package chaos is a fault-injection test harness for the distributed
+// layer: it boots a multi-node in-process cluster, arms deterministic
+// fault schedules through internal/fault, kills and restarts workers
+// (crash-restart recovers from the sealed WAL, §3.7.2), and checks the
+// invariants the paper's 2PC protocol promises:
+//
+//   - a transaction with a commit record is eventually committed on every
+//     participant; one without is rolled back everywhere (§3.7.2);
+//   - multi-shard writes are all-or-none: after the cluster quiesces, no
+//     reader observes a transaction's effects on a strict subset of the
+//     shards it wrote;
+//   - recovery leaves no dangling prepared transactions behind.
+//
+// Schedules are reproducible: the harness resolves one seed (explicit
+// option > FAULT_SEED env > wall clock), feeds it to the fault registry's
+// RNG, and logs it so a failing run can be replayed with FAULT_SEED=<n>.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"citusgo/internal/citus"
+	"citusgo/internal/cluster"
+	"citusgo/internal/engine"
+	"citusgo/internal/fault"
+	"citusgo/internal/obs"
+	"citusgo/internal/types"
+)
+
+// Options configures a Harness. Zero-valued daemon intervals mean
+// disabled — chaos tests opt in to background recovery/deadlock daemons
+// explicitly so deterministic schedules are not perturbed by them.
+type Options struct {
+	Workers          int           // worker node count (default 2)
+	ShardCount       int           // shards per table (default 8)
+	Seed             int64         // fault RNG seed; 0 = FAULT_SEED env, else wall clock
+	RecoveryInterval time.Duration // 2PC recovery daemon period; 0 = disabled
+	DeadlockInterval time.Duration // distributed deadlock detector period; 0 = disabled
+	RecoveryGrace    time.Duration // prepared-txn age before recovery resolves it; 0 = disabled
+}
+
+// Harness is one chaos-test cluster plus the bookkeeping to drive fault
+// schedules against it.
+type Harness struct {
+	T    *testing.T
+	C    *cluster.Cluster
+	S    *engine.Session // coordinator session for setup/verification
+	Seed int64
+}
+
+// New boots a harness. It resets the fault registry, seeds its RNG, and
+// registers cleanup that disarms everything so faults never leak across
+// tests.
+func New(t *testing.T, opts Options) *Harness {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	if opts.ShardCount == 0 {
+		opts.ShardCount = 8
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		if env := os.Getenv("FAULT_SEED"); env != "" {
+			if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+				seed = v
+			}
+		}
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	fault.Reset()
+	fault.SetSeed(seed)
+	t.Logf("chaos: fault seed %d (reproduce with FAULT_SEED=%d)", seed, seed)
+
+	toInterval := func(d time.Duration) time.Duration {
+		if d == 0 {
+			return -1 // disabled unless the test opts in
+		}
+		return d
+	}
+	c, err := cluster.New(cluster.Config{
+		Workers:               opts.Workers,
+		ShardCount:            opts.ShardCount,
+		LocalDeadlockInterval: 20 * time.Millisecond,
+		Citus: citus.Config{
+			RecoveryInterval: toInterval(opts.RecoveryInterval),
+			DeadlockInterval: toInterval(opts.DeadlockInterval),
+			RecoveryGrace:    toInterval(opts.RecoveryGrace),
+		},
+	})
+	if err != nil {
+		t.Fatalf("chaos: booting cluster: %v", err)
+	}
+	h := &Harness{T: t, C: c, S: c.Session(), Seed: seed}
+	t.Cleanup(func() {
+		fault.Reset()
+		c.Close()
+	})
+	return h
+}
+
+// MustExec runs a statement on the harness session and fails the test on
+// error, printing the seed for reproduction.
+func (h *Harness) MustExec(q string, params ...types.Datum) *engine.Result {
+	h.T.Helper()
+	res, err := h.S.Exec(q, params...)
+	if err != nil {
+		h.T.Fatalf("chaos: exec %q: %v (seed %d)", q, err, h.Seed)
+	}
+	return res
+}
+
+// CreateTable creates and distributes `name(k bigint PRIMARY KEY, v
+// bigint)` — the canonical chaos workload table.
+func (h *Harness) CreateTable(name string) {
+	h.T.Helper()
+	h.MustExec(fmt.Sprintf("CREATE TABLE %s (k bigint PRIMARY KEY, v bigint)", name))
+	h.MustExec(fmt.Sprintf("SELECT create_distributed_table('%s', 'k')", name))
+}
+
+// KeysOnDistinctWorkers returns n keys whose primary shard placements are
+// on n distinct worker nodes, plus the matching node IDs. Multi-shard
+// transactions over these keys always need 2PC across real network hops.
+func (h *Harness) KeysOnDistinctWorkers(table string, n int) (keys []int64, nodeIDs []int) {
+	h.T.Helper()
+	seen := map[int]bool{}
+	for k := int64(0); k < 10000 && len(keys) < n; k++ {
+		sh, err := h.C.Meta.ShardForValue(table, k)
+		if err != nil {
+			h.T.Fatalf("chaos: shard for %d: %v", k, err)
+		}
+		nodeID, err := h.C.Meta.PrimaryPlacement(sh.ID)
+		if err != nil {
+			h.T.Fatalf("chaos: placement for shard %d: %v", sh.ID, err)
+		}
+		if nodeID == 1 || seen[nodeID] {
+			continue // skip coordinator-resident and already-covered nodes
+		}
+		seen[nodeID] = true
+		keys = append(keys, k)
+		nodeIDs = append(nodeIDs, nodeID)
+	}
+	if len(keys) < n {
+		h.T.Fatalf("chaos: found only %d/%d keys on distinct workers", len(keys), n)
+	}
+	return keys, nodeIDs
+}
+
+// SeedRows inserts (k, 0) for every key so later batches are pure updates.
+func (h *Harness) SeedRows(table string, keys []int64) {
+	h.T.Helper()
+	for _, k := range keys {
+		h.MustExec(fmt.Sprintf("INSERT INTO %s (k, v) VALUES ($1, $2)", table), k, int64(0))
+	}
+}
+
+// UpdateAll runs one multi-shard transaction on session s setting every
+// key's value to batch, and returns the commit (or statement) error. On a
+// mid-transaction failure it rolls the session back so it is reusable.
+func (h *Harness) UpdateAll(s *engine.Session, table string, keys []int64, batch int64) error {
+	if _, err := s.Exec("BEGIN"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := s.Exec(fmt.Sprintf("UPDATE %s SET v = $1 WHERE k = $2", table), batch, k); err != nil {
+			_, _ = s.Exec("ROLLBACK")
+			return err
+		}
+	}
+	_, err := s.Exec("COMMIT")
+	return err
+}
+
+// ValuesAt reads each key's current value through the coordinator.
+func (h *Harness) ValuesAt(table string, keys []int64) []int64 {
+	h.T.Helper()
+	out := make([]int64, len(keys))
+	for i, k := range keys {
+		res := h.MustExec(fmt.Sprintf("SELECT v FROM %s WHERE k = $1", table), k)
+		if len(res.Rows) != 1 {
+			h.T.Fatalf("chaos: key %d: got %d rows, want 1 (seed %d)", k, len(res.Rows), h.Seed)
+		}
+		v, ok := res.Rows[0][0].(int64)
+		if !ok {
+			h.T.Fatalf("chaos: key %d: non-int value %v (seed %d)", k, res.Rows[0][0], h.Seed)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// CheckAtomic asserts the all-or-none invariant for one batch: either
+// every key holds the batch value or none does. It returns whether the
+// batch is (fully) visible.
+func (h *Harness) CheckAtomic(table string, keys []int64, batch int64) bool {
+	h.T.Helper()
+	vals := h.ValuesAt(table, keys)
+	hits := 0
+	for _, v := range vals {
+		if v == batch {
+			hits++
+		}
+	}
+	if hits != 0 && hits != len(keys) {
+		h.T.Fatalf("chaos: batch %d visible on %d/%d shards — atomicity violated (values %v, seed %d)",
+			batch, hits, len(keys), vals, h.Seed)
+	}
+	return hits == len(keys)
+}
+
+// DanglingPrepared counts prepared transactions still pending across all
+// live (non-crashed) engines.
+func (h *Harness) DanglingPrepared() int {
+	total := 0
+	for _, eng := range h.C.Engines {
+		if eng.Crashed() {
+			continue
+		}
+		total += len(eng.Txns.ListPrepared())
+	}
+	return total
+}
+
+// Quiesce drives 2PC recovery from the coordinator until no prepared
+// transaction is pending anywhere, failing the test if the cluster does
+// not settle within the deadline. It returns the number of transactions
+// recovery resolved.
+func (h *Harness) Quiesce(deadline time.Duration) int {
+	h.T.Helper()
+	resolved := 0
+	end := time.Now().Add(deadline)
+	for {
+		resolved += h.C.Coordinator().RecoverTwoPhaseCommits()
+		if h.DanglingPrepared() == 0 {
+			return resolved
+		}
+		if time.Now().After(end) {
+			h.T.Fatalf("chaos: %d prepared transactions still dangling after %v (seed %d)",
+				h.DanglingPrepared(), deadline, h.Seed)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// CounterSum reads the current sum of an obs counter family (all label
+// combinations) from the default registry.
+func CounterSum(name string) int64 {
+	return obs.Default().Snapshot().Sum(name)
+}

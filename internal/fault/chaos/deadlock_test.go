@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"citusgo/internal/fault"
+)
+
+// crossKeys readies table with two keys on distinct workers and returns a
+// crossover (k1 held by s1 wanted by s2, and vice versa) setup helper.
+func crossKeys(t *testing.T, h *Harness, table string) (k1, k2 int64) {
+	t.Helper()
+	h.CreateTable(table)
+	keys, _ := h.KeysOnDistinctWorkers(table, 2)
+	h.SeedRows(table, keys)
+	return keys[0], keys[1]
+}
+
+// TestDeadlockDetectedUnderLockGraphFaults injects delays on every
+// lock-graph poll and drops the first few poll responses outright, then
+// creates a genuine two-node distributed deadlock. The detector must
+// survive the degraded polls and still cancel exactly one transaction
+// (§3.7.3).
+func TestDeadlockDetectedUnderLockGraphFaults(t *testing.T) {
+	h := New(t, Options{DeadlockInterval: 40 * time.Millisecond})
+	k1, k2 := crossKeys(t, h, "dlf")
+
+	// Every poll round trip is slowed; the first three poll responses are
+	// lost entirely (and take their pooled connections with them).
+	fault.Arm(fault.Rule{Point: fault.PointWireSend, Key: "lock_graph", Action: fault.ActDelay, Delay: 2 * time.Millisecond})
+	fault.Arm(fault.Rule{Point: fault.PointWireRecv, Key: "lock_graph", Action: fault.ActDropConn, Count: 3})
+
+	s1 := h.C.Session()
+	s2 := h.C.Session()
+	if _, err := s1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Exec("UPDATE dlf SET v = 1 WHERE k = $1", k1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("UPDATE dlf SET v = 2 WHERE k = $1", k2); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	go func() {
+		_, err := s1.Exec("UPDATE dlf SET v = 1 WHERE k = $1", k2)
+		done <- err
+	}()
+	go func() {
+		_, err := s2.Exec("UPDATE dlf SET v = 2 WHERE k = $1", k1)
+		done <- err
+	}()
+	failures := 0
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				failures++
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("deadlock not detected under lock-graph faults (seed %d)", h.Seed)
+		}
+	}
+	if failures == 0 {
+		t.Fatalf("expected the detector to cancel one transaction (seed %d)", h.Seed)
+	}
+	if fault.Fired(fault.PointWireRecv) != 3 {
+		t.Fatalf("lock-graph drops fired %d times, want 3", fault.Fired(fault.PointWireRecv))
+	}
+	s1.Exec("ROLLBACK")
+	s2.Exec("ROLLBACK")
+}
+
+// TestNoFalseVictimWhenPollsDrop starves the detector of every remote
+// lock-graph poll while two sessions hold real (non-cyclic) waits. A
+// detector that treated "cannot read the graph" as grounds for
+// cancellation would kill one of them; the correct behavior is to cancel
+// nothing and let the blocked update finish once the lock holder commits.
+func TestNoFalseVictimWhenPollsDrop(t *testing.T) {
+	h := New(t, Options{}) // detector daemon off; polled manually
+	k1, k2 := crossKeys(t, h, "dln")
+
+	fault.Arm(fault.Rule{Point: fault.PointWireRecv, Key: "lock_graph", Action: fault.ActDropConn})
+
+	s1 := h.C.Session()
+	s2 := h.C.Session()
+	if _, err := s1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Exec("UPDATE dln SET v = 1 WHERE k = $1", k1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("UPDATE dln SET v = 2 WHERE k = $1", k2); err != nil {
+		t.Fatal(err)
+	}
+	// s2 waits on s1's lock: an edge, but no cycle.
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := s2.Exec("UPDATE dln SET v = 2 WHERE k = $1", k1)
+		blocked <- err
+	}()
+	for i := 0; i < 5; i++ {
+		if victim := h.C.Coordinator().CheckDistributedDeadlock(); victim != "" {
+			t.Fatalf("poll %d: cancelled %q with no cycle present (seed %d)", i, victim, h.Seed)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if fault.Fired(fault.PointWireRecv) == 0 {
+		t.Fatal("lock-graph polls were expected to fail")
+	}
+	// Neither session was cancelled: s1 commits, unblocking s2.
+	if _, err := s1.Exec("COMMIT"); err != nil {
+		t.Fatalf("s1 commit: %v (seed %d)", err, h.Seed)
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("blocked update failed: %v (seed %d)", err, h.Seed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("blocked update never resumed (seed %d)", h.Seed)
+	}
+	if _, err := s2.Exec("COMMIT"); err != nil {
+		t.Fatalf("s2 commit: %v (seed %d)", err, h.Seed)
+	}
+}

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"citusgo/internal/fault"
+)
+
+// TestTwoPhaseCommitFaultMatrix is the golden table for the §3.7.2
+// commit-record rule: for every injection point along the 2PC path it pins
+// down (a) whether the client's COMMIT succeeds and (b) the transaction's
+// final fate after recovery quiesces the cluster. The dividing line is the
+// commit record — any fault before it aborts the transaction everywhere,
+// any fault after it leaves a dangling prepared transaction that recovery
+// must commit.
+func TestTwoPhaseCommitFaultMatrix(t *testing.T) {
+	h := New(t, Options{})
+	h.CreateTable("m")
+	keys, _ := h.KeysOnDistinctWorkers("m", 2)
+	h.SeedRows("m", keys)
+
+	rows := []struct {
+		name          string
+		rules         []fault.Rule
+		wantCommitErr bool
+		wantVisible   bool
+	}{
+		{
+			name:          "prepare fails",
+			rules:         []fault.Rule{{Point: fault.Point2PCPrepare, Action: fault.ActError, Count: 1}},
+			wantCommitErr: true, wantVisible: false,
+		},
+		{
+			name:          "connection drops at prepare",
+			rules:         []fault.Rule{{Point: fault.Point2PCPrepare, Action: fault.ActDropConn, Count: 1}},
+			wantCommitErr: true, wantVisible: false,
+		},
+		{
+			// The PREPARE TRANSACTION request is lost before the worker
+			// sees it: nothing was prepared there, the coordinator aborts.
+			name:          "prepare request lost on the wire",
+			rules:         []fault.Rule{{Point: fault.PointWireSend, Key: "query", Action: fault.ActDropConn, Count: 1}},
+			wantCommitErr: true, wantVisible: false,
+		},
+		{
+			// The worker prepared but the response is lost: no commit
+			// record is written, so the orphan must be rolled back.
+			name:          "prepare response lost on the wire",
+			rules:         []fault.Rule{{Point: fault.PointWireRecv, Key: "query", Action: fault.ActDropConn, Count: 1}},
+			wantCommitErr: true, wantVisible: false,
+		},
+		{
+			name:          "commit record write fails",
+			rules:         []fault.Rule{{Point: fault.Point2PCCommitRecord, Action: fault.ActError, Count: 1}},
+			wantCommitErr: true, wantVisible: false,
+		},
+		{
+			// Past the commit record the client sees success no matter
+			// what happens to COMMIT PREPARED; recovery finishes the job.
+			name:          "commit prepared fails",
+			rules:         []fault.Rule{{Point: fault.Point2PCCommit, Action: fault.ActError, Count: 1}},
+			wantCommitErr: false, wantVisible: true,
+		},
+		{
+			name:          "connection drops at commit prepared",
+			rules:         []fault.Rule{{Point: fault.Point2PCCommit, Action: fault.ActDropConn, Count: 1}},
+			wantCommitErr: false, wantVisible: true,
+		},
+		{
+			// An abort that cannot reach a participant: the dangling
+			// prepared transaction still ends up rolled back by recovery.
+			name: "rollback prepared fails during abort",
+			rules: []fault.Rule{
+				{Point: fault.Point2PCCommitRecord, Action: fault.ActError, Count: 1},
+				{Point: fault.Point2PCAbort, Action: fault.ActError, Count: 1},
+			},
+			wantCommitErr: true, wantVisible: false,
+		},
+		{
+			name:          "no fault",
+			rules:         nil,
+			wantCommitErr: false, wantVisible: true,
+		},
+	}
+
+	s := h.C.Session()
+	for i, row := range rows {
+		batch := int64(100 + i)
+		if _, err := s.Exec("BEGIN"); err != nil {
+			t.Fatalf("%s: begin: %v", row.name, err)
+		}
+		for _, k := range keys {
+			if _, err := s.Exec("UPDATE m SET v = $1 WHERE k = $2", batch, k); err != nil {
+				t.Fatalf("%s: update: %v", row.name, err)
+			}
+		}
+		for _, r := range row.rules {
+			fault.Arm(r)
+		}
+		_, err := s.Exec("COMMIT")
+		if (err != nil) != row.wantCommitErr {
+			t.Fatalf("%s: commit error = %v, want error %v (seed %d)", row.name, err, row.wantCommitErr, h.Seed)
+		}
+		if len(row.rules) > 0 && fault.Fired(row.rules[0].Point) == 0 {
+			t.Fatalf("%s: fault at %s never fired", row.name, row.rules[0].Point)
+		}
+		fault.Reset()
+		h.Quiesce(2 * time.Second)
+		if visible := h.CheckAtomic("m", keys, batch); visible != row.wantVisible {
+			t.Fatalf("%s: batch %d visible = %v, want %v (seed %d)", row.name, batch, visible, row.wantVisible, h.Seed)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"citusgo/internal/fault"
+)
+
+// TestRecoveryGraceProtectsInFlightCommits is the regression test for the
+// recovery-vs-executor race: a transaction sits between PREPARE TRANSACTION
+// and its commit-record write while the recovery daemon polls aggressively.
+// Without the prepare-age grace period the daemon can act on a stale
+// ListPrepared snapshot and roll back a transaction whose coordinator is
+// about to (or already did) commit it. With the grace period every commit
+// must succeed, be visible on all shards, and recovery must resolve
+// nothing.
+func TestRecoveryGraceProtectsInFlightCommits(t *testing.T) {
+	h := New(t, Options{
+		RecoveryInterval: 5 * time.Millisecond,
+		RecoveryGrace:    500 * time.Millisecond,
+	})
+	h.CreateTable("rg")
+	keys, _ := h.KeysOnDistinctWorkers("rg", 2)
+	h.SeedRows("rg", keys)
+
+	// Every commit-record write stalls 60ms: prepared transactions sit on
+	// the workers, recordless, across ~12 recovery daemon ticks.
+	fault.Arm(fault.Rule{Point: fault.Point2PCCommitRecord, Action: fault.ActDelay, Delay: 60 * time.Millisecond})
+	before := CounterSum("dtxn_recovery_resolved_total")
+
+	s := h.C.Session()
+	const txns = 8
+	for i := 0; i < txns; i++ {
+		batch := int64(1000 + i)
+		if err := h.UpdateAll(s, "rg", keys, batch); err != nil {
+			t.Fatalf("txn %d: commit failed — recovery likely rolled back a live prepared txn: %v (seed %d)", i, err, h.Seed)
+		}
+		if !h.CheckAtomic("rg", keys, batch) {
+			t.Fatalf("txn %d: committed but not visible on every shard (seed %d)", i, h.Seed)
+		}
+	}
+	if got := fault.Fired(fault.Point2PCCommitRecord); got != txns {
+		t.Fatalf("commit-record delay fired %d times, want %d", got, txns)
+	}
+	// The daemon ran throughout but every prepared transaction it saw was
+	// young and in flight: nothing was resolved behind the executor's back.
+	if delta := CounterSum("dtxn_recovery_resolved_total") - before; delta != 0 {
+		t.Fatalf("recovery resolved %d in-flight transactions, want 0 (seed %d)", delta, h.Seed)
+	}
+	if got := h.DanglingPrepared(); got != 0 {
+		t.Fatalf("dangling prepared = %d after clean commits (seed %d)", got, h.Seed)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"sync"
 
+	"citusgo/internal/fault"
 	"citusgo/internal/obs"
 	"citusgo/internal/wire"
 )
@@ -70,6 +71,9 @@ func New(node string, limit int, dial Dialer) *NodePool {
 // shared limit. It never blocks: at the limit it returns ErrLimit, and the
 // adaptive executor queues the task on an existing connection instead.
 func (p *NodePool) Get() (*wire.Conn, error) {
+	if err := fault.CheckKey(fault.PointPoolCheckout, p.Node); err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	if n := len(p.idle); n > 0 {
 		c := p.idle[n-1]
@@ -87,6 +91,12 @@ func (p *NodePool) Get() (*wire.Conn, error) {
 	p.mu.Unlock()
 
 	c, err := p.dial()
+	if err == nil {
+		if ferr := fault.CheckKey(fault.PointPoolDial, p.Node); ferr != nil {
+			_ = c.Close()
+			err = ferr
+		}
+	}
 	if err != nil {
 		p.mu.Lock()
 		p.total--

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Status is a transaction's commit-log state.
@@ -171,6 +172,10 @@ type Manager struct {
 type preparedTxn struct {
 	txn *Txn
 	gid string
+	// at is when the transaction was prepared. Zero for transactions
+	// adopted from WAL replay, which report infinite age: their
+	// coordinator is gone, so recovery must not wait out a grace period.
+	at time.Time
 }
 
 // NewManager creates a transaction manager. XIDs start at 2 (XID 1 is the
@@ -318,7 +323,7 @@ func (m *Manager) Prepare(t *Txn, gid string) error {
 		return fmt.Errorf("transaction %d is not active", t.XID)
 	}
 	delete(m.active, t.XID)
-	m.prepared[gid] = &preparedTxn{txn: t, gid: gid}
+	m.prepared[gid] = &preparedTxn{txn: t, gid: gid, at: time.Now()}
 	return nil
 }
 
@@ -347,6 +352,9 @@ type PreparedInfo struct {
 	GID    string
 	XID    uint64
 	DistID string
+	// PreparedAt is when Prepare ran; zero for WAL-adopted transactions
+	// (treated as infinitely old by the recovery grace period).
+	PreparedAt time.Time
 }
 
 // ListPrepared returns all pending prepared transactions.
@@ -355,7 +363,7 @@ func (m *Manager) ListPrepared() []PreparedInfo {
 	defer m.mu.RUnlock()
 	out := make([]PreparedInfo, 0, len(m.prepared))
 	for gid, p := range m.prepared {
-		out = append(out, PreparedInfo{GID: gid, XID: p.txn.XID, DistID: p.txn.DistID})
+		out = append(out, PreparedInfo{GID: gid, XID: p.txn.XID, DistID: p.txn.DistID, PreparedAt: p.at})
 	}
 	return out
 }

@@ -15,7 +15,9 @@ package wal
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"citusgo/internal/fault"
 	"citusgo/internal/obs"
 	"citusgo/internal/types"
 )
@@ -97,18 +99,57 @@ type Log struct {
 	mu      sync.Mutex
 	records []Record
 	nextLSN int64
+
+	// sealed freezes the log at a crash instant: appends racing with the
+	// crash are dropped, modeling writes that never reached stable storage
+	// before the process died. A restarted node replays only the sealed
+	// prefix.
+	sealed atomic.Bool
 }
 
 // New creates an empty log.
 func New() *Log { return &Log{nextLSN: 1} }
 
-// Append writes a record and returns its LSN.
+// Seal freezes the log: every subsequent Append is silently dropped
+// (returning LSN 0), as if the process died before the write hit disk.
+// Chaos tests call Seal at the crash instant, then hand the sealed log to
+// the restarted node for replay.
+func (l *Log) Seal() { l.sealed.Store(true) }
+
+// Sealed reports whether the log has been frozen by Seal.
+func (l *Log) Sealed() bool { return l.sealed.Load() }
+
+// durable reports whether a record type represents a durability point —
+// where a real WAL would fsync before acknowledging.
+func durable(t RecordType) bool {
+	switch t {
+	case RecCommit, RecPrepare, RecCommitPrepared, RecAbortPrepared, RecCommitRecord:
+		return true
+	}
+	return false
+}
+
+// Append writes a record and returns its LSN (0 if the log is sealed).
 func (l *Log) Append(rec Record) int64 {
+	// wal.append models a slow or wedged log device; wal.fsync models the
+	// flush a real WAL performs at durability points. Neither can refuse a
+	// write (the in-memory log has no I/O errors) — injected errors at
+	// these points mean delay/panic schedules; error rules are ignored.
+	_ = fault.CheckKey(fault.PointWALAppend, rec.Type.String())
+	if durable(rec.Type) {
+		_ = fault.CheckKey(fault.PointWALFsync, rec.Type.String())
+	}
+	if l.sealed.Load() {
+		return 0
+	}
 	if t := int(rec.Type); t >= 0 && t < len(metRecords) {
 		metRecords[t].Inc()
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.sealed.Load() {
+		return 0
+	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
 	l.records = append(l.records, rec)

@@ -10,12 +10,14 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"strings"
 	"sync"
 	"time"
 
 	"citusgo/internal/engine"
+	"citusgo/internal/fault"
 	"citusgo/internal/jsonb"
 	"citusgo/internal/obs"
 	"citusgo/internal/sql"
@@ -77,6 +79,38 @@ const (
 	ReqTraceSpans
 )
 
+// String names the request kind; fault-injection rules key wire.send /
+// wire.recv points on these names to target one message type.
+func (k RequestKind) String() string {
+	switch k {
+	case ReqQuery:
+		return "query"
+	case ReqCopy:
+		return "copy"
+	case ReqLockGraph:
+		return "lock_graph"
+	case ReqCancelDist:
+		return "cancel_dist"
+	case ReqAppendResult:
+		return "append_result"
+	case ReqDropResults:
+		return "drop_results"
+	case ReqTableRows:
+		return "table_rows"
+	case ReqListPrepared:
+		return "list_prepared"
+	case ReqPing:
+		return "ping"
+	case ReqPrepare:
+		return "prepare"
+	case ReqExecPrepared:
+		return "exec_prepared"
+	case ReqTraceSpans:
+		return "trace_spans"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
 // HeaderV1 is the current header extension version: trace context.
 const HeaderV1 = 1
 
@@ -126,6 +160,12 @@ type Response struct {
 type PreparedTxn struct {
 	GID    string
 	DistID string
+	// AgeNs is how long the transaction has been sitting prepared on the
+	// worker, by the worker's clock. The 2PC recovery daemon uses it as a
+	// grace period: a freshly prepared transaction usually has a live
+	// coordinator about to resolve it. Transactions re-adopted from WAL
+	// replay report MaxInt64 (their coordinator is certainly gone).
+	AgeNs int64
 }
 
 // transport abstracts the two connection flavors.
@@ -170,6 +210,56 @@ func (c *Conn) hdr() Header {
 	return Header{Version: HeaderV1, TraceID: c.traceID, SpanID: c.spanID}
 }
 
+// ConnError marks a transport-level failure: the request may never have
+// reached the peer, or the response was lost in flight. It is distinct
+// from a semantic error (Response.Err), which the peer definitely
+// produced while executing. Callers may retry idempotent work on a
+// ConnError; they must never retry on a semantic error.
+type ConnError struct {
+	Node string
+	Err  error
+}
+
+func (e *ConnError) Error() string { return "conn " + e.Node + ": " + e.Err.Error() }
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is a transport-level connection failure
+// (the executor's retry-on-idempotent-task predicate).
+func IsTransient(err error) bool {
+	var ce *ConnError
+	return errors.As(err, &ce)
+}
+
+// roundTrip is the single chokepoint every client request goes through:
+// it evaluates the wire.send fault point before the transport (request
+// lost before reaching the peer) and wire.recv after (peer executed, but
+// the response was lost), and wraps all transport failures in ConnError
+// so callers can tell transient breakage from semantic errors.
+func (c *Conn) roundTrip(req *Request) (*Response, error) {
+	kind := req.Kind.String()
+	if err := fault.CheckKey(fault.PointWireSend, kind); err != nil {
+		return nil, c.transportFailure(err)
+	}
+	resp, err := c.t.roundTrip(req)
+	if err != nil {
+		return nil, &ConnError{Node: c.node, Err: err}
+	}
+	if err := fault.CheckKey(fault.PointWireRecv, kind); err != nil {
+		return nil, c.transportFailure(err)
+	}
+	return resp, nil
+}
+
+// transportFailure converts an injected fault into a transport-level
+// error; drop-connection faults also tear down the underlying transport,
+// so the failure looks like a peer reset rather than a clean refusal.
+func (c *Conn) transportFailure(err error) error {
+	if errors.Is(err, fault.ErrDropConn) {
+		_ = c.Close()
+	}
+	return &ConnError{Node: c.node, Err: err}
+}
+
 // Node returns the peer node's name.
 func (c *Conn) Node() string { return c.node }
 
@@ -184,7 +274,7 @@ func (c *Conn) Close() error {
 
 // Query executes SQL on the peer.
 func (c *Conn) Query(sqlText string, params ...types.Datum) (*engine.Result, error) {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqQuery, Hdr: c.hdr(), SQL: sqlText, Params: params})
+	resp, err := c.roundTrip(&Request{Kind: ReqQuery, Hdr: c.hdr(), SQL: sqlText, Params: params})
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +302,7 @@ func IsPlanInvalid(err error) bool { return errors.Is(err, ErrPlanInvalid) }
 // connection records what it prepared so the executor prepares each task
 // shape at most once per connection.
 func (c *Conn) Prepare(name, sqlText string) error {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqPrepare, Hdr: c.hdr(), Name: name, SQL: sqlText})
+	resp, err := c.roundTrip(&Request{Kind: ReqPrepare, Hdr: c.hdr(), Name: name, SQL: sqlText})
 	if err != nil {
 		return err
 	}
@@ -234,7 +324,7 @@ func (c *Conn) PreparedSQL(name string) string { return c.prepared[name] }
 // A plan-invalid failure (see ErrPlanInvalid) means the server refused
 // before executing; re-Prepare and retry.
 func (c *Conn) ExecutePrepared(name string, params ...types.Datum) (*engine.Result, error) {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqExecPrepared, Hdr: c.hdr(), Name: name, Params: params})
+	resp, err := c.roundTrip(&Request{Kind: ReqExecPrepared, Hdr: c.hdr(), Name: name, Params: params})
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +339,7 @@ func (c *Conn) ExecutePrepared(name string, params ...types.Datum) (*engine.Resu
 
 // Copy bulk-loads rows.
 func (c *Conn) Copy(table string, columns []string, rows []types.Row) (int, error) {
-	resp, err := c.t.roundTrip(&Request{
+	resp, err := c.roundTrip(&Request{
 		Kind: ReqCopy, Hdr: c.hdr(), Table: table, Columns: columns, Rows: rowsToWire(rows),
 	})
 	if err != nil {
@@ -263,7 +353,7 @@ func (c *Conn) Copy(table string, columns []string, rows []types.Row) (int, erro
 
 // LockGraph polls the node's waits-for edges.
 func (c *Conn) LockGraph() ([]engine.LockEdge, error) {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqLockGraph})
+	resp, err := c.roundTrip(&Request{Kind: ReqLockGraph})
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +365,7 @@ func (c *Conn) LockGraph() ([]engine.LockEdge, error) {
 
 // CancelDistTxn cancels the local participant of a distributed transaction.
 func (c *Conn) CancelDistTxn(distID string) (bool, error) {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqCancelDist, Name: distID})
+	resp, err := c.roundTrip(&Request{Kind: ReqCancelDist, Name: distID})
 	if err != nil {
 		return false, err
 	}
@@ -284,7 +374,7 @@ func (c *Conn) CancelDistTxn(distID string) (bool, error) {
 
 // AppendIntermediateResult ships rows into a named relation on the peer.
 func (c *Conn) AppendIntermediateResult(name string, columns []string, rows []types.Row) error {
-	resp, err := c.t.roundTrip(&Request{
+	resp, err := c.roundTrip(&Request{
 		Kind: ReqAppendResult, Name: name, Columns: columns, Rows: rowsToWire(rows),
 	})
 	if err != nil {
@@ -298,13 +388,13 @@ func (c *Conn) AppendIntermediateResult(name string, columns []string, rows []ty
 
 // DropIntermediateResults removes relations by prefix.
 func (c *Conn) DropIntermediateResults(prefix string) error {
-	_, err := c.t.roundTrip(&Request{Kind: ReqDropResults, Name: prefix})
+	_, err := c.roundTrip(&Request{Kind: ReqDropResults, Name: prefix})
 	return err
 }
 
 // TableRows fetches the peer's row-count estimate for a table.
 func (c *Conn) TableRows(table string) (int64, error) {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqTableRows, Table: table})
+	resp, err := c.roundTrip(&Request{Kind: ReqTableRows, Table: table})
 	if err != nil {
 		return 0, err
 	}
@@ -313,7 +403,7 @@ func (c *Conn) TableRows(table string) (int64, error) {
 
 // ListPrepared lists the peer's pending prepared transactions.
 func (c *Conn) ListPrepared() ([]PreparedTxn, error) {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqListPrepared})
+	resp, err := c.roundTrip(&Request{Kind: ReqListPrepared})
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +416,7 @@ func (c *Conn) ListPrepared() ([]PreparedTxn, error) {
 // TraceSpans fetches the peer's ring-buffered spans for a trace — the
 // remote half of citus_trace() reassembly.
 func (c *Conn) TraceSpans(traceID uint64) ([]trace.Span, error) {
-	resp, err := c.t.roundTrip(&Request{
+	resp, err := c.roundTrip(&Request{
 		Kind: ReqTraceSpans, Hdr: Header{Version: HeaderV1, TraceID: traceID},
 	})
 	if err != nil {
@@ -340,7 +430,7 @@ func (c *Conn) TraceSpans(traceID uint64) ([]trace.Span, error) {
 
 // Ping checks the peer is alive.
 func (c *Conn) Ping() error {
-	resp, err := c.t.roundTrip(&Request{Kind: ReqPing})
+	resp, err := c.roundTrip(&Request{Kind: ReqPing})
 	if err != nil {
 		return err
 	}
@@ -446,8 +536,15 @@ func (h *handler) handle(req *Request) *Response {
 		return &Response{Count: h.eng.TableRows(req.Table)}
 	case ReqListPrepared:
 		var out []PreparedTxn
+		now := time.Now()
 		for _, p := range h.eng.Txns.ListPrepared() {
-			out = append(out, PreparedTxn{GID: p.GID, DistID: p.DistID})
+			// Adopted-from-WAL transactions have no prepare timestamp:
+			// report infinite age so recovery never graces them.
+			age := int64(math.MaxInt64)
+			if !p.PreparedAt.IsZero() {
+				age = now.Sub(p.PreparedAt).Nanoseconds()
+			}
+			out = append(out, PreparedTxn{GID: p.GID, DistID: p.DistID, AgeNs: age})
 		}
 		return &Response{Prepared: out}
 	case ReqPing:
@@ -529,6 +626,9 @@ func (t *localTransport) roundTrip(req *Request) (*Response, error) {
 	}
 	if t.rtt > 0 {
 		time.Sleep(t.rtt)
+	}
+	if t.h.eng.Crashed() {
+		return nil, errors.New("connection reset: node is down")
 	}
 	return t.h.handle(req), nil
 }
