@@ -28,10 +28,11 @@ race:
 
 # run every benchmark once so benchmark code can't bit-rot (the figure
 # benchmarks live in the root package, on top of internal/bench), and run
-# the A3 plan-cache ablation once so the cached execution path can't either
+# the A3 plan-cache and A4 pipelining ablations once (both on + off
+# variants) so the cached/pipelined execution paths can't either
 bench-smoke:
 	go test -bench=. -benchtime=1x -run '^$$' -timeout 15m . ./internal/bench/...
-	go test -run TestAblationSlowStartPlanCache -count=1 -timeout 10m ./internal/bench
+	go test -run 'TestAblationSlowStartPlanCache|TestAblationPipelining' -count=1 -timeout 10m ./internal/bench
 
 # run citusbench with the slow-query log catching everything and assert the
 # tracing pipeline emitted at least one trace (see docs/tracing.md)

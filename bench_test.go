@@ -160,3 +160,16 @@ func BenchmarkAblationSlowStart(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAblationPipelining compares the pipelined wire protocol against
+// one round trip per task for a connection-limited fan-out at several
+// simulated RTTs (docs/wire.md).
+func BenchmarkAblationPipelining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.AblationPipelining(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, s, "fanout_ms")
+	}
+}

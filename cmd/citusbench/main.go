@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7a, 7b, 7c, 8, 9, 10, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7a, 7b, 7c, 8, 9, 10, a4 (pipelining ablation), or all")
 	tiny := flag.Bool("tiny", false, "run at the tiny (test) scale")
 	capabilities := flag.Bool("capabilities", false, "print the Table 2 capability matrix and exit")
 	warehouses := flag.Int("warehouses", 0, "override TPC-C warehouse count")
@@ -94,6 +94,8 @@ func main() {
 		fmt.Println(bench.FormatDistCounters(bench.ObsSnapshot().Delta(pre)))
 	case "10":
 		run("10", bench.Figure10)
+	case "a4":
+		run("a4", bench.AblationPipelining)
 	case "all":
 		pre := bench.ObsSnapshot()
 		series, err := bench.AllFigures(sc)

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"citusgo/internal/citus"
@@ -21,6 +22,11 @@ import (
 //   - AblationSlowStart: the adaptive executor with and without the
 //     slow-start ramp for a short router query and a fan-out query
 //     (§3.6.1 — the latency/parallelism trade).
+//   - AblationPipelining: wire-protocol request pipelining on vs off for a
+//     connection-limited fan-out at several network RTTs (§3.6.1 meets
+//     libpq pipeline mode — when the shared connection limit forces
+//     several tasks per connection, a pipelined window pays ~1 RTT where
+//     the serial protocol pays one per task).
 
 // AblationPlannerOverhead measures per-tier planning+execution latency.
 func AblationPlannerOverhead(sc Scale) (Series, error) {
@@ -235,4 +241,88 @@ func AblationSlowStart(sc Scale) ([]Series, error) {
 		c.Close()
 	}
 	return []Series{router, fanout}, nil
+}
+
+// AblationPipelining isolates the wire-protocol pipelining win: a
+// multi-shard fan-out under a shared connection limit that forces several
+// tasks onto each worker connection (16 shards over 2 workers with
+// MaxSharedPoolSize 2 → ≥4 tasks per connection). Serially each task pays
+// its own round trip; pipelined, a connection's whole task queue rides one
+// window for ~1 RTT. Reported as the median fan-out latency at several
+// simulated RTTs; each point's Extra carries the
+// wire_pipeline_batches_total delta, proving the "pipelined" variant
+// batched and the "serial" one never did.
+func AblationPipelining(sc Scale) (Series, error) {
+	out := Series{Figure: "Ablation A4", Metric: "connection-limited fan-out ms (median)"}
+	rtts := []time.Duration{0, 100 * time.Microsecond, 200 * time.Microsecond, time.Millisecond}
+	for _, rtt := range rtts {
+		for _, variant := range []struct {
+			name    string
+			disable bool
+		}{
+			{"pipelined", false},
+			{"serial", true},
+		} {
+			med, batches, err := pipelineFanout(sc, rtt, variant.disable)
+			if err != nil {
+				return out, fmt.Errorf("rtt %v %s: %w", rtt, variant.name, err)
+			}
+			out.Points = append(out.Points, Point{
+				Config: fmt.Sprintf("rtt %3dµs, %s", rtt.Microseconds(), variant.name),
+				Value:  float64(med.Microseconds()) / 1000,
+				Extra:  map[string]float64{"pipeline_batches": float64(batches)},
+			})
+		}
+	}
+	return out, nil
+}
+
+// pipelineFanout boots one connection-limited cluster variant and returns
+// the median latency of a full fan-out aggregate over repeated runs, plus
+// the number of pipelined batches flushed during the measured runs.
+func pipelineFanout(sc Scale, rtt time.Duration, disable bool) (time.Duration, int64, error) {
+	c, err := cluster.New(cluster.Config{
+		Workers:    2,
+		ShardCount: 16,
+		NetworkRTT: rtt,
+		Citus:      citus.Config{MaxSharedPoolSize: 2, DisablePipelining: disable},
+		Trace:      ClusterTrace,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	s := c.Session()
+	if _, err := s.Exec("CREATE TABLE plt (k bigint PRIMARY KEY, v bigint)"); err != nil {
+		return 0, 0, err
+	}
+	if _, err := s.Exec("SELECT create_distributed_table('plt', 'k')"); err != nil {
+		return 0, 0, err
+	}
+	rows := make([]types.Row, sc.Orders)
+	for i := range rows {
+		rows[i] = types.Row{int64(i), int64(i)}
+	}
+	if _, err := s.CopyFrom("plt", nil, rows); err != nil {
+		return 0, 0, err
+	}
+	const q = "SELECT count(*), sum(v) FROM plt"
+	for i := 0; i < 3; i++ { // warm pools and caches
+		if _, err := s.Exec(q); err != nil {
+			return 0, 0, err
+		}
+	}
+	pre := ObsSnapshot()
+	const runs = 15
+	lat := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := s.Exec(q); err != nil {
+			return 0, 0, err
+		}
+		lat = append(lat, time.Since(start))
+	}
+	batches := ObsSnapshot().Delta(pre).Sum("wire_pipeline_batches_total")
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[runs/2], batches, nil
 }

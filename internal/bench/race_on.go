@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled lets timing-sensitive assertions stand down when the race
+// detector is inflating every operation by 5–20×.
+const raceEnabled = true

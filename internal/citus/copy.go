@@ -123,7 +123,45 @@ func (n *Node) distributeRows(table string, dt *metadata.DistTable, columns []st
 					mu.Unlock()
 					return
 				}
+				// Each stream flushes its shard batches through one pipelined
+				// window: all COPY requests for this connection are encoded
+				// back-to-back and the per-shard results drained afterwards,
+				// so a stream pays one round trip for its whole queue instead
+				// of one per shard. With pipelining disabled the window is 1,
+				// which degenerates to the sequential round-trip loop.
+				type flight struct {
+					pd      *wire.Pending
+					shardID int64
+				}
 				var conn *wire.Conn
+				var pl *wire.Pipeline
+				var inflight []flight
+				broken := false
+				resolve := func() {
+					if pl == nil {
+						return
+					}
+					_ = pl.Flush()
+					mu.Lock()
+					for _, f := range inflight {
+						cnt, err := f.pd.Affected()
+						if err != nil {
+							if firstErr == nil {
+								firstErr = err
+							}
+							if wire.IsTransient(err) {
+								broken = true
+							}
+							continue
+						}
+						// count only the primary placement toward the total
+						if n.Meta.Placements(f.shardID)[0] == nodeID {
+							total += cnt
+						}
+					}
+					mu.Unlock()
+					inflight = inflight[:0]
+				}
 				for b := range work {
 					if conn == nil {
 						c, err := n.acquireConn(p, nodeID, true)
@@ -136,20 +174,25 @@ func (n *Node) distributeRows(table string, dt *metadata.DistTable, columns []st
 							return
 						}
 						conn = c.conn
+						pl = conn.Pipeline(n.pipelineWindow())
 					}
-					cnt, err := conn.Copy(b.shard.ShardName(), cols, b.rows)
-					mu.Lock()
-					if err != nil && firstErr == nil {
-						firstErr = err
+					inflight = append(inflight, flight{
+						pd:      pl.Copy(b.shard.ShardName(), cols, b.rows),
+						shardID: b.shard.ID,
+					})
+					if n.Cfg.DisablePipelining {
+						resolve()
 					}
-					// count only the primary placement toward the total
-					if err == nil && n.Meta.Placements(b.shard.ID)[0] == nodeID {
-						total += cnt
-					}
-					mu.Unlock()
 				}
+				resolve()
 				if conn != nil {
-					p.Put(conn)
+					// a transport-level failure leaves the connection desynced:
+					// discard it instead of recycling it into the pool
+					if broken {
+						p.Discard(conn)
+					} else {
+						p.Put(conn)
+					}
 				}
 			}(nodeID)
 		}

@@ -13,6 +13,7 @@ import (
 	"citusgo/internal/fault"
 	"citusgo/internal/obs"
 	"citusgo/internal/pool"
+	"citusgo/internal/trace"
 	"citusgo/internal/types"
 	"citusgo/internal/wire"
 )
@@ -163,23 +164,77 @@ func (n *Node) runNodeTasks(s *engine.Session, st *sessState, nodeID int, idxs [
 		aborted.Store(true)
 	}
 
+	window := 1
+	if !n.Cfg.DisablePipelining {
+		window = n.Cfg.PipelineWindow
+	}
+	// fairShare is a connection's pipelined batch size for the general
+	// queue. The shared connection limit caps this node's possible fan-out,
+	// so when it forces multiple tasks per connection the surplus rides one
+	// pipelined window instead of paying a round trip each; when the limit
+	// would permit one connection per task, batches stay at 1 and the
+	// adaptive fan-out keeps its full cross-connection parallelism. The
+	// share is fixed from the initial queue length rather than the live
+	// remainder: a shrinking target would hand the first grab a full share
+	// and every later grab a sliver (windows of 4,2,1,1 instead of 4,4 for
+	// 8 tasks under limit 2), paying round trips for parallelism the limit
+	// can't deliver anyway.
+	fairShare := 1
+	if window > 1 && n.Cfg.MaxSharedPoolSize > 0 {
+		fairShare = (len(general) + n.Cfg.MaxSharedPoolSize - 1) / n.Cfg.MaxSharedPoolSize
+		if fairShare < 1 {
+			fairShare = 1
+		}
+		if fairShare > window {
+			fairShare = window
+		}
+	}
+
 	runOn := func(wc *workerConn, private []int) {
-		for _, i := range private {
+		// The assigned queue is this connection's alone (transaction
+		// affinity pins its shard groups here), so it pipelines in full
+		// windows — there is no parallelism to preserve by holding back.
+		for start := 0; start < len(private); start += window {
 			if aborted.Load() {
 				return
 			}
-			if err := n.runTask(s, st, wc, &tasks[i], results, i, txnMode); err != nil {
+			end := start + window
+			if end > len(private) {
+				end = len(private)
+			}
+			if err := n.runTaskWindow(s, st, wc, private[start:end], tasks, results, txnMode); err != nil {
 				noteErr(err)
 				return
 			}
 		}
-		for i := range taskCh {
+		batch := make([]int, 0, window)
+		for {
+			i, ok := <-taskCh
+			if !ok {
+				return
+			}
+			batch = append(batch, i)
+			target := fairShare
+		fill:
+			for len(batch) < target {
+				select {
+				case j, ok := <-taskCh:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, j)
+				default:
+					break fill
+				}
+			}
 			if aborted.Load() {
-				remaining.Add(-1)
+				remaining.Add(-int64(len(batch)))
+				batch = batch[:0]
 				continue
 			}
-			err := n.runTask(s, st, wc, &tasks[i], results, i, txnMode)
-			remaining.Add(-1)
+			err := n.runTaskWindow(s, st, wc, batch, tasks, results, txnMode)
+			remaining.Add(-int64(len(batch)))
+			batch = batch[:0]
 			if err != nil {
 				noteErr(err)
 			}
@@ -290,7 +345,9 @@ func (n *Node) runNodeTasks(s *engine.Session, st *sessState, nodeID int, idxs [
 	newMu.Unlock()
 	st.mu.Lock()
 	for _, wc := range opened {
-		if wc.inTxn {
+		if wc.gone {
+			continue
+		} else if wc.inTxn {
 			st.conns[nodeID] = append(st.conns[nodeID], wc)
 		} else if wc.broken {
 			st.mu.Unlock()
@@ -327,10 +384,14 @@ func (n *Node) acquireConn(p *pool.NodePool, nodeID int, mustHave bool) (*worker
 	}
 }
 
-// runTask executes one task on one connection, opening a remote
-// transaction block first when in transactional mode.
-func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task, results []*engine.Result, i int, txnMode bool) error {
-	if txnMode && !wc.inTxn {
+// beginTxnBlock opens the remote transaction block the first time a
+// transactional task lands on a connection. BEGIN and the dist-txn-id SET
+// ride one pipelined batch (one round trip instead of two); both are
+// checked before any task request is issued, so a failed BEGIN can never
+// let a write execute outside the block. With pipelining disabled they
+// fall back to two plain round trips.
+func (n *Node) beginTxnBlock(st *sessState, wc *workerConn) error {
+	if n.Cfg.DisablePipelining {
 		if _, err := wc.conn.Query("BEGIN"); err != nil {
 			wc.broken = true
 			return fmt.Errorf("opening transaction block on node %d: %w", wc.nodeID, err)
@@ -340,6 +401,31 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 			return err
 		}
 		wc.inTxn = true
+		return nil
+	}
+	pl := wc.conn.Pipeline(2)
+	begin := pl.Query("BEGIN")
+	set := pl.Query(fmt.Sprintf("SET citus.dist_txn_id = '%s'", st.distID))
+	_ = pl.Flush()
+	if _, err := begin.Result(); err != nil {
+		wc.broken = true
+		return fmt.Errorf("opening transaction block on node %d: %w", wc.nodeID, err)
+	}
+	if _, err := set.Result(); err != nil {
+		wc.broken = true
+		return err
+	}
+	wc.inTxn = true
+	return nil
+}
+
+// runTask executes one task on one connection, opening a remote
+// transaction block first when in transactional mode.
+func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task, results []*engine.Result, i int, txnMode bool) error {
+	if txnMode && !wc.inTxn {
+		if err := n.beginTxnBlock(st, wc); err != nil {
+			return err
+		}
 	}
 	// One child span per task (§3.6.1 meets the trace model): labeled with
 	// the shard group, target node, plan-cache disposition, and — after the
@@ -390,6 +476,13 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 		wc.conn.ClearTrace()
 	}
 	if err != nil {
+		if wire.IsTransient(err) {
+			// A transport-level failure means the connection's streams can
+			// no longer be trusted (the transport may even be closed): mark
+			// it broken so every disposition path discards it instead of
+			// recycling it into the pool.
+			wc.broken = true
+		}
 		return fmt.Errorf("task on node %d failed: %w", wc.nodeID, err)
 	}
 	results[i] = res
@@ -406,19 +499,197 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 	return nil
 }
 
+// runTaskWindow issues a batch of tasks bound for one connection as a
+// single pipelined window (§3.6.1 meets libpq pipeline mode): all requests
+// are encoded back-to-back and the responses drained in order, so a queue
+// of k tasks costs one network round trip instead of k. Single-task
+// batches (and the DisablePipelining ablation, which never builds larger
+// ones) take the plain runTask path. Error semantics are runTask's:
+// semantic errors fail their own task; a transport failure marks the
+// connection broken, poisons the rest of the window, and — for read-only
+// tasks outside a transaction — re-issues the failed tasks individually on
+// a fresh connection, with writes never retried.
+func (n *Node) runTaskWindow(s *engine.Session, st *sessState, wc *workerConn, idxs []int, tasks []task, results []*engine.Result, txnMode bool) error {
+	if len(idxs) == 1 {
+		return n.runTask(s, st, wc, &tasks[idxs[0]], results, idxs[0], txnMode)
+	}
+	if txnMode && !wc.inTxn {
+		if err := n.beginTxnBlock(st, wc); err != nil {
+			return err
+		}
+	}
+	depth := strconv.Itoa(len(idxs))
+	pl := wc.conn.Pipeline(n.Cfg.PipelineWindow)
+	type slot struct {
+		idx   int
+		sp    *trace.ActiveSpan
+		prep  *wire.Pending
+		pd    *wire.Pending
+		name  string
+		start time.Time
+	}
+	slots := make([]slot, 0, len(idxs))
+	var issueErr error
+	for _, i := range idxs {
+		t := &tasks[i]
+		// executor.task fires per pipelined request exactly as it does per
+		// round trip; a fault here stops issuing the rest of the window
+		// (those tasks never reach the wire and report the same error).
+		kind := "read"
+		if t.isWrite {
+			kind = "write"
+		}
+		if err := fault.CheckKey(fault.PointExecutorTask, kind); err != nil {
+			issueErr = err
+			break
+		}
+		sl := slot{idx: i, start: time.Now()}
+		sp := n.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "task", t.sql)
+		if sp != nil {
+			sp.SetAttr("shard_group", strconv.FormatInt(t.shardGroup, 10))
+			sp.SetAttr("node", strconv.Itoa(t.nodeID))
+			cache := t.cache
+			if cache == "" {
+				cache = "miss"
+			}
+			sp.SetAttr("plancache", cache)
+			sp.SetAttr("pipeline_depth", depth)
+			// The request header is captured at enqueue time, so each task's
+			// worker-side spans nest under its own task span even though the
+			// whole window shares the connection.
+			wc.conn.SetTrace(s.TraceID, sp.SpanID())
+		}
+		sl.sp = sp
+		if n.Cfg.DisablePlanCache || len(t.params) == 0 {
+			sl.pd = pl.Query(t.sql, t.params...)
+		} else {
+			sl.name = preparedName(t.sql)
+			if wc.conn.PreparedSQL(sl.name) != t.sql {
+				sl.prep = pl.Prepare(sl.name, t.sql)
+			}
+			sl.pd = pl.ExecutePrepared(sl.name, t.params...)
+		}
+		slots = append(slots, sl)
+	}
+	_ = pl.Flush()
+	wc.conn.ClearTrace()
+
+	var firstErr error
+	refreshed := false
+	for k := range slots {
+		sl := &slots[k]
+		t := &tasks[sl.idx]
+		attempts := 1
+		var res *engine.Result
+		var err error
+		if sl.prep != nil {
+			err = sl.prep.Err()
+		}
+		if err == nil {
+			res, err = sl.pd.Result()
+			if wire.IsPlanInvalid(err) {
+				// The worker rejected before executing (DDL bumped its schema
+				// version between Prepare and Execute): re-prepare and retry
+				// with plain round trips, exactly as queryTask does.
+				attempts++
+				if perr := wc.conn.Prepare(sl.name, t.sql); perr != nil {
+					err = perr
+				} else {
+					res, err = wc.conn.ExecutePrepared(sl.name, t.params...)
+				}
+			}
+		}
+		if err != nil && wire.IsTransient(err) {
+			wc.broken = true
+			// Re-issue transient failures on idempotent work, as runTask
+			// does — the connection is refreshed once for the whole window,
+			// then each failed read-only task retries individually on it.
+			if !t.isWrite && !txnMode && wc.pool != nil {
+				for wire.IsTransient(err) && attempts < maxTaskAttempts {
+					time.Sleep(taskRetryBackoff << (attempts - 1))
+					if !refreshed || wc.broken {
+						if rerr := n.refreshConn(wc); rerr != nil {
+							break
+						}
+						refreshed = true
+					}
+					if sl.sp != nil {
+						wc.conn.SetTrace(s.TraceID, sl.sp.SpanID())
+					}
+					metTaskRetries.Inc()
+					attempts++
+					res, _, err = n.queryTask(wc, t)
+					if err != nil && wire.IsTransient(err) {
+						wc.broken = true
+					}
+				}
+				wc.conn.ClearTrace()
+			}
+		}
+		metTaskLatency.ObserveSince(sl.start)
+		if sl.sp != nil {
+			sl.sp.SetAttr("attempt", strconv.Itoa(attempts))
+			if err != nil {
+				sl.sp.SetAttr("error", err.Error())
+			} else {
+				sl.sp.SetAttr("rows", strconv.Itoa(len(res.Rows)))
+			}
+			sl.sp.Finish()
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("task on node %d failed: %w", wc.nodeID, err)
+			}
+			continue
+		}
+		results[sl.idx] = res
+		if t.isWrite {
+			wc.wrote = true
+		}
+		if txnMode && t.shardGroup >= 0 {
+			st.mu.Lock()
+			if _, ok := st.groupConn[t.shardGroup]; !ok {
+				st.groupConn[t.shardGroup] = wc
+			}
+			st.mu.Unlock()
+		}
+	}
+	if firstErr == nil && issueErr != nil {
+		firstErr = fmt.Errorf("task on node %d failed: %w", wc.nodeID, issueErr)
+	}
+	return firstErr
+}
+
 // refreshConn swaps a worker connection's transport for a freshly dialed
 // one from the originating pool (the old connection is presumed broken).
 // The new connection is acquired before the old one is discarded so a
 // failed dial leaves wc untouched — the normal broken-connection
-// disposition then discards it exactly once.
+// disposition then discards it exactly once. Under a tight shared
+// connection limit the broken connection may itself hold the last slot:
+// on ErrLimit the old one is discarded first to free its slot and the
+// checkout retried with the same bounded wait acquireConn uses (the
+// caller holds ≥1 slot's worth of claim and must get a connection to
+// make progress).
 func (n *Node) refreshConn(wc *workerConn) error {
 	c, err := wc.pool.Get()
+	if errors.Is(err, pool.ErrLimit) {
+		wc.pool.Discard(wc.conn)
+		wc.gone = true
+		for errors.Is(err, pool.ErrLimit) {
+			metConnWaits.Inc()
+			time.Sleep(200 * time.Microsecond)
+			c, err = wc.pool.Get()
+		}
+	}
 	if err != nil {
 		wc.broken = true
 		return err
 	}
-	wc.pool.Discard(wc.conn)
+	if !wc.gone {
+		wc.pool.Discard(wc.conn)
+	}
 	wc.conn = c
+	wc.gone = false
 	wc.broken = false
 	return nil
 }

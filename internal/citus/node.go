@@ -61,6 +61,14 @@ type Config struct {
 	// the prepared-statement task execution path (the ablation toggle; off
 	// means every execution re-plans and ships full SQL text).
 	DisablePlanCache bool
+	// PipelineWindow bounds how many requests the executor keeps in flight
+	// per worker connection when it pipelines a multi-task queue (the
+	// libpq-pipeline-mode window). 0 = 32.
+	PipelineWindow int
+	// DisablePipelining makes every task request its own round trip
+	// (mirroring DisablePlanCache as the ablation toggle for the pipelined
+	// wire protocol; see docs/wire.md).
+	DisablePipelining bool
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSharedPoolSize <= 0 {
 		c.MaxSharedPoolSize = 64
+	}
+	if c.PipelineWindow <= 0 {
+		c.PipelineWindow = wire.DefaultPipelineWindow
 	}
 	if c.SlowStartInterval == 0 {
 		c.SlowStartInterval = 10 * time.Millisecond
@@ -176,6 +187,15 @@ func (n *Node) SetDialer(nodeID int, d pool.Dialer) {
 	if old != nil {
 		old.CloseAll()
 	}
+}
+
+// pipelineWindow is the in-flight window for pipelined request batches —
+// 1 (i.e. plain round trips) when the pipelining ablation is off.
+func (n *Node) pipelineWindow() int {
+	if n.Cfg.DisablePipelining {
+		return 1
+	}
+	return n.Cfg.PipelineWindow
 }
 
 // poolFor returns the shared connection pool toward a node.
@@ -335,6 +355,7 @@ type workerConn struct {
 	inTxn  bool           // BEGIN sent for the current distributed transaction
 	wrote  bool           // performed a write in this transaction
 	broken bool           // protocol error: discard instead of returning to pool
+	gone   bool           // already discarded mid-task (failed refresh); skip disposition
 }
 
 func (n *Node) state(s *engine.Session) *sessState {

@@ -1,0 +1,224 @@
+package citus_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"citusgo/internal/citus"
+	"citusgo/internal/cluster"
+	"citusgo/internal/fault"
+	"citusgo/internal/obs"
+	"citusgo/internal/types"
+)
+
+// pipelineCluster boots a cluster whose shared connection limit forces
+// several tasks per connection, so multi-shard fan-out actually exercises
+// pipelined windows.
+func pipelineCluster(t *testing.T, cfg citus.Config) *cluster.Cluster {
+	t.Helper()
+	cfg.DeadlockInterval = -1
+	cfg.RecoveryInterval = -1
+	c, err := cluster.New(cluster.Config{
+		Workers:    2,
+		ShardCount: 16,
+		Citus:      cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestPipelineStressMisdelivery is the -race stress test for the pipelined
+// wire protocol: concurrent multi-shard fan-out queries and point reads
+// run over connections that carry ≥4 tasks per pipelined window (shared
+// connection limit 2 against 8 shards per worker), while a DDL loop keeps
+// bumping the worker schema versions (stale-plan rejections mid-window)
+// and injected drop-conn faults kill connections mid-pipeline. Correctness
+// conditions: every response lands on the request that issued it (a point
+// read must see exactly its own key's value — a misdelivered response
+// fails this), no stale plan executes, and teardown is clean.
+func TestPipelineStressMisdelivery(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	c := pipelineCluster(t, citus.Config{MaxSharedPoolSize: 2, PipelineWindow: 8})
+	s := c.Session()
+
+	mustExec(t, s, "CREATE TABLE ps (k bigint PRIMARY KEY, v bigint)")
+	mustExec(t, s, "SELECT create_distributed_table('ps', 'k')")
+	mustExec(t, s, "CREATE TABLE ps_ddl (k bigint PRIMARY KEY, v bigint)")
+	mustExec(t, s, "SELECT create_distributed_table('ps_ddl', 'k')")
+
+	const keys = 160
+	rows := make([]types.Row, 0, keys)
+	wantSum := int64(0)
+	for k := int64(0); k < keys; k++ {
+		rows = append(rows, types.Row{k, k * 7})
+		wantSum += k * 7
+	}
+	if _, err := s.CopyFrom("ps", []string{"k", "v"}, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	batchesBefore := obs.Default().Snapshot().Sum("wire_pipeline_batches_total")
+
+	const readers = 6
+	const minIters = 40
+	const maxIters = 5000
+	var ddlDone atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+2)
+
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sess := c.Session()
+			for i := 1; i <= maxIters; i++ {
+				// Full fan-out: 16 shard tasks over ≤2 connections per
+				// worker — each connection's queue rides pipelined windows.
+				res, err := sess.Exec("SELECT count(*), sum(v) FROM ps")
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d iter %d fan-out: %w", id, i, err)
+					return
+				}
+				if cnt := res.Rows[0][0].(int64); cnt != keys {
+					errCh <- fmt.Errorf("reader %d iter %d: count %d, want %d", id, i, cnt, keys)
+					return
+				}
+				if sum := res.Rows[0][1].(int64); sum != wantSum {
+					errCh <- fmt.Errorf("reader %d iter %d: sum %d, want %d", id, i, sum, wantSum)
+					return
+				}
+				// Point read with a per-reader key: the answer is a pure
+				// function of the key, so a response delivered to the wrong
+				// request is caught immediately.
+				k := int64((i*readers + id) % keys)
+				res, err = sess.Exec("SELECT v FROM ps WHERE k = $1", k)
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d iter %d point: %w", id, i, err)
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][0].(int64) != k*7 {
+					errCh <- fmt.Errorf("reader %d iter %d: key %d read %v, want %d (response misdelivery?)",
+						id, i, k, res.Rows, k*7)
+					return
+				}
+				if i >= minIters && ddlDone.Load() {
+					return
+				}
+			}
+		}(w)
+	}
+
+	// DDL loop: each CREATE INDEX bumps worker schema versions, so
+	// prepared executions inside in-flight pipelined windows hit the
+	// plan-invalid rejection and must re-prepare, never run stale.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer ddlDone.Store(true)
+		sess := c.Session()
+		for i := 0; i < 12; i++ {
+			if _, err := sess.Exec(fmt.Sprintf("CREATE INDEX ps_stress_%d ON ps_ddl (v)", i)); err != nil {
+				errCh <- fmt.Errorf("ddl %d: %w", i, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Fault loop: periodically kill one connection mid-pipeline (recv of a
+	// prepared point-read execution). Readers must absorb it through the
+	// refresh-and-retry path; keying on exec_prepared keeps the DDL
+	// writes out of the blast radius (writes are never retried).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8 && !ddlDone.Load(); i++ {
+			fault.Arm(fault.Rule{
+				Point: fault.PointWireRecv, Key: "exec_prepared",
+				Action: fault.ActDropConn, Count: 1,
+			})
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	if batchesAfter := obs.Default().Snapshot().Sum("wire_pipeline_batches_total"); batchesAfter <= batchesBefore {
+		t.Fatalf("stress run never flushed a pipelined batch (%d -> %d)", batchesBefore, batchesAfter)
+	}
+}
+
+// TestBrokenConnNeverReturnsToPool is the regression test for the
+// transportFailure audit: any task that fails with a transport-level
+// ConnError — read retries exhausted, a failed write, or a poisoned
+// pipelined window — must leave its connection marked broken so every
+// disposition path discards it. Recycling it would hand later checkouts a
+// closed or desynced connection.
+func TestBrokenConnNeverReturnsToPool(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	c := pipelineCluster(t, citus.Config{DisablePlanCache: true})
+	s := c.Session()
+	mustExec(t, s, "CREATE TABLE bc (k bigint PRIMARY KEY, v bigint)")
+	mustExec(t, s, "SELECT create_distributed_table('bc', 'k')")
+	for i := 0; i < 8; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO bc (k, v) VALUES (%d, 0)", i))
+	}
+
+	// A write task whose response is lost: not retryable, and the
+	// connection is no longer trustworthy.
+	discardsBefore := obs.Default().Snapshot().Sum("pool_discards_total")
+	fault.Arm(fault.Rule{Point: fault.PointWireRecv, Key: "query", Action: fault.ActError, Count: 1})
+	if _, err := s.Exec("UPDATE bc SET v = 1 WHERE k = 0"); err == nil {
+		t.Fatal("write with injected recv failure must error")
+	}
+	fault.Reset()
+	discardsAfter := obs.Default().Snapshot().Sum("pool_discards_total")
+	if discardsAfter <= discardsBefore {
+		t.Fatalf("broken connection was not discarded (discards %d -> %d)", discardsBefore, discardsAfter)
+	}
+	for nodeID := 2; nodeID <= 3; nodeID++ {
+		total, idle := c.Coordinator().PoolStats(nodeID)
+		if total != idle {
+			t.Fatalf("node %d: %d connections checked out after statement end (total %d, idle %d)",
+				nodeID, total-idle, total, idle)
+		}
+	}
+	// The pool must hand out working connections afterwards.
+	res := mustExec(t, s, "SELECT count(*) FROM bc")
+	if res.Rows[0][0].(int64) != 8 {
+		t.Fatalf("rows after discard: %v", res.Rows)
+	}
+
+	// Same audit for the COPY path: a stream whose COPY hits a transport
+	// failure must discard its connection, not Put it back.
+	discardsBefore = obs.Default().Snapshot().Sum("pool_discards_total")
+	fault.Arm(fault.Rule{Point: fault.PointWireRecv, Key: "copy", Action: fault.ActError, Count: 1})
+	rows := make([]types.Row, 0, 16)
+	for k := int64(100); k < 116; k++ {
+		rows = append(rows, types.Row{k, k})
+	}
+	if _, err := s.CopyFrom("bc", []string{"k", "v"}, rows); err == nil {
+		t.Fatal("COPY with injected recv failure must error")
+	}
+	fault.Reset()
+	discardsAfter = obs.Default().Snapshot().Sum("pool_discards_total")
+	if discardsAfter <= discardsBefore {
+		t.Fatalf("COPY stream's broken connection was not discarded (discards %d -> %d)", discardsBefore, discardsAfter)
+	}
+	if !strings.Contains(mustExec(t, s, "SELECT count(*) FROM bc").Tag, "SELECT") {
+		t.Fatal("cluster unusable after COPY failure")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"citusgo/internal/citus/metadata"
 	"citusgo/internal/engine"
+	"citusgo/internal/fault"
 	"citusgo/internal/types"
 	"citusgo/internal/wal"
 	"citusgo/internal/wire"
@@ -124,6 +125,12 @@ func (n *Node) MoveShardPlacement(s *engine.Session, shardID int64, from, to int
 	return nil
 }
 
+// moveOneShard runs the logical-replication move flow for one shard. Every
+// stage evaluates the rebalance.move fault point (keyed by stage name) so
+// chaos tests can interrupt a move at any seam; an interrupted move leaves
+// the placement metadata untouched (the flip in stage 3 is the commit
+// point) and at worst an orphan target table, which the next attempt
+// clears before re-creating the shard — so failed moves are retryable.
 func (n *Node) moveOneShard(s *engine.Session, sh *metadata.Shard, colocationID, from, to int) error {
 	dt, _ := n.Meta.Table(sh.Table)
 	ct, indexes, err := n.schemaStatements(sh.Table)
@@ -131,14 +138,30 @@ func (n *Node) moveOneShard(s *engine.Session, sh *metadata.Shard, colocationID,
 		return err
 	}
 	_ = dt
-	// 1. create the target shard table
+	shardName := sh.ShardName()
+	// 1. create the target shard table, dropping any orphan left behind by
+	// a previously interrupted move (the target never holds a live
+	// placement at this point — the metadata still routes to the source)
+	if err := fault.CheckKey(fault.PointRebalanceMove, "create_shard"); err != nil {
+		return fmt.Errorf("moving shard %d: %w", sh.ID, err)
+	}
+	var cleanErr error
+	n.withNodeConn(to, func(c *wire.Conn) error {
+		_, cleanErr = c.Query("DROP TABLE IF EXISTS " + shardName)
+		return cleanErr
+	})
+	if cleanErr != nil {
+		return cleanErr
+	}
 	if err := n.createShardOnNode(s, to, sh, ct, indexes); err != nil {
 		return err
 	}
-	shardName := sh.ShardName()
 
 	// 2. snapshot copy while the source keeps serving traffic; remember
 	// the WAL position first so the delta can be replayed
+	if err := fault.CheckKey(fault.PointRebalanceMove, "snapshot_copy"); err != nil {
+		return fmt.Errorf("moving shard %d: %w", sh.ID, err)
+	}
 	walPos, err := n.remoteWALPosition(from)
 	if err != nil {
 		return err
@@ -150,13 +173,24 @@ func (n *Node) moveOneShard(s *engine.Session, sh *metadata.Shard, colocationID,
 	// 3. block writes briefly, replay the WAL delta, flip the metadata
 	release := n.fence(metadata.ShardGroupID(colocationID, sh.Index))
 	defer release()
+	if err := fault.CheckKey(fault.PointRebalanceMove, "catchup"); err != nil {
+		return fmt.Errorf("moving shard %d: %w", sh.ID, err)
+	}
 	if err := n.replayShardDelta(from, to, shardName, walPos); err != nil {
 		return err
+	}
+	if err := fault.CheckKey(fault.PointRebalanceMove, "metadata_flip"); err != nil {
+		return fmt.Errorf("moving shard %d: %w", sh.ID, err)
 	}
 	if err := n.Meta.MovePlacement(sh.ID, from, to); err != nil {
 		return err
 	}
-	// 4. drop the source shard
+	// 4. drop the source shard (the move is already durable in the
+	// metadata: a failure here strands an orphan source table but queries
+	// route to the new placement)
+	if err := fault.CheckKey(fault.PointRebalanceMove, "drop_source"); err != nil {
+		return fmt.Errorf("moving shard %d: %w", sh.ID, err)
+	}
 	var derr error
 	n.withNodeConn(from, func(c *wire.Conn) error {
 		_, derr = c.Query("DROP TABLE IF EXISTS " + shardName)

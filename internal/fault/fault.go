@@ -40,6 +40,7 @@ const (
 	PointWALAppend       = "wal.append"        // key: record type string
 	PointWALFsync        = "wal.fsync"         // key: record type string
 	PointMetaSync        = "metadata.sync"     // key: target node name
+	PointRebalanceMove   = "rebalance.move"    // key: move stage ("create_shard", "snapshot_copy", "catchup", "metadata_flip", "drop_source")
 )
 
 // Action says what an armed rule does when it fires.

@@ -96,8 +96,9 @@ const (
 	// emits to the log.
 	maxSlowLogSpans = 12
 	// maxSpanAttrs is the per-span annotation capacity. Attrs beyond it
-	// are dropped — the richest span today (a task span with an error)
-	// sets six.
+	// are dropped — the richest span today (a pipelined task span, which
+	// adds pipeline_depth) sets exactly six: shard_group, node, plancache,
+	// pipeline_depth, attempt, rows-or-error.
 	maxSpanAttrs = 6
 )
 

@@ -1,0 +1,231 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"citusgo/internal/engine"
+	"citusgo/internal/fault"
+	"citusgo/internal/types"
+)
+
+// DefaultPipelineWindow bounds how many requests a pipeline keeps in
+// flight before it starts draining responses (the libpq-pipeline-mode
+// analog of a sliding window). Large enough that a whole per-connection
+// task queue usually rides one batch; small enough to bound buffered
+// responses.
+const DefaultPipelineWindow = 32
+
+// Pipeline batches requests on one connection: enqueue methods encode
+// requests back-to-back on the transport and return a *Pending future;
+// responses are drained in request order, on demand when the in-flight
+// window fills and all at once on Flush. A queue of k requests costs one
+// network round trip instead of k — this is what makes the adaptive
+// executor's many-tasks-per-connection regime cheap (see docs/wire.md).
+//
+// Error semantics mirror the single-request path: a transport-level
+// failure (send/recv fault, broken socket, correlation mismatch) surfaces
+// as a ConnError on the request that hit it and *poisons* the rest of the
+// batch — every later Pending fails with the same ConnError without
+// touching the wire, because once the streams are out of sync no further
+// response can be trusted. Semantic errors (Response.Err) stay per
+// request and leave the pipeline healthy. Like Conn itself, a Pipeline is
+// not safe for concurrent use.
+type Pipeline struct {
+	c      *Conn
+	window int
+
+	inflight []*Pending // sent, response not yet drained
+	failed   error      // first transport failure; poisons the rest
+	batch    int        // requests enqueued since the last Flush
+}
+
+// Pipeline starts a pipelined batch on the connection with the given
+// in-flight window (<=0 selects DefaultPipelineWindow). The caller must
+// not issue plain round trips on the connection until Flush returns.
+func (c *Conn) Pipeline(window int) *Pipeline {
+	if window <= 0 {
+		window = DefaultPipelineWindow
+	}
+	return &Pipeline{c: c, window: window}
+}
+
+// Pending is the future for one pipelined request. Its result accessors
+// are valid once the response has been drained — after Flush, or earlier
+// if the window forced a drain; calling them before that reports a
+// protocol-misuse error.
+type Pending struct {
+	kind RequestKind
+	seq  uint64
+	resp *Response
+	err  error
+	done bool
+}
+
+func (pd *Pending) fail(err error) {
+	pd.err = err
+	pd.done = true
+}
+
+// enqueue runs the same per-request steps as Conn.roundTrip up to the
+// response: wire.send fault point, Seq assignment, transport send. When
+// the in-flight window is full it drains the oldest response first.
+func (p *Pipeline) enqueue(req *Request) *Pending {
+	pd := &Pending{kind: req.Kind}
+	p.batch++
+	if p.failed != nil {
+		pd.fail(p.failed)
+		return pd
+	}
+	if err := fault.CheckKey(fault.PointWireSend, req.Kind.String()); err != nil {
+		p.poison(p.c.transportFailure(err))
+		pd.fail(p.failed)
+		return pd
+	}
+	p.c.seq++
+	req.Seq = p.c.seq
+	if err := p.c.t.send(req); err != nil {
+		p.poison(&ConnError{Node: p.c.node, Err: err})
+		pd.fail(p.failed)
+		return pd
+	}
+	pd.seq = req.Seq
+	p.inflight = append(p.inflight, pd)
+	if len(p.inflight) >= p.window {
+		p.drainOne()
+	}
+	return pd
+}
+
+func (p *Pipeline) poison(err error) {
+	if p.failed == nil {
+		p.failed = err
+	}
+}
+
+// drainOne resolves the oldest in-flight request: recv, correlation
+// check, wire.recv fault point. Any transport failure poisons the
+// pipeline, so later pendings fail without reading the (untrustworthy)
+// stream.
+func (p *Pipeline) drainOne() {
+	pd := p.inflight[0]
+	p.inflight = p.inflight[1:]
+	if p.failed != nil {
+		pd.fail(p.failed)
+		return
+	}
+	resp, err := p.c.t.recv()
+	if err != nil {
+		p.poison(&ConnError{Node: p.c.node, Err: err})
+		pd.fail(p.failed)
+		return
+	}
+	if resp.Seq != 0 && resp.Seq != pd.seq {
+		p.poison(p.c.misdelivery(pd.seq, resp.Seq))
+		pd.fail(p.failed)
+		return
+	}
+	if err := fault.CheckKey(fault.PointWireRecv, pd.kind.String()); err != nil {
+		p.poison(p.c.transportFailure(err))
+		pd.fail(p.failed)
+		return
+	}
+	pd.resp = resp
+	pd.done = true
+}
+
+// Flush drains every outstanding response and returns the batch's
+// transport-level failure, if any (semantic errors stay on the individual
+// Pendings). The pipeline is reusable after Flush unless it failed — a
+// poisoned pipeline stays poisoned, like the broken connection under it.
+func (p *Pipeline) Flush() error {
+	for len(p.inflight) > 0 {
+		p.drainOne()
+	}
+	if p.batch > 0 {
+		metPipelineBatches.Inc()
+		metPipelineDepth.Observe(int64(p.batch))
+		p.batch = 0
+	}
+	return p.failed
+}
+
+// Query enqueues a SQL execution (the pipelined Conn.Query).
+func (p *Pipeline) Query(sqlText string, params ...types.Datum) *Pending {
+	return p.enqueue(&Request{Kind: ReqQuery, Hdr: p.c.hdr(), SQL: sqlText, Params: params})
+}
+
+// Prepare enqueues a statement parse (the pipelined Conn.Prepare). The
+// connection's prepared map is updated optimistically at enqueue time so
+// later requests in the same batch can already count on the name; if the
+// server rejects the parse, the stale entry self-heals through the usual
+// plan-invalid retry on the next execution.
+func (p *Pipeline) Prepare(name, sqlText string) *Pending {
+	pd := p.enqueue(&Request{Kind: ReqPrepare, Hdr: p.c.hdr(), Name: name, SQL: sqlText})
+	if p.c.prepared == nil {
+		p.c.prepared = make(map[string]string)
+	}
+	p.c.prepared[name] = sqlText
+	return pd
+}
+
+// ExecutePrepared enqueues a prepared-statement execution (the pipelined
+// Conn.ExecutePrepared). Plan-invalid rejections surface as ErrPlanInvalid
+// from Result, exactly like the unpipelined path.
+func (p *Pipeline) ExecutePrepared(name string, params ...types.Datum) *Pending {
+	return p.enqueue(&Request{Kind: ReqExecPrepared, Hdr: p.c.hdr(), Name: name, Params: params})
+}
+
+// Copy enqueues a bulk load (the pipelined Conn.Copy).
+func (p *Pipeline) Copy(table string, columns []string, rows []types.Row) *Pending {
+	return p.enqueue(&Request{
+		Kind: ReqCopy, Hdr: p.c.hdr(), Table: table, Columns: columns, Rows: rowsToWire(rows),
+	})
+}
+
+// errNotDrained reports accessor misuse: the response isn't in yet.
+var errNotDrained = errors.New("wire: pending request not drained; call Pipeline.Flush first")
+
+// Err returns the request's failure: the poisoning ConnError for
+// transport-level trouble, or the peer's semantic error (with the same
+// plan-invalid mapping as the unpipelined accessors).
+func (pd *Pending) Err() error {
+	_, err := pd.result()
+	return err
+}
+
+// Result returns the request's result set, mirroring Conn.Query /
+// Conn.ExecutePrepared.
+func (pd *Pending) Result() (*engine.Result, error) {
+	resp, err := pd.result()
+	if err != nil {
+		return nil, err
+	}
+	return respToResult(resp), nil
+}
+
+// Affected returns the request's affected-row count, mirroring Conn.Copy.
+func (pd *Pending) Affected() (int, error) {
+	resp, err := pd.result()
+	if err != nil {
+		return 0, err
+	}
+	return resp.Affected, nil
+}
+
+func (pd *Pending) result() (*Response, error) {
+	if !pd.done {
+		return nil, errNotDrained
+	}
+	if pd.err != nil {
+		return nil, pd.err
+	}
+	if pd.resp.Err != "" {
+		if pd.kind == ReqExecPrepared && strings.HasPrefix(pd.resp.Err, planInvalidPrefix) {
+			return nil, fmt.Errorf("%w: %s", ErrPlanInvalid, strings.TrimPrefix(pd.resp.Err, planInvalidPrefix))
+		}
+		return nil, errors.New(pd.resp.Err)
+	}
+	return pd.resp, nil
+}

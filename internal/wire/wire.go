@@ -32,6 +32,10 @@ var (
 		"statements parsed server-side via the prepared-statement protocol").With()
 	metPreparedExecs = obs.Default().Counter("wire_prepared_executes",
 		"prepared-statement executions served").With()
+	metPipelineBatches = obs.Default().Counter("wire_pipeline_batches_total",
+		"pipelined request batches flushed").With()
+	metPipelineDepth = obs.Default().Histogram("wire_pipeline_depth",
+		"requests per flushed pipeline batch", nil).With()
 )
 
 func init() {
@@ -139,6 +143,14 @@ type Request struct {
 	Columns []string
 	Rows    [][]any
 	Name    string // intermediate result name / dist txn id / prefix
+
+	// Seq is the per-connection correlation id, assigned by the client
+	// and echoed in the matching Response. Requests and responses travel
+	// strictly in order, so Seq carries no routing information — it
+	// exists so a pipelining client can *prove* the pairing held and
+	// treat any mismatch as connection corruption rather than silently
+	// delivering another request's rows.
+	Seq uint64
 }
 
 // Response is one protocol response.
@@ -148,6 +160,10 @@ type Response struct {
 	Tag      string
 	Affected int
 	Err      string
+
+	// Seq echoes the request's correlation id (zero from a pre-Seq
+	// server; clients only verify it when nonzero).
+	Seq uint64
 
 	Edges    []engine.LockEdge
 	Prepared []PreparedTxn
@@ -168,9 +184,15 @@ type PreparedTxn struct {
 	AgeNs int64
 }
 
-// transport abstracts the two connection flavors.
+// transport abstracts the two connection flavors. send and recv are
+// decoupled so a client can keep several requests in flight (pipelining):
+// send enqueues/encodes one request without waiting, recv delivers the
+// oldest outstanding response. Responses always arrive in request order —
+// the protocol has no out-of-order delivery — and the Seq correlation id
+// lets the client verify that invariant held.
 type transport interface {
-	roundTrip(req *Request) (*Response, error)
+	send(req *Request) error
+	recv() (*Response, error)
 	close() error
 }
 
@@ -194,6 +216,10 @@ type Conn struct {
 	// clears them when the connection is checked back in.
 	traceID uint64
 	spanID  uint64
+
+	// seq numbers every request sent on this connection (correlation
+	// ids); responses must come back carrying the same sequence.
+	seq uint64
 }
 
 // SetTrace attaches a trace context to the connection: subsequent
@@ -230,24 +256,46 @@ func IsTransient(err error) bool {
 	return errors.As(err, &ce)
 }
 
-// roundTrip is the single chokepoint every client request goes through:
-// it evaluates the wire.send fault point before the transport (request
-// lost before reaching the peer) and wire.recv after (peer executed, but
-// the response was lost), and wraps all transport failures in ConnError
-// so callers can tell transient breakage from semantic errors.
+// roundTrip is the chokepoint for every non-pipelined client request: it
+// evaluates the wire.send fault point before the transport (request lost
+// before reaching the peer) and wire.recv after (peer executed, but the
+// response was lost), and wraps all transport failures in ConnError so
+// callers can tell transient breakage from semantic errors. Pipelined
+// requests go through the same steps per request in Pipeline.
 func (c *Conn) roundTrip(req *Request) (*Response, error) {
 	kind := req.Kind.String()
 	if err := fault.CheckKey(fault.PointWireSend, kind); err != nil {
 		return nil, c.transportFailure(err)
 	}
-	resp, err := c.t.roundTrip(req)
+	c.seq++
+	req.Seq = c.seq
+	if err := c.t.send(req); err != nil {
+		return nil, &ConnError{Node: c.node, Err: err}
+	}
+	resp, err := c.t.recv()
 	if err != nil {
 		return nil, &ConnError{Node: c.node, Err: err}
+	}
+	if resp.Seq != 0 && resp.Seq != req.Seq {
+		return nil, c.misdelivery(req.Seq, resp.Seq)
 	}
 	if err := fault.CheckKey(fault.PointWireRecv, kind); err != nil {
 		return nil, c.transportFailure(err)
 	}
 	return resp, nil
+}
+
+// misdelivery handles a correlation-id mismatch: the connection's
+// request/response streams are out of sync (something consumed or
+// produced a message we didn't account for), so nothing further read
+// from it can be trusted. Close it and surface a transport-level error;
+// a zero response Seq is tolerated in roundTrip/drain as "pre-Seq peer".
+func (c *Conn) misdelivery(want, got uint64) error {
+	_ = c.Close()
+	return &ConnError{
+		Node: c.node,
+		Err:  fmt.Errorf("response misdelivery: got seq %d, want %d", got, want),
+	}
 }
 
 // transportFailure converts an injected fault into a transport-level
@@ -601,15 +649,23 @@ func (h *handler) closeSession() {
 // ---------------------------------------------------------------------------
 // In-process transport
 
-// localTransport calls the engine directly, sleeping RTT per round trip to
-// simulate the network. This is the transport cluster tests and benchmarks
-// use; it preserves the protocol semantics (per-connection sessions,
-// serialized requests) without TCP overhead.
+// localTransport calls the engine directly, simulating the network by
+// sleeping RTT once per batch of in-flight requests. This is the transport
+// cluster tests and benchmarks use; it preserves the protocol semantics
+// (per-connection sessions, in-order requests) without TCP overhead, and
+// models pipelining the way a real socket does: requests encoded
+// back-to-back share one round trip, so the first recv of a batch pays
+// the RTT and the remaining responses ride the same stream for free.
 type localTransport struct {
 	mu     sync.Mutex
 	h      *handler
 	rtt    time.Duration
 	closed bool
+
+	// pending holds requests sent but not yet executed; ready holds
+	// executed responses not yet delivered to recv.
+	pending []*Request
+	ready   []*Response
 }
 
 // DialLocal opens an in-process connection to e with the given simulated
@@ -618,19 +674,46 @@ func DialLocal(e *engine.Engine, rtt time.Duration) *Conn {
 	return &Conn{t: &localTransport{h: newHandler(e), rtt: rtt}, node: e.Name}
 }
 
-func (t *localTransport) roundTrip(req *Request) (*Response, error) {
+func (t *localTransport) send(req *Request) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errors.New("connection is closed")
+	}
+	t.pending = append(t.pending, req)
+	return nil
+}
+
+func (t *localTransport) recv() (*Response, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return nil, errors.New("connection is closed")
 	}
-	if t.rtt > 0 {
-		time.Sleep(t.rtt)
+	if len(t.ready) == 0 {
+		if len(t.pending) == 0 {
+			return nil, errors.New("protocol error: recv with no request in flight")
+		}
+		// One RTT covers everything currently in flight: the batch was
+		// encoded back-to-back, so its first response arrives one round
+		// trip after the first send and the rest follow immediately.
+		if t.rtt > 0 {
+			time.Sleep(t.rtt)
+		}
+		if t.h.eng.Crashed() {
+			t.pending = nil
+			return nil, errors.New("connection reset: node is down")
+		}
+		for _, req := range t.pending {
+			resp := t.h.handle(req)
+			resp.Seq = req.Seq
+			t.ready = append(t.ready, resp)
+		}
+		t.pending = nil
 	}
-	if t.h.eng.Crashed() {
-		return nil, errors.New("connection reset: node is down")
-	}
-	return t.h.handle(req), nil
+	resp := t.ready[0]
+	t.ready = t.ready[1:]
+	return resp, nil
 }
 
 func (t *localTransport) close() error {
@@ -716,6 +799,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		resp := h.handle(&req)
+		resp.Seq = req.Seq
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -741,10 +825,12 @@ func Dial(addr string, nodeName string) (*Conn, error) {
 	}, nil
 }
 
-func (t *tcpTransport) roundTrip(req *Request) (*Response, error) {
-	if err := t.enc.Encode(req); err != nil {
-		return nil, err
-	}
+// send encodes one request onto the socket without waiting for its
+// response; the server's decode-handle-encode loop plus socket buffering
+// give TCP pipelining for free.
+func (t *tcpTransport) send(req *Request) error { return t.enc.Encode(req) }
+
+func (t *tcpTransport) recv() (*Response, error) {
 	var resp Response
 	if err := t.dec.Decode(&resp); err != nil {
 		return nil, err
