@@ -1,6 +1,6 @@
 # Convenience targets for the citusgo reproduction.
 
-.PHONY: all build test bench figures examples vet fmt fmt-check race bench-smoke trace-smoke chaos-smoke ci
+.PHONY: all build test bench figures examples vet fmt fmt-check lint race bench-smoke trace-smoke chaos-smoke chaos-soak ci
 
 all: build vet test
 
@@ -19,6 +19,17 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# static analysis: golangci-lint (config in .golangci.yml, mirrors the CI
+# lint job) when installed, falling back to go vet so the target still
+# works in bare environments
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; falling back to go vet"; \
+		go vet ./...; \
+	fi
+
 test:
 	go test -timeout 15m ./...
 
@@ -28,11 +39,12 @@ race:
 
 # run every benchmark once so benchmark code can't bit-rot (the figure
 # benchmarks live in the root package, on top of internal/bench), and run
-# the A3 plan-cache and A4 pipelining ablations once (both on + off
-# variants) so the cached/pipelined execution paths can't either
+# the A3 plan-cache, A4 pipelining, and A6 replica-routing ablations once
+# (all variants) so the cached/pipelined/replicated execution paths can't
+# either — A6 also asserts the replicated-read vs primary-read counter split
 bench-smoke:
 	go test -bench=. -benchtime=1x -run '^$$' -timeout 15m . ./internal/bench/...
-	go test -run 'TestAblationSlowStartPlanCache|TestAblationPipelining' -count=1 -timeout 10m ./internal/bench
+	go test -run 'TestAblationSlowStartPlanCache|TestAblationPipelining|TestAblationReplicaRouting' -count=1 -timeout 10m ./internal/bench
 
 # run citusbench with the slow-query log catching everything and assert the
 # tracing pipeline emitted at least one trace (see docs/tracing.md)
@@ -46,8 +58,19 @@ trace-smoke:
 chaos-smoke:
 	go test -race -run TestChaosSmoke -count=1 -timeout 120s -v ./internal/fault/chaos
 
+# the full replication chaos-soak matrix (nightly CI, see
+# .github/workflows/chaos-soak.yml): 8 fixed seeds x sync/async WAL
+# shipping, each run injecting ship/apply delays and commit-record faults
+# before a forced failover. A failing cell writes its seed + trace ring to
+# chaos-artifacts/ and reproduces with
+#   CHAOS_SOAK_SEEDS=<seed> make chaos-soak
+chaos-soak:
+	CHAOS_SOAK_SEEDS=101,202,303,404,505,606,707,808 \
+	CHAOS_ARTIFACT_DIR=$(CURDIR)/chaos-artifacts \
+	go test -race -run 'TestChaosSoakMatrix|TestChaosAsyncBoundedStaleness|TestChaosPromoteCrashPoints' -count=1 -timeout 900s -v ./internal/fault/chaos
+
 # the full CI pipeline (.github/workflows/ci.yml), reproducible locally
-ci: build vet fmt-check test race bench-smoke trace-smoke chaos-smoke
+ci: build vet fmt-check lint test race bench-smoke trace-smoke chaos-smoke
 
 # one testing.B benchmark per paper figure (test scale)
 bench:

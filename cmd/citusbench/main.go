@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7a, 7b, 7c, 8, 9, 10, a4 (pipelining ablation), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7a, 7b, 7c, 8, 9, 10, a4 (pipelining ablation), a6 (replica-routing ablation), or all")
 	tiny := flag.Bool("tiny", false, "run at the tiny (test) scale")
 	capabilities := flag.Bool("capabilities", false, "print the Table 2 capability matrix and exit")
 	warehouses := flag.Int("warehouses", 0, "override TPC-C warehouse count")
@@ -96,6 +96,8 @@ func main() {
 		run("10", bench.Figure10)
 	case "a4":
 		run("a4", bench.AblationPipelining)
+	case "a6":
+		run("a6", bench.AblationReplicaRouting)
 	case "all":
 		pre := bench.ObsSnapshot()
 		series, err := bench.AllFigures(sc)

@@ -21,6 +21,7 @@ import (
 
 	"citusgo/internal/cluster"
 	"citusgo/internal/obs"
+	"citusgo/internal/repl"
 	"citusgo/internal/trace"
 	"citusgo/internal/wire"
 )
@@ -35,7 +36,21 @@ func main() {
 	traceLog := flag.Bool("trace-log", false, "log statements slower than -trace-threshold (the slow-query log)")
 	traceThreshold := flag.Duration("trace-threshold", 100*time.Millisecond, "slow-query log threshold (with -trace-log)")
 	traceSample := flag.Float64("trace-sample", 1, "trace sampling rate in [0,1]; negative disables tracing")
+	replicas := flag.Int("replication-factor", 0, "WAL-streaming standbys per worker (0 disables replication; see docs/replication.md)")
+	replMode := flag.String("replication-mode", "sync", "replication mode with -replication-factor: sync (commits wait for standby acks) or async (bounded staleness)")
+	healthInterval := flag.Duration("health-interval", 0, "placement health-probe period enabling auto-failover of crashed primaries; 0 disables")
 	flag.Parse()
+
+	var mode repl.Mode
+	switch *replMode {
+	case "sync":
+		mode = repl.ModeSync
+	case "async":
+		mode = repl.ModeAsync
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -replication-mode %q (want sync or async)\n", *replMode)
+		os.Exit(2)
+	}
 
 	traceCfg := trace.Config{
 		SampleRate:    *traceSample,
@@ -44,11 +59,14 @@ func main() {
 		Logf:          log.Printf,
 	}
 	c, err := cluster.New(cluster.Config{
-		Workers:      *workers,
-		ShardCount:   *shards,
-		NetworkRTT:   *rtt,
-		SyncMetadata: *mx,
-		Trace:        traceCfg,
+		Workers:           *workers,
+		ShardCount:        *shards,
+		NetworkRTT:        *rtt,
+		SyncMetadata:      *mx,
+		Trace:             traceCfg,
+		ReplicationFactor: *replicas,
+		ReplicationMode:   mode,
+		HealthInterval:    *healthInterval,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cluster start failed: %v\n", err)
@@ -98,6 +116,9 @@ func main() {
 	}
 
 	fmt.Printf("citusd: coordinator + %d workers, %d shards per table\n", *workers, *shards)
+	if *replicas > 0 {
+		fmt.Printf("citusd: replication %s, %d standby(s) per worker\n", *replMode, *replicas)
+	}
 	if *traceLog {
 		fmt.Printf("citusd: slow-query log enabled at %v (grep the log for \"slow-trace\")\n", *traceThreshold)
 	}

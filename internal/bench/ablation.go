@@ -3,10 +3,12 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"citusgo/internal/citus"
 	"citusgo/internal/cluster"
+	"citusgo/internal/repl"
 	"citusgo/internal/types"
 )
 
@@ -27,6 +29,11 @@ import (
 //     libpq pipeline mode — when the shared connection limit forces
 //     several tasks per connection, a pipelined window pays ~1 RTT where
 //     the serial protocol pays one per task).
+//   - AblationReplicaRouting: replica-aware read routing with one sync
+//     standby per worker vs the single-placement baseline — concurrent
+//     router reads fan out across twice the placements, so read throughput
+//     rises while the executor_routed_reads_total counters prove where the
+//     reads actually landed.
 
 // AblationPlannerOverhead measures per-tier planning+execution latency.
 func AblationPlannerOverhead(sc Scale) (Series, error) {
@@ -325,4 +332,111 @@ func pipelineFanout(sc Scale, rtt time.Duration, disable bool) (time.Duration, i
 	batches := ObsSnapshot().Delta(pre).Sum("wire_pipeline_batches_total")
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	return lat[runs/2], batches, nil
+}
+
+// AblationReplicaRouting measures the replica-aware routing win (A6): the
+// same concurrent single-shard read workload against a 2-worker cluster
+// with and without one sync standby per worker. With standbys, reads
+// round-robin across both placements of each shard — twice the serving
+// capacity — and each point's Extra carries the routed-read counter split
+// (primary vs standby placements) proving the fan-out happened.
+func AblationReplicaRouting(sc Scale) (Series, error) {
+	out := Series{Figure: "Ablation A6", Metric: "concurrent router reads/s (higher is better)"}
+	for _, variant := range []struct {
+		name string
+		rf   int
+	}{
+		{"single placement", 0},
+		{"replicated (2 placements)", 1},
+	} {
+		tput, primary, standby, err := replicaReadThroughput(sc, variant.rf)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", variant.name, err)
+		}
+		out.Points = append(out.Points, Point{
+			Config: variant.name,
+			Value:  tput,
+			Extra: map[string]float64{
+				"primary_reads": float64(primary),
+				"standby_reads": float64(standby),
+			},
+		})
+	}
+	return out, nil
+}
+
+// replicaReadThroughput boots a 2-worker cluster (rf standbys per worker,
+// sync replication so standbys are current) and hammers it with concurrent
+// single-shard reads, returning reads/second plus the routed-read counter
+// split over the measured window.
+func replicaReadThroughput(sc Scale, rf int) (float64, int64, int64, error) {
+	c, err := cluster.New(cluster.Config{
+		Workers:           2,
+		ShardCount:        sc.ShardCount,
+		ReplicationFactor: rf,
+		ReplicationMode:   repl.ModeSync,
+		Trace:             ClusterTrace,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer c.Close()
+	s := c.Session()
+	if _, err := s.Exec("CREATE TABLE rr (k bigint PRIMARY KEY, v bigint)"); err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := s.Exec("SELECT create_distributed_table('rr', 'k')"); err != nil {
+		return 0, 0, 0, err
+	}
+	keys := int64(sc.Orders)
+	rows := make([]types.Row, keys)
+	for i := range rows {
+		rows[i] = types.Row{int64(i), int64(i)}
+	}
+	if _, err := s.CopyFrom("rr", nil, rows); err != nil {
+		return 0, 0, 0, err
+	}
+
+	const workers = 8
+	const readsPer = 400
+	// warm pools, plan cache, and replica streams
+	for i := 0; i < 16; i++ {
+		if _, err := s.Exec("SELECT v FROM rr WHERE k = $1", int64(i)%keys); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	pre := ObsSnapshot()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := c.Session()
+			k := int64(w * 7919)
+			for i := 0; i < readsPer; i++ {
+				k = (k*6364136223846793005 + 1442695040888963407) % keys
+				if k < 0 {
+					k += keys
+				}
+				if _, err := sess.Exec("SELECT v FROM rr WHERE k = $1", k); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	d := ObsSnapshot().Delta(pre)
+	primary := d.Get(`executor_routed_reads_total{placement="primary"}`)
+	standby := d.Get(`executor_routed_reads_total{placement="standby"}`)
+	return float64(workers*readsPer) / elapsed.Seconds(), primary, standby, nil
 }

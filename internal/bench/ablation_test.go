@@ -68,6 +68,40 @@ func TestAblationPipelining(t *testing.T) {
 	}
 }
 
+// TestAblationReplicaRouting is the CI bench smoke for replica-aware read
+// routing: A6 must run both variants, the replicated variant must split
+// its reads across primary and standby placements, and the baseline must
+// never touch a standby. (The throughput win is asserted loosely — the
+// replicated variant must not be slower than ~60% of baseline — because
+// tiny-scale in-process runs are noisy; the headroom story is the default
+// scale's job.)
+func TestAblationReplicaRouting(t *testing.T) {
+	series, err := AblationReplicaRouting(Tiny())
+	if err != nil {
+		t.Fatalf("A6: %v", err)
+	}
+	t.Log("\n" + series.String())
+	if len(series.Points) != 2 {
+		t.Fatalf("A6 incomplete: %+v", series.Points)
+	}
+	base, replicated := series.Points[0], series.Points[1]
+	if base.Extra["standby_reads"] != 0 {
+		t.Errorf("single-placement baseline read a standby %v times", base.Extra["standby_reads"])
+	}
+	if base.Extra["primary_reads"] <= 0 {
+		t.Errorf("baseline recorded no routed primary reads: %+v", base.Extra)
+	}
+	if replicated.Extra["standby_reads"] <= 0 {
+		t.Errorf("replicated variant never routed a read to a standby: %+v", replicated.Extra)
+	}
+	if replicated.Extra["primary_reads"] <= 0 {
+		t.Errorf("replicated variant starved the primaries (round-robin broken): %+v", replicated.Extra)
+	}
+	if replicated.Value < base.Value*0.6 {
+		t.Errorf("replica routing collapsed throughput: %.0f reads/s vs baseline %.0f", replicated.Value, base.Value)
+	}
+}
+
 // TestAblationSlowStartPlanCache is the CI bench smoke for the plan-cache
 // ablation dimension: A3 must run both cache variants without error and the
 // cached variant must actually exercise the coordinator plan cache and the

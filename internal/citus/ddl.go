@@ -105,6 +105,7 @@ func (n *Node) forEachShardDDL(s *engine.Session, table string, build func(*meta
 				nodeID:     nodeID,
 				shardGroup: -1,
 				sql:        stmt.String(),
+				isDDL:      true,
 			})
 		}
 	}
@@ -120,7 +121,7 @@ func (n *Node) propagateCreateIndex(s *engine.Session, st *sql.CreateIndexStmt) 
 		clone.Name = fmt.Sprintf("%s_%d", st.Name, sh.ID)
 		clone.Table = sh.ShardName()
 		for _, nodeID := range n.Meta.Placements(sh.ID) {
-			tasks = append(tasks, task{nodeID: nodeID, shardGroup: -1, sql: clone.String()})
+			tasks = append(tasks, task{nodeID: nodeID, shardGroup: -1, sql: clone.String(), isDDL: true})
 		}
 	}
 	_, err := n.executeTasks(s, tasks)
@@ -245,7 +246,7 @@ func (n *Node) createShardOnNode(s *engine.Session, nodeID int, shard *metadata.
 	}
 	var tasks []task
 	for _, q := range stmts {
-		tasks = append(tasks, task{nodeID: nodeID, shardGroup: -1, sql: q})
+		tasks = append(tasks, task{nodeID: nodeID, shardGroup: -1, sql: q, isDDL: true})
 	}
 	// DDL tasks run sequentially on one connection: the index depends on
 	// the table existing.

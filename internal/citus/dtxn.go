@@ -96,6 +96,15 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 					if wc.wrote && firstErr == nil {
 						firstErr = err
 					}
+					continue
+				}
+				// Sync-replication barrier: the worker committed, but the
+				// client is not acknowledged until the write is on the
+				// standbys (or within the async lag bound).
+				if wc.wrote && firstErr == nil && n.SyncWaiter != nil {
+					if err := n.SyncWaiter(wc.nodeID); err != nil {
+						firstErr = fmt.Errorf("replication wait after commit on node %d: %w", wc.nodeID, err)
+					}
 				}
 				wc.inTxn = false
 			}
@@ -205,6 +214,16 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 		if len(prepared) > 0 {
 			if committed && committedRecords {
 				met2pcCommits.Inc()
+				// Sync-replication barrier after COMMIT PREPARED: the
+				// decision is final (commit records are durable), so a wait
+				// failure cannot change the outcome — it only delays the
+				// client acknowledgment, and timeouts are surfaced through
+				// the repl_sync_timeouts_total counter.
+				if n.SyncWaiter != nil && allResolved {
+					for _, p := range prepared {
+						_ = n.SyncWaiter(p.wc.nodeID)
+					}
+				}
 			} else {
 				met2pcAborts.Inc()
 			}
@@ -289,7 +308,11 @@ func (n *Node) RecoverTwoPhaseCommits() int {
 	myPrefix := fmt.Sprintf("citus_%d_", n.ID)
 	grace := n.Cfg.RecoveryGrace
 	resolved := 0
-	for _, node := range n.Meta.Nodes() {
+	// Standbys are deliberately excluded: their prepared transactions are
+	// replicas of a primary's, and the stream will deliver the COMMIT
+	// PREPARED / ROLLBACK PREPARED outcome. Resolving them here would race
+	// the stream and could roll back a transaction the primary committed.
+	for _, node := range n.Meta.ActiveNodes() {
 		n.withNodeConn(node.ID, func(c *wire.Conn) error {
 			pendings, err := c.ListPrepared()
 			if err != nil {
@@ -412,7 +435,7 @@ func (n *Node) CheckDistributedDeadlock() string {
 		}
 	}
 	collect(n.ID, n.Eng.LockGraph())
-	for _, node := range n.Meta.Nodes() {
+	for _, node := range n.Meta.ActiveNodes() {
 		if node.ID == n.ID {
 			continue
 		}
@@ -461,7 +484,7 @@ func (n *Node) CheckDistributedDeadlock() string {
 	}
 	metDeadlockVictims.Inc()
 	n.Eng.CancelByDistID(victim)
-	for _, node := range n.Meta.Nodes() {
+	for _, node := range n.Meta.ActiveNodes() {
 		if node.ID == n.ID {
 			continue
 		}

@@ -33,8 +33,19 @@ var (
 		"waits for a connection slot under the shared connection limit").With()
 	metTaskLatency = obs.Default().Histogram("executor_task_latency_ns",
 		"per-task execution latency in nanoseconds", nil).With()
+	metTaskLatencyNode = obs.Default().Histogram("executor_task_latency_by_node_ns",
+		"per-task execution latency in nanoseconds, by placement node", nil, "node")
 	metTaskRetries = obs.Default().Counter("executor_task_retries_total",
 		"read-only task retries after transient connection failures").With()
+	// Replica-routing split: every read task with placement candidates is
+	// counted by where it actually ran. bench-smoke asserts this split so
+	// replica routing cannot silently bit-rot (ablation A6).
+	metRoutedReadsVec = obs.Default().Counter("executor_routed_reads_total",
+		"read tasks routed by placement role", "placement")
+	metPrimaryReads     = metRoutedReadsVec.With("primary")
+	metReplicaReads     = metRoutedReadsVec.With("standby")
+	metReplicaFallbacks = obs.Default().Counter("executor_replica_fallbacks_total",
+		"replica reads that failed on the standby and were retried on the primary").With()
 )
 
 // Bounded retry policy for transient connection failures on idempotent
@@ -55,7 +66,14 @@ type task struct {
 	sql        string
 	params     []types.Datum
 	isWrite    bool
+	isDDL      bool   // shard DDL: fans out like a write for sync-replication waits
 	cache      string // plan-cache disposition for tracing: "hit" or "" (miss)
+	// readNodes are the healthy placement candidates of a read task,
+	// primary first (metadata.ReadPlacements). The executor picks the
+	// actual target at execution time — round-robin across candidates for
+	// autocommit reads, the primary inside transactions (read-your-writes).
+	// readNodes[0] is also the fallback when a replica read fails.
+	readNodes []int
 }
 
 // executeTasks is the adaptive executor (§3.6.1). It runs tasks over the
@@ -72,6 +90,8 @@ func (n *Node) executeTasks(s *engine.Session, tasks []task) ([]*engine.Result, 
 	if len(tasks) == 0 {
 		return nil, nil
 	}
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
 	st := n.state(s)
 
 	writeTasks := 0
@@ -85,10 +105,29 @@ func (n *Node) executeTasks(s *engine.Session, tasks []task) ([]*engine.Result, 
 	}
 	metTasksWrite.Add(int64(writeTasks))
 	metTasksRead.Add(int64(len(tasks) - writeTasks))
+	// Replica-aware read routing: an autocommit read with placement
+	// candidates picks its node now, round-robin across healthy
+	// placements. Reads inside an explicit transaction stay on the primary
+	// so the session observes its own uncommitted writes.
+	inTxn := s.InTransaction()
+	for i := range tasks {
+		t := &tasks[i]
+		if t.isWrite || len(t.readNodes) == 0 {
+			continue
+		}
+		if !inTxn {
+			t.nodeID = n.pickReadNode(t.readNodes)
+		}
+		if t.nodeID == t.readNodes[0] {
+			metPrimaryReads.Inc()
+		} else {
+			metReplicaReads.Inc()
+		}
+	}
 	// Transaction blocks are needed inside an explicit transaction (for
 	// locks/visibility across statements) and for multi-shard writes in a
 	// single statement (atomicity via 2PC at commit).
-	txnMode := s.InTransaction() || writeTasks > 1
+	txnMode := inTxn || writeTasks > 1
 	if txnMode {
 		n.registerTxnCallbacks(s, st)
 	}
@@ -117,7 +156,63 @@ func (n *Node) executeTasks(s *engine.Session, tasks []task) ([]*engine.Result, 
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return nil, err
 	}
+	// Replication barrier for autocommit writes and shard DDL: the worker
+	// committed (or ran the DDL) inside the task round trip, so the
+	// durability contract is enforced here, before the client sees the
+	// result. Transactional writes instead wait in the distributed commit
+	// path (dtxn), after COMMIT/COMMIT PREPARED succeeds.
+	if !txnMode && n.SyncWaiter != nil {
+		waited := map[int]bool{}
+		for i := range tasks {
+			t := &tasks[i]
+			if !t.isWrite && !t.isDDL || waited[t.nodeID] {
+				continue
+			}
+			waited[t.nodeID] = true
+			if err := n.SyncWaiter(t.nodeID); err != nil {
+				return nil, fmt.Errorf("replication wait after write on node %d: %w", t.nodeID, err)
+			}
+		}
+	}
 	return results, nil
+}
+
+// pickReadNode chooses the placement a read task runs on: round-robin
+// over the candidates that still look healthy (a placement can go down
+// between planning and execution), falling back to the primary when every
+// candidate is marked down.
+func (n *Node) pickReadNode(candidates []int) int {
+	healthy := candidates
+	for _, id := range candidates {
+		if n.Meta.NodeDown(id) {
+			healthy = nil
+			for _, c := range candidates {
+				if !n.Meta.NodeDown(c) {
+					healthy = append(healthy, c)
+				}
+			}
+			break
+		}
+	}
+	if len(healthy) == 0 {
+		return candidates[0]
+	}
+	if len(healthy) == 1 {
+		return healthy[0]
+	}
+	return healthy[int(n.readRR.Add(1))%len(healthy)]
+}
+
+// latencyFor returns the cached per-node child of the task-latency
+// histogram. Resolving the label once per node keeps the hot path at a
+// map load instead of a label-vector lookup per task.
+func (n *Node) latencyFor(nodeID int) *obs.Histogram {
+	if h, ok := n.nodeLat.Load(nodeID); ok {
+		return h.(*obs.Histogram)
+	}
+	h := metTaskLatencyNode.With(strconv.Itoa(nodeID))
+	actual, _ := n.nodeLat.LoadOrStore(nodeID, h)
+	return actual.(*obs.Histogram)
 }
 
 // runNodeTasks schedules one worker node's tasks across its connections.
@@ -464,7 +559,21 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 			res, _, err = n.queryTask(wc, t)
 		}
 	}
+	if err != nil && wire.IsTransient(err) {
+		// A transport-level failure means the connection's streams can no
+		// longer be trusted (the transport may even be closed): mark it
+		// broken so every disposition path discards it instead of
+		// recycling it into the pool — even if the task itself is rescued
+		// by the primary fallback below.
+		wc.broken = true
+	}
+	if err != nil && n.canFallbackToPrimary(t, txnMode, wc) {
+		if fres, ferr := n.replicaFallback(t); ferr == nil {
+			res, err = fres, nil
+		}
+	}
 	metTaskLatency.ObserveSince(start)
+	n.latencyFor(wc.nodeID).ObserveSince(start)
 	if sp != nil {
 		sp.SetAttr("attempt", strconv.Itoa(attempts))
 		if err != nil {
@@ -476,13 +585,6 @@ func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task
 		wc.conn.ClearTrace()
 	}
 	if err != nil {
-		if wire.IsTransient(err) {
-			// A transport-level failure means the connection's streams can
-			// no longer be trusted (the transport may even be closed): mark
-			// it broken so every disposition path discards it instead of
-			// recycling it into the pool.
-			wc.broken = true
-		}
 		return fmt.Errorf("task on node %d failed: %w", wc.nodeID, err)
 	}
 	results[i] = res
@@ -626,7 +728,13 @@ func (n *Node) runTaskWindow(s *engine.Session, st *sessState, wc *workerConn, i
 				wc.conn.ClearTrace()
 			}
 		}
+		if err != nil && n.canFallbackToPrimary(t, txnMode, wc) {
+			if fres, ferr := n.replicaFallback(t); ferr == nil {
+				res, err = fres, nil
+			}
+		}
 		metTaskLatency.ObserveSince(sl.start)
+		n.latencyFor(wc.nodeID).ObserveSince(sl.start)
 		if sl.sp != nil {
 			sl.sp.SetAttr("attempt", strconv.Itoa(attempts))
 			if err != nil {
@@ -733,6 +841,38 @@ func (n *Node) queryTask(wc *workerConn, t *task) (*engine.Result, int, error) {
 		res, err = wc.conn.ExecutePrepared(name, t.params...)
 	}
 	return res, attempts, err
+}
+
+// canFallbackToPrimary reports whether a failed read may be re-issued on
+// its primary placement: the task ran on a replica (standby reads can
+// fail transiently — lagging schema, mid-promotion, crashed standby),
+// it is idempotent (read-only, outside a transaction block), and a
+// primary candidate exists.
+func (n *Node) canFallbackToPrimary(t *task, txnMode bool, wc *workerConn) bool {
+	return !t.isWrite && !txnMode && len(t.readNodes) > 1 && wc.nodeID != t.readNodes[0]
+}
+
+// replicaFallback retries a failed replica read on the primary placement
+// over a fresh connection. The replica's connection disposition is
+// untouched — the caller already marked it broken if the transport died.
+func (n *Node) replicaFallback(t *task) (*engine.Result, error) {
+	primary := t.readNodes[0]
+	p, err := n.poolFor(primary)
+	if err != nil {
+		return nil, err
+	}
+	wc, err := n.acquireConn(p, primary, true)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := n.queryTask(wc, t)
+	if err != nil {
+		p.Discard(wc.conn)
+		return nil, err
+	}
+	p.Put(wc.conn)
+	metReplicaFallbacks.Inc()
+	return res, nil
 }
 
 // preparedName derives a stable statement name from the task SQL. A hash

@@ -232,7 +232,7 @@ func (n *Node) planRepartitionInsertSelect(ins *sql.InsertStmt, dt *metadata.Dis
 			"  INSERT/SELECT method: repartition",
 		},
 	}
-	for _, node := range n.Meta.Nodes() {
+	for _, node := range n.Meta.ActiveNodes() {
 		plan.cleanupNodes = append(plan.cleanupNodes, node.ID)
 	}
 	plan.prepare = func(s *engine.Session, params []types.Datum) ([]task, error) {
@@ -248,6 +248,8 @@ func (n *Node) planRepartitionInsertSelect(ins *sql.InsertStmt, dt *metadata.Dis
 			if err != nil {
 				return nil, err
 			}
+			// the SELECT feeds a durable INSERT: pin it to the primary so an
+			// async standby's bounded staleness can't leak into written rows
 			selTasks = append(selTasks, task{nodeID: nodeID, shardGroup: -1, sql: clone.String(), params: params})
 		}
 		results, err := n.executeTasks(s, selTasks)

@@ -105,8 +105,14 @@ func (n *Node) planBroadcastJoin(sel *sql.SelectStmt, params []types.Datum, smal
 		fmt.Sprintf("  Join-Order: broadcast join, %s replicated to all workers as %s", smallTable, irName),
 	}, inner.explain[1:]...)
 	inner.cleanupPrefix = irName
-	for _, node := range n.Meta.Nodes() {
+	for _, node := range n.Meta.ActiveNodes() {
 		inner.cleanupNodes = append(inner.cleanupNodes, node.ID)
+	}
+
+	// the tasks read the broadcast intermediate result, which is shipped to
+	// primary workers only — pin them there instead of replica-routing
+	for i := range inner.tasks {
+		inner.tasks[i].readNodes = nil
 	}
 
 	innerPrepare := inner.prepare
@@ -189,7 +195,7 @@ func (n *Node) planRepartitionJoin(sel *sql.SelectStmt, params []types.Datum, a,
 			"  Merge Step: " + pq.merge.String(),
 		},
 	}
-	for _, node := range n.Meta.Nodes() {
+	for _, node := range n.Meta.ActiveNodes() {
 		plan.cleanupNodes = append(plan.cleanupNodes, node.ID)
 	}
 
@@ -268,7 +274,8 @@ func (n *Node) repartitionTable(s *engine.Session, table, key, irName string, wo
 		}
 		selTasks = append(selTasks, task{
 			nodeID: nodeID, shardGroup: -1,
-			sql: "SELECT * FROM " + sh.ShardName(),
+			sql:       "SELECT * FROM " + sh.ShardName(),
+			readNodes: n.Meta.ReadPlacements(sh.ID),
 		})
 	}
 	results, err := n.executeTasks(s, selTasks)

@@ -47,6 +47,33 @@ type Shard struct {
 // "orders_102008" — the name the deparsed task queries reference.
 func (s *Shard) ShardName() string { return fmt.Sprintf("%s_%d", s.Table, s.ID) }
 
+// Role distinguishes the two placement roles (pg_dist_placement's
+// noderole in Citus terms): the primary serves writes and is the WAL
+// source; standbys apply the primary's streamed WAL and may serve reads.
+type Role int8
+
+const (
+	RolePrimary Role = iota
+	RoleStandby
+)
+
+func (r Role) String() string {
+	if r == RoleStandby {
+		return "standby"
+	}
+	return "primary"
+}
+
+// Placement is one row of pg_dist_placement: a copy of a shard on a node,
+// with its replication role and health state.
+type Placement struct {
+	NodeID int
+	Role   Role
+	// Down marks a placement whose node failed health probes or crashed;
+	// the executor routes reads around Down placements.
+	Down bool
+}
+
 // Node is one row of pg_dist_node.
 type Node struct {
 	ID   int
@@ -56,6 +83,14 @@ type Node struct {
 	// HasMetadata reports whether the distributed metadata is synced to
 	// this node (MX), letting it coordinate distributed queries itself.
 	HasMetadata bool
+	// Standby marks a node that hosts only standby placements: it
+	// replicates StandbyOf's WAL and is excluded from primary shard
+	// placement and from cluster-wide write/DDL fan-out (it receives all
+	// of those through the replication stream instead).
+	Standby   bool
+	StandbyOf int // primary node ID this standby replicates (0 = none)
+	// Down marks a node the coordinator's health probes consider failed.
+	Down bool
 }
 
 // firstShardID matches the shard id space Citus starts at.
@@ -68,7 +103,7 @@ type Catalog struct {
 	tables     map[string]*DistTable
 	shards     map[string][]*Shard // by table, ordered by shard index
 	shardByID  map[int64]*Shard
-	placements map[int64][]int // shard id -> node ids (reference tables have many)
+	placements map[int64][]Placement // shard id -> placement rows (primary first)
 	nodes      map[int]*Node
 
 	nextShard      int64
@@ -93,7 +128,7 @@ func NewCatalog() *Catalog {
 		tables:         make(map[string]*DistTable),
 		shards:         make(map[string][]*Shard),
 		shardByID:      make(map[int64]*Shard),
-		placements:     make(map[int64][]int),
+		placements:     make(map[int64][]Placement),
 		nodes:          make(map[int]*Node),
 		nextShard:      firstShardID,
 		nextColocation: 1,
@@ -114,20 +149,23 @@ func (c *Catalog) Nodes() []*Node {
 	defer c.mu.RUnlock()
 	out := make([]*Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
-		out = append(out, n)
+		// copies, not the live rows: role flips mutate nodes under the
+		// catalog lock while readers iterate the returned slice
+		cp := *n
+		out = append(out, &cp)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// WorkerNodes returns the nodes that store shards: all workers, or the
-// coordinator itself when it is the only node (the "smallest possible Citus
-// cluster is a single server", §3.2).
+// WorkerNodes returns the nodes that store primary shards: all non-standby
+// workers, or the coordinator itself when it is the only node (the
+// "smallest possible Citus cluster is a single server", §3.2).
 func (c *Catalog) WorkerNodes() []*Node {
 	all := c.Nodes()
 	var workers []*Node
 	for _, n := range all {
-		if !n.IsCoordinator {
+		if !n.IsCoordinator && !n.Standby {
 			workers = append(workers, n)
 		}
 	}
@@ -135,6 +173,83 @@ func (c *Catalog) WorkerNodes() []*Node {
 		return all
 	}
 	return workers
+}
+
+// ActiveNodes returns every non-standby node (coordinator + primary
+// workers): the fan-out set for reference-table writes, restore points,
+// 2PC recovery, and deadlock detection. Standbys are excluded because
+// they receive every durable change through their primary's WAL stream —
+// writing to them directly would double-apply.
+func (c *Catalog) ActiveNodes() []*Node {
+	all := c.Nodes()
+	out := make([]*Node, 0, len(all))
+	for _, n := range all {
+		if !n.Standby {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// StandbysOf returns the IDs of the standby nodes replicating a primary.
+func (c *Catalog) StandbysOf(primaryID int) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.standbysOfLocked(primaryID)
+}
+
+func (c *Catalog) standbysOfLocked(primaryID int) []int {
+	var out []int
+	for _, n := range c.nodes {
+		if n.Standby && n.StandbyOf == primaryID {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Node returns a copy of the catalog row for a node ID. A copy, not the
+// live pointer: role flips (PromoteNode, SetNodeDown) mutate the row under
+// the catalog lock, and handing out the pointer would race every reader.
+func (c *Catalog) Node(id int) (Node, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// NodeDown reports whether health probing (or a crash) marked a node down.
+func (c *Catalog) NodeDown(id int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.nodes[id]
+	return ok && n.Down
+}
+
+// SetNodeDown flips a node's health state and mirrors it onto every
+// placement row on that node, bumping the metadata version so cached
+// plans re-resolve routing against the new health picture.
+func (c *Catalog) SetNodeDown(nodeID int, down bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[nodeID]
+	if !ok || n.Down == down {
+		return
+	}
+	n.Down = down
+	for shardID, rows := range c.placements {
+		for i := range rows {
+			if rows[i].NodeID == nodeID {
+				rows[i].Down = down
+			}
+		}
+		c.placements[shardID] = rows
+	}
+	c.version.Add(1)
 }
 
 // SetHasMetadata flips a node's metadata-sync flag (MX mode).
@@ -189,7 +304,11 @@ func (c *Catalog) FindColocationGroup(shardCount int, distColType types.Type) (i
 
 // AddTable registers a distributed or reference table with its shards and
 // placements. For co-located tables the caller passes the same shard ranges
-// as the existing table in the group.
+// as the existing table in the group. The node IDs in placements are the
+// primaries; a standby placement row is added automatically for every
+// registered standby of each primary, so replication topology is part of
+// the placement metadata from the moment a table is created (rather than
+// bolted on afterwards).
 func (c *Catalog) AddTable(t *DistTable, shards []*Shard, placements map[int64][]int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -200,10 +319,22 @@ func (c *Catalog) AddTable(t *DistTable, shards []*Shard, placements map[int64][
 	c.shards[t.Name] = shards
 	for _, sh := range shards {
 		c.shardByID[sh.ID] = sh
-		c.placements[sh.ID] = placements[sh.ID]
+		var rows []Placement
+		for _, nodeID := range placements[sh.ID] {
+			rows = append(rows, Placement{NodeID: nodeID, Role: RolePrimary, Down: c.nodeDownLocked(nodeID)})
+			for _, sb := range c.standbysOfLocked(nodeID) {
+				rows = append(rows, Placement{NodeID: sb, Role: RoleStandby, Down: c.nodeDownLocked(sb)})
+			}
+		}
+		c.placements[sh.ID] = rows
 	}
 	c.version.Add(1)
 	return nil
+}
+
+func (c *Catalog) nodeDownLocked(nodeID int) bool {
+	n, ok := c.nodes[nodeID]
+	return ok && n.Down
 }
 
 // RemoveTable drops a table's distributed metadata (undistribute / DROP).
@@ -269,37 +400,143 @@ func (c *Catalog) ShardByID(id int64) (*Shard, bool) {
 	return sh, ok
 }
 
-// Placements returns the node ids storing a shard (one for distributed
-// shards, all nodes for reference shards).
+// Placements returns the node ids of a shard's primary-role placements
+// (one for distributed shards, all active nodes for reference shards) —
+// the write/DDL fan-out set. Standby placements are reached through WAL
+// streaming, never addressed directly by writes.
 func (c *Catalog) Placements(shardID int64) []int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return append([]int(nil), c.placements[shardID]...)
-}
-
-// PrimaryPlacement returns the first placement node of a shard.
-func (c *Catalog) PrimaryPlacement(shardID int64) (int, error) {
-	p := c.Placements(shardID)
-	if len(p) == 0 {
-		return 0, fmt.Errorf("shard %d has no placements", shardID)
+	var out []int
+	for _, p := range c.placements[shardID] {
+		if p.Role == RolePrimary {
+			out = append(out, p.NodeID)
+		}
 	}
-	return p[0], nil
+	return out
 }
 
-// MovePlacement reassigns a shard to another node (rebalancer metadata
-// update).
+// PlacementRows returns a copy of every placement row of a shard,
+// including standbys and their health state.
+func (c *Catalog) PlacementRows(shardID int64) []Placement {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Placement(nil), c.placements[shardID]...)
+}
+
+// ReadPlacements returns the node ids a read task may route to: every
+// placement (primary or standby) that is not marked Down. The primary is
+// always listed first so callers can fall back to it deterministically.
+func (c *Catalog) ReadPlacements(shardID int64) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []int
+	for _, p := range c.placements[shardID] {
+		if p.Role == RolePrimary && !p.Down {
+			out = append(out, p.NodeID)
+		}
+	}
+	for _, p := range c.placements[shardID] {
+		if p.Role == RoleStandby && !p.Down {
+			out = append(out, p.NodeID)
+		}
+	}
+	return out
+}
+
+// PrimaryPlacement returns the primary placement node of a shard.
+func (c *Catalog) PrimaryPlacement(shardID int64) (int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, p := range c.placements[shardID] {
+		if p.Role == RolePrimary {
+			return p.NodeID, nil
+		}
+	}
+	return 0, fmt.Errorf("shard %d has no primary placement", shardID)
+}
+
+// MovePlacement reassigns a shard's primary to another node (rebalancer
+// metadata update). Standby rows tied to the old primary's standbys are
+// rewritten to the new primary's standbys, since the shard's WAL now
+// streams from the new node.
 func (c *Catalog) MovePlacement(shardID int64, from, to int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	nodes := c.placements[shardID]
-	for i, n := range nodes {
-		if n == from {
-			nodes[i] = to
-			c.version.Add(1)
-			return nil
+	rows := c.placements[shardID]
+	moved := false
+	for i := range rows {
+		if rows[i].NodeID == from && rows[i].Role == RolePrimary {
+			rows[i].NodeID = to
+			rows[i].Down = c.nodeDownLocked(to)
+			moved = true
+			break
 		}
 	}
-	return fmt.Errorf("shard %d has no placement on node %d", shardID, from)
+	if !moved {
+		return fmt.Errorf("shard %d has no placement on node %d", shardID, from)
+	}
+	oldStandbys := map[int]bool{}
+	for _, sb := range c.standbysOfLocked(from) {
+		oldStandbys[sb] = true
+	}
+	kept := rows[:0]
+	for _, p := range rows {
+		if p.Role == RoleStandby && oldStandbys[p.NodeID] {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for _, sb := range c.standbysOfLocked(to) {
+		kept = append(kept, Placement{NodeID: sb, Role: RoleStandby, Down: c.nodeDownLocked(sb)})
+	}
+	c.placements[shardID] = kept
+	c.version.Add(1)
+	return nil
+}
+
+// PromoteNode flips every (oldPrimary primary, newPrimary standby)
+// placement pair: the standby becomes the primary, the crashed old
+// primary is demoted to a Down standby row, and the node rows swap
+// Standby/StandbyOf. Any remaining standbys of the old primary are
+// re-pointed at the new one. The version bump invalidates every cached
+// plan built against the old routing — the role flip of failover (§3.7).
+func (c *Catalog) PromoteNode(oldPrimary, newPrimary int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	np, ok := c.nodes[newPrimary]
+	if !ok || !np.Standby || np.StandbyOf != oldPrimary {
+		return fmt.Errorf("node %d is not a standby of node %d", newPrimary, oldPrimary)
+	}
+	op := c.nodes[oldPrimary]
+	np.Standby = false
+	np.StandbyOf = 0
+	np.Down = false
+	if op != nil {
+		op.Down = true
+		op.Standby = true
+		op.StandbyOf = newPrimary
+	}
+	for _, n := range c.nodes {
+		if n.Standby && n.StandbyOf == oldPrimary && n.ID != oldPrimary {
+			n.StandbyOf = newPrimary
+		}
+	}
+	for shardID, rows := range c.placements {
+		for i := range rows {
+			switch {
+			case rows[i].NodeID == oldPrimary && rows[i].Role == RolePrimary:
+				rows[i].Role = RoleStandby
+				rows[i].Down = true
+			case rows[i].NodeID == newPrimary && rows[i].Role == RoleStandby:
+				rows[i].Role = RolePrimary
+				rows[i].Down = false
+			}
+		}
+		c.placements[shardID] = rows
+	}
+	c.version.Add(1)
+	return nil
 }
 
 // ShardForValue routes a distribution column value to its shard by hash.

@@ -140,6 +140,18 @@ type Node struct {
 	// planCache caches fast-path router plans keyed by normalized statement
 	// text and metadata version (see plancache.go).
 	planCache *planCache
+
+	// SyncWaiter, when set by the cluster orchestrator, blocks after an
+	// autocommit write/DDL on a node until that node's replication
+	// contract is met (sync: all standbys acked; async: lag within bound).
+	SyncWaiter func(nodeID int) error
+
+	// inflight counts executeTasks invocations in progress; readRR is the
+	// round-robin cursor for replica-read placement choice; nodeLat caches
+	// the per-node task-latency histogram children.
+	inflight atomic.Int64
+	readRR   atomic.Uint64
+	nodeLat  sync.Map // int -> *obs.Histogram
 }
 
 // DistProcedure marks a stored procedure as delegatable to the worker that
@@ -248,6 +260,21 @@ func (n *Node) Close() {
 	for _, p := range pools {
 		p.CloseAll()
 	}
+}
+
+// WaitExecutorIdle blocks until no executeTasks call is in flight on this
+// node, or the timeout elapses. The cluster's RestartWorker uses it as a
+// quiesce gate: rewiring dialers while an executor retry loop holds a
+// connection to the old engine incarnation races the retry's re-dial.
+func (n *Node) WaitExecutorIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for n.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return true
 }
 
 // flushIdleConns closes idle pooled connections toward every node. Called

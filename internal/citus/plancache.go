@@ -312,12 +312,16 @@ func (e *planEntry) plan(n *Node, params []types.Datum, cached bool) (engine.Pla
 	if cached {
 		cacheMark = "hit"
 	}
+	var readNodes []int
+	if !e.isWrite {
+		readNodes = n.Meta.ReadPlacements(sh.ID)
+	}
 	return &distPlan{
 		node: n,
 		tasks: []task{{
 			nodeID: nodeID, shardGroup: group,
 			sql: sqlText, params: params, isWrite: e.isWrite,
-			cache: cacheMark,
+			cache: cacheMark, readNodes: readNodes,
 		}},
 		isDML: e.isDML,
 		tag:   e.tag,

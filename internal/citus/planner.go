@@ -425,11 +425,16 @@ func (n *Node) planRouter(stmt sql.Statement, params []types.Datum, isWrite bool
 	}
 	sql.RewriteTables(clone, n.shardNameRewriter(shardIndex))
 	group := metadata.ShardGroupID(colocation, shardIndex)
+	var readNodes []int
+	if !isWrite {
+		readNodes = n.Meta.ReadPlacements(groupShard.ID)
+	}
 	return &distPlan{
 		node: n,
 		tasks: []task{{
 			nodeID: nodeID, shardGroup: group,
 			sql: clone.String(), params: params, isWrite: isWrite,
+			readNodes: readNodes,
 		}},
 		isDML: isWrite,
 		tag:   tag,
@@ -453,8 +458,11 @@ func (n *Node) planDistSelect(sel *sql.SelectStmt, params []types.Datum) (engine
 		if sel.ForUpdate {
 			// SELECT ... FOR UPDATE takes row locks on the worker; treat
 			// the task as a write so it joins the distributed transaction
+			// (and pin it to the primary placement — locks on a standby
+			// would not protect anything).
 			for i := range plan.tasks {
 				plan.tasks[i].isWrite = true
+				plan.tasks[i].readNodes = nil
 			}
 			plan.isDML = false
 		}
@@ -580,7 +588,9 @@ func (n *Node) planDistInsert(ins *sql.InsertStmt, params []types.Datum) (engine
 // reference table (§3.3.3: "writes to the reference table are replicated
 // to all nodes"), under 2PC.
 func (n *Node) planReferenceWrite(stmt sql.Statement, params []types.Datum, tag string) (engine.Plan, error) {
-	nodes := n.Meta.Nodes()
+	// active nodes only: a standby's reference replica is maintained by its
+	// primary's WAL stream, and writing to it directly would double-apply
+	nodes := n.Meta.ActiveNodes()
 	var tasks []task
 	for _, node := range nodes {
 		clone, err := sql.CloneStatement(stmt)

@@ -60,6 +60,7 @@ func (n *Node) planPushdown(sel *sql.SelectStmt, params []types.Datum) (*distPla
 			shardGroup: metadata.ShardGroupID(colocation, sh.Index),
 			sql:        clone.String(),
 			params:     params,
+			readNodes:  n.Meta.ReadPlacements(sh.ID),
 		})
 	}
 	return &distPlan{

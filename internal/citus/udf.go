@@ -442,8 +442,11 @@ func (n *Node) CreateReferenceTable(s *engine.Session, table string) error {
 		Index: 0,
 		Range: types.ShardRange{Min: -2147483648, Max: 2147483647},
 	}
+	// reference replicas live on active (primary-role) nodes only; standbys
+	// receive the shard through WAL streaming, so creating it there directly
+	// would double-apply
 	var nodeIDs []int
-	for _, node := range n.Meta.Nodes() {
+	for _, node := range n.Meta.ActiveNodes() {
 		nodeIDs = append(nodeIDs, node.ID)
 	}
 	for _, nodeID := range nodeIDs {
@@ -487,7 +490,10 @@ func (n *Node) CreateRestorePoint(name string) (types.Datum, error) {
 	n.commitMu.Lock()
 	defer n.commitMu.Unlock()
 	lsn := n.Eng.WAL.RestorePoint(name)
-	for _, node := range n.Meta.Nodes() {
+	// standby WALs are stream mirrors of their primary's; writing a restore
+	// point into them directly would break the LSN alignment the shipper
+	// depends on, so the point is created on active nodes only
+	for _, node := range n.Meta.ActiveNodes() {
 		if node.ID == n.ID {
 			continue
 		}

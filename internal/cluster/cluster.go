@@ -10,12 +10,14 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"citusgo/internal/bufpool"
 	"citusgo/internal/citus"
 	"citusgo/internal/citus/metadata"
 	"citusgo/internal/engine"
+	"citusgo/internal/repl"
 	"citusgo/internal/trace"
 	"citusgo/internal/wire"
 )
@@ -56,6 +58,23 @@ type Config struct {
 	// autovacuum keeps MVCC chains short under sustained updates),
 	// negative disables.
 	AutoVacuumInterval time.Duration
+
+	// ReplicationFactor is the number of WAL-streaming standbys booted per
+	// worker (0 = no replication). Requires the in-process transport.
+	ReplicationFactor int
+	// ReplicationMode selects sync (commit waits for standby acks) or
+	// async (bounded-lag) WAL shipping.
+	ReplicationMode repl.Mode
+	// SyncTimeout bounds sync-commit waits and promotion drains (default 5s).
+	SyncTimeout time.Duration
+	// MaxAsyncLag is the async-mode staleness bound in WAL records.
+	MaxAsyncLag int64
+	// HealthInterval enables coordinator-side placement health probing (and
+	// automatic failover) at this period; 0 disables.
+	HealthInterval time.Duration
+	// HealthFailures is how many consecutive failed probes mark a worker
+	// down and trigger failover (default 3).
+	HealthFailures int
 }
 
 // Cluster is a running set of nodes.
@@ -65,6 +84,18 @@ type Cluster struct {
 	Nodes   []*citus.Node // Nodes[0] is the coordinator
 	servers []*wire.Server
 	cfg     Config
+
+	// Repl is the WAL-shipping replication manager (nil unless
+	// ReplicationFactor > 0).
+	Repl *repl.Manager
+	// standbys maps standby node ID -> standby engine.
+	standbys map[int]*engine.Engine
+
+	// mu guards Engines/Nodes mutation (worker restart) against the health
+	// prober reading them concurrently.
+	mu         sync.Mutex
+	healthStop chan struct{}
+	healthOnce sync.Once
 }
 
 // New boots a cluster.
@@ -74,7 +105,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	meta := metadata.NewCatalog()
 	total := cfg.Workers + 1
-	c := &Cluster{Meta: meta, cfg: cfg}
+	c := &Cluster{Meta: meta, cfg: cfg, standbys: make(map[int]*engine.Engine)}
 
 	for i := 0; i < total; i++ {
 		name := "coordinator"
@@ -133,6 +164,69 @@ func New(cfg Config) (*Cluster, error) {
 			meta.SetHasMetadata(i+1, true)
 		}
 	}
+
+	// Replication: boot ReplicationFactor standby engines per worker, ship
+	// each worker's WAL to them, and hook the executor's commit path into
+	// the replication contract. Standbys are registered in the catalog with
+	// role metadata (AddTable later materializes standby placement rows from
+	// this topology) and are dialable from every node for replica reads.
+	if cfg.ReplicationFactor > 0 && cfg.Workers > 0 {
+		if cfg.UseTCP {
+			c.Close()
+			return nil, fmt.Errorf("replication supports only the in-process transport")
+		}
+		mgr := repl.NewManager(meta, repl.Config{
+			Mode:        cfg.ReplicationMode,
+			SyncTimeout: cfg.SyncTimeout,
+			MaxAsyncLag: cfg.MaxAsyncLag,
+		})
+		c.Repl = mgr
+		nextID := total + 1
+		for i := 1; i < total; i++ {
+			primaryID := i + 1
+			var targets []repl.StandbyTarget
+			for r := 1; r <= cfg.ReplicationFactor; r++ {
+				sbID := nextID
+				nextID++
+				name := fmt.Sprintf("%s-sb%d", c.Engines[i].Name, r)
+				sbEng := c.newEngine(sbID-1, name)
+				// The shipper copies each primary record into the standby's
+				// WAL itself; apply mode stops replicated DDL from appending
+				// a second copy, which would break LSN alignment.
+				sbEng.SetApplyMode(true)
+				// Standby-local sessions (replica reads) allocate XIDs from a
+				// range disjoint from any primary's, so a replicated XID can
+				// never collide with a locally assigned one.
+				sbEng.Txns.AdvanceXIDBase(uint64(sbID) << 40)
+				c.standbys[sbID] = sbEng
+				meta.AddNode(&metadata.Node{
+					ID: sbID, Name: name,
+					Standby: true, StandbyOf: primaryID,
+				})
+				for _, node := range c.Nodes {
+					target := sbEng
+					rtt := cfg.NetworkRTT
+					node.SetDialer(sbID, func() (*wire.Conn, error) {
+						return wire.DialLocal(target, rtt), nil
+					})
+					node.RegisterPeerEngine(sbID, target)
+				}
+				targets = append(targets, repl.StandbyTarget{
+					NodeID: sbID, Name: name,
+					WAL: sbEng.WAL, Apply: sbEng.ReplayTarget(),
+				})
+			}
+			mgr.AddGroup(primaryID, c.Engines[i].Name, c.Engines[i].WAL, targets)
+		}
+		for _, node := range c.Nodes {
+			node.SyncWaiter = mgr.Wait
+		}
+		if cfg.HealthInterval > 0 {
+			c.healthStop = make(chan struct{})
+			go c.healthLoop()
+		}
+	}
+
 	for _, node := range c.Nodes {
 		node.StartDaemons()
 	}
@@ -200,15 +294,40 @@ func (c *Cluster) RestartWorker(i int) error {
 		return fmt.Errorf("node %d is not crashed", i)
 	}
 	eng := c.newEngine(i, old.Name)
-	if err := old.WAL.ReplayInto(eng.ReplayTarget(), 0); err != nil {
+	// Carry the full history into the new incarnation's WAL (a process
+	// restart keeps its on-disk log): without this, a second crash of the
+	// same worker would seal a log holding only post-restart writes and
+	// recovery would silently lose everything before the first crash.
+	// Apply mode keeps replayed DDL from appending a second copy.
+	eng.SetApplyMode(true)
+	for _, rec := range old.WAL.Records() {
+		rec.LSN = 0 // the new log assigns its own; orders coincide
+		eng.WAL.Append(rec)
+	}
+	err := old.WAL.ReplayInto(eng.ReplayTarget(), 0)
+	eng.SetApplyMode(false)
+	if err != nil {
 		return fmt.Errorf("replaying %s WAL: %w", old.Name, err)
 	}
 	node := citus.NewNode(i+1, eng, c.Meta, c.cfg.Citus)
 	// Commit records this node wrote as a coordinator (MX mode) are
 	// rebuilt from its WAL, the same way RestoreToPoint does it.
 	node.RecoverCommitRecords(old.WAL.Records(), 0)
+	// Quiesce gate: an executor on a live node may still be inside a
+	// read-retry backoff holding a pool bound to the dead incarnation.
+	// Swapping its dialer mid-retry races the re-dial (the retry can land
+	// on a half-rewired mesh). Wait for in-flight executions to drain
+	// before rewiring; under sustained load this is bounded best-effort.
+	for j, peer := range c.Nodes {
+		if j == i {
+			continue
+		}
+		peer.WaitExecutorIdle(time.Second)
+	}
+	c.mu.Lock()
 	c.Engines[i] = eng
 	c.Nodes[i] = node
+	c.mu.Unlock()
 	for j, peer := range c.Nodes {
 		target := c.Engines[j]
 		rtt := c.cfg.NetworkRTT
@@ -227,8 +346,110 @@ func (c *Cluster) RestartWorker(i int) error {
 			peer.RegisterPeerEngine(i+1, eng)
 		}
 	}
+	if c.Repl != nil {
+		node.SyncWaiter = c.Repl.Wait
+	}
 	node.StartDaemons()
 	return nil
+}
+
+// Failover crashes worker i (if it is not already crashed) and promotes
+// its furthest-ahead standby: the sealed WAL drains to its tip on the
+// standby, catalog roles flip (bumping the metadata version so cached
+// plans re-resolve), and surviving standbys re-parent onto the new
+// primary. Returns the promoted node's ID.
+func (c *Cluster) Failover(i int) (int, error) {
+	if c.Repl == nil {
+		return 0, fmt.Errorf("cluster has no replication (ReplicationFactor 0)")
+	}
+	if i <= 0 || i >= len(c.Engines) {
+		return 0, fmt.Errorf("cannot fail over node %d (valid workers: 1..%d)", i, len(c.Engines)-1)
+	}
+	c.mu.Lock()
+	eng := c.Engines[i]
+	c.mu.Unlock()
+	if !eng.Crashed() {
+		if err := c.CrashWorker(i); err != nil {
+			return 0, err
+		}
+	}
+	newID, err := c.Repl.Promote(i + 1)
+	if err != nil {
+		return 0, err
+	}
+	// The promoted engine originates writes now: DDL must self-log again.
+	if eng := c.standbys[newID]; eng != nil {
+		eng.SetApplyMode(false)
+	}
+	// The promoted engine replicated the primary's commit records through
+	// the stream; if an MX worker wrote them, recovery needs them rebuilt
+	// on the coordinator side, which reads its own table — nothing to do
+	// here. The coordinator's recovery daemon resolves any prepared
+	// transactions the promoted standby inherited.
+	return newID, nil
+}
+
+// StandbyEngine returns the engine of a standby node ID (including
+// promoted ones), or nil.
+func (c *Cluster) StandbyEngine(nodeID int) *engine.Engine {
+	return c.standbys[nodeID]
+}
+
+// healthLoop is the coordinator-side placement health prober: every
+// HealthInterval it runs a trivial query against each primary worker;
+// HealthFailures consecutive failures mark the node down in the catalog
+// (readers instantly re-route to standbys) and trigger automatic failover.
+func (c *Cluster) healthLoop() {
+	threshold := c.cfg.HealthFailures
+	if threshold <= 0 {
+		threshold = 3
+	}
+	failures := make(map[int]int)
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.healthStop:
+			return
+		case <-ticker.C:
+			for i := 1; i < len(c.Engines); i++ {
+				nodeID := i + 1
+				if c.Meta.NodeDown(nodeID) {
+					continue
+				}
+				node, ok := c.Meta.Node(nodeID)
+				if !ok || node.Standby {
+					continue // already failed over
+				}
+				c.mu.Lock()
+				eng := c.Engines[i]
+				c.mu.Unlock()
+				if c.probe(eng) {
+					failures[nodeID] = 0
+					continue
+				}
+				failures[nodeID]++
+				if failures[nodeID] < threshold {
+					continue
+				}
+				c.Meta.SetNodeDown(nodeID, true)
+				if _, ok := c.Repl.Group(nodeID); ok {
+					_, _ = c.Failover(i)
+				}
+			}
+		}
+	}
+}
+
+// probe runs SELECT 1 against an engine over the wire protocol.
+func (c *Cluster) probe(eng *engine.Engine) bool {
+	if eng.Crashed() {
+		return false
+	}
+	conn := wire.DialLocal(eng, 0)
+	defer conn.Close()
+	_, err := conn.Query("SELECT 1")
+	return err == nil
 }
 
 // Coordinator returns the coordinator node.
@@ -298,6 +519,12 @@ func (c *Cluster) RestoreToPoint(name string) (*Cluster, error) {
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() {
+	if c.healthStop != nil {
+		c.healthOnce.Do(func() { close(c.healthStop) })
+	}
+	if c.Repl != nil {
+		c.Repl.Stop()
+	}
 	for _, n := range c.Nodes {
 		n.Close()
 	}
@@ -305,6 +532,9 @@ func (c *Cluster) Close() {
 		_ = s.Close()
 	}
 	for _, e := range c.Engines {
+		e.Close()
+	}
+	for _, e := range c.standbys {
 		e.Close()
 	}
 }

@@ -193,6 +193,14 @@ type Engine struct {
 	// in-process transport refuses requests against a crashed engine, so
 	// every client sees connection failures exactly as if the peer died.
 	crashed atomic.Bool
+
+	// applyMode marks the engine as a WAL-application target — a
+	// replication standby, or a restart mid-replay. The applier owns log
+	// continuity (it copies the original records into this engine's WAL
+	// itself), so DDL executed while applying must not re-append a record:
+	// a second copy would shift every later LSN and break the position
+	// alignment promotion and crash-restart rely on.
+	applyMode atomic.Bool
 }
 
 // SchemaVersion returns the engine's DDL version counter.
@@ -205,6 +213,20 @@ func (e *Engine) bumpSchemaVersion() { e.schemaVer.Add(1) }
 // SetStmtCacheEnabled toggles the per-session statement cache, on by
 // default. Benchmarks disable it to measure the uncached baseline.
 func (e *Engine) SetStmtCacheEnabled(enabled bool) { e.stmtCacheOff.Store(!enabled) }
+
+// SetApplyMode flags the engine as a WAL-application target (replication
+// standby or restart replay): DDL stops self-logging because the applier
+// copies the original records into the WAL itself. Cleared on promotion,
+// when the engine starts originating writes again.
+func (e *Engine) SetApplyMode(on bool) { e.applyMode.Store(on) }
+
+// logDDL appends a DDL record unless the engine is applying someone
+// else's log (see SetApplyMode).
+func (e *Engine) logDDL(ddl string) {
+	if !e.applyMode.Load() {
+		e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: ddl})
+	}
+}
 
 // IntermediateResult is a named, in-memory relation used by the
 // distributed executor for broadcast and repartition joins and for

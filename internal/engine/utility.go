@@ -67,7 +67,7 @@ func (s *Session) ExecUtilityLocal(stmt sql.Statement) (*Result, error) {
 		if _, err := s.Eng.Catalog.AddColumn(st.Table, col); err != nil {
 			return nil, s.statementFailed(err)
 		}
-		s.Eng.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+		s.Eng.logDDL(st.String())
 		s.Eng.bumpSchemaVersion()
 		return &Result{Tag: "ALTER TABLE"}, nil
 	case *sql.VacuumStmt:
@@ -148,7 +148,7 @@ func (e *Engine) CreateTable(st *sql.CreateTableStmt) error {
 			return err
 		}
 	}
-	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+	e.logDDL(st.String())
 	e.bumpSchemaVersion()
 	return nil
 }
@@ -175,7 +175,7 @@ func (e *Engine) CreateIndex(st *sql.CreateIndexStmt) error {
 	if err := e.attachIndex(store, def, true); err != nil {
 		return err
 	}
-	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: st.String()})
+	e.logDDL(st.String())
 	e.bumpSchemaVersion()
 	return nil
 }
@@ -288,7 +288,7 @@ func (e *Engine) DropTable(name string, ifExists bool) error {
 	if store.col != nil {
 		store.col.Truncate()
 	}
-	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: "DROP TABLE " + name})
+	e.logDDL("DROP TABLE " + name)
 	e.bumpSchemaVersion()
 	return nil
 }
@@ -308,7 +308,7 @@ func (e *Engine) truncateStorage(store *storage) {
 	for name, g := range store.gins {
 		store.gins[name] = &ginIndex{def: g.def, gin: index.NewGIN(), eval: g.eval}
 	}
-	e.WAL.Append(wal.Record{Type: wal.RecDDL, Name: "TRUNCATE " + store.table.Name})
+	e.logDDL("TRUNCATE " + store.table.Name)
 }
 
 // Vacuum reclaims dead tuples table-wide or for one table, cleaning index
@@ -481,6 +481,7 @@ func (r replayTarget) ApplyDDL(ddl string) error {
 }
 
 func (r replayTarget) ApplyInsert(xid uint64, table string, row types.Row) error {
+	r.e.Txns.MarkReplicating(xid)
 	store, ok := r.e.store(table)
 	if !ok {
 		return fmt.Errorf("replay: relation %q does not exist", table)
@@ -497,6 +498,7 @@ func (r replayTarget) ApplyInsert(xid uint64, table string, row types.Row) error
 }
 
 func (r replayTarget) ApplyDelete(xid uint64, table string, row types.Row) error {
+	r.e.Txns.MarkReplicating(xid)
 	store, ok := r.e.store(table)
 	if !ok || store.heap == nil {
 		return nil

@@ -28,6 +28,7 @@ import (
 	"citusgo/internal/engine"
 	"citusgo/internal/fault"
 	"citusgo/internal/obs"
+	"citusgo/internal/repl"
 	"citusgo/internal/types"
 )
 
@@ -41,6 +42,11 @@ type Options struct {
 	RecoveryInterval time.Duration // 2PC recovery daemon period; 0 = disabled
 	DeadlockInterval time.Duration // distributed deadlock detector period; 0 = disabled
 	RecoveryGrace    time.Duration // prepared-txn age before recovery resolves it; 0 = disabled
+
+	ReplicationFactor int           // standbys per worker; 0 = replication off
+	ReplicationMode   repl.Mode     // sync or async WAL shipping
+	MaxAsyncLag       int64         // async-mode lag bound (records); 0 = cluster default
+	HealthInterval    time.Duration // placement health-probe period; 0 = disabled
 }
 
 // Harness is one chaos-test cluster plus the bookkeeping to drive fault
@@ -88,6 +94,10 @@ func New(t *testing.T, opts Options) *Harness {
 		Workers:               opts.Workers,
 		ShardCount:            opts.ShardCount,
 		LocalDeadlockInterval: 20 * time.Millisecond,
+		ReplicationFactor:     opts.ReplicationFactor,
+		ReplicationMode:       opts.ReplicationMode,
+		MaxAsyncLag:           opts.MaxAsyncLag,
+		HealthInterval:        opts.HealthInterval,
 		Citus: citus.Config{
 			RecoveryInterval: toInterval(opts.RecoveryInterval),
 			DeadlockInterval: toInterval(opts.DeadlockInterval),

@@ -41,6 +41,9 @@ const (
 	PointWALFsync        = "wal.fsync"         // key: record type string
 	PointMetaSync        = "metadata.sync"     // key: target node name
 	PointRebalanceMove   = "rebalance.move"    // key: move stage ("create_shard", "snapshot_copy", "catchup", "metadata_flip", "drop_source")
+	PointReplShip        = "repl.ship"         // key: standby node name (per shipped record)
+	PointReplApply       = "repl.apply"        // key: standby node name (before applying a record)
+	PointReplPromote     = "repl.promote"      // key: promotion stage ("drain", "flip")
 )
 
 // Action says what an armed rule does when it fires.

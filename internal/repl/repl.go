@@ -1,0 +1,486 @@
+// Package repl is the WAL-shipping replication substrate: it streams a
+// primary node's WAL to N standby nodes and applies it there, the
+// reproduction of the PostgreSQL streaming replication the paper assumes
+// underneath every Citus worker (§2, §3.7).
+//
+// Each standby runs one shipper goroutine tailing the primary's log via
+// wal.Stream. Every shipped record is first appended to the standby's own
+// WAL (the standby "has the WAL", so a promoted or restarted standby can
+// itself be replayed or replicated from) and then applied incrementally
+// through wal.ApplyRecord; the stream ack then advances, which is what
+// sync-commit waits and lag accounting observe.
+//
+// Two modes, chosen per cluster:
+//
+//   - ModeSync: after a write commits locally, the commit path blocks
+//     until every live standby has acknowledged the commit's LSN. A
+//     client-acknowledged write therefore survives primary failure — the
+//     zero-loss half of the chaos proof.
+//   - ModeAsync: commits return immediately; the write path only throttles
+//     when a standby trails by more than MaxAsyncLag records, which is
+//     what makes async staleness bounded rather than unbounded.
+//
+// Failover is Manager.Promote: seal the failed primary's log, let the
+// furthest-ahead standby drain the sealed stream to its tip ("replay to
+// tip"), then flip the catalog roles and bump the metadata version so
+// every cached plan re-resolves routing. Crash points at the ship, apply,
+// and promote seams (fault.PointReplShip/Apply/Promote) let chaos tests
+// cut the schedule at exactly these steps.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"citusgo/internal/citus/metadata"
+	"citusgo/internal/fault"
+	"citusgo/internal/obs"
+	"citusgo/internal/wal"
+)
+
+// Mode selects how commits interact with replication.
+type Mode int
+
+const (
+	// ModeSync blocks the commit path until standbys ack (no acknowledged
+	// write can be lost to a primary failure).
+	ModeSync Mode = iota
+	// ModeAsync lets commits return before standbys apply, with lag
+	// bounded by Config.MaxAsyncLag.
+	ModeAsync
+)
+
+func (m Mode) String() string {
+	if m == ModeAsync {
+		return "async"
+	}
+	return "sync"
+}
+
+// Config tunes the replication substrate.
+type Config struct {
+	Mode Mode
+	// SyncTimeout bounds a sync-commit wait (and each promotion drain
+	// step). Default 5s. A timed-out wait does not undo the local commit —
+	// it is counted and surfaced, exactly like a PostgreSQL sync standby
+	// falling out of quorum.
+	SyncTimeout time.Duration
+	// MaxAsyncLag is the async-mode staleness bound in WAL records
+	// (default 256): a write path finding a standby further behind blocks
+	// until it catches back into the bound.
+	MaxAsyncLag int64
+	// PollInterval is the shipper's stream wait quantum (default 10ms);
+	// waking is event-driven, this only bounds shutdown latency.
+	PollInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 5 * time.Second
+	}
+	if c.MaxAsyncLag <= 0 {
+		c.MaxAsyncLag = 256
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * time.Millisecond
+	}
+	return c
+}
+
+// StandbyTarget describes one standby node a Group ships to.
+type StandbyTarget struct {
+	NodeID int
+	Name   string
+	WAL    *wal.Log    // standby's own log; shipped records are appended here
+	Apply  wal.Applier // incremental apply target (engine.ReplayTarget())
+}
+
+type standby struct {
+	StandbyTarget
+	stream  *wal.Stream
+	applied atomic.Int64
+	failed  atomic.Bool
+	done    chan struct{}
+
+	shipped *obs.Counter
+	lag     *obs.Gauge
+}
+
+var (
+	metShipped = obs.Default().Counter("repl_records_shipped_total",
+		"WAL records shipped to and applied on a standby.", "standby")
+	metLag = obs.Default().Gauge("repl_lag_records",
+		"Replication lag in WAL records, per standby.", "standby")
+	metSyncWaits = obs.Default().Counter("repl_sync_waits_total",
+		"Sync-replication commit waits.").With()
+	metSyncTimeouts = obs.Default().Counter("repl_sync_timeouts_total",
+		"Sync-replication commit waits that timed out (standby out of quorum).").With()
+	metSyncWaitNs = obs.Default().Histogram("repl_sync_wait_ns",
+		"Time the commit path spent waiting for standby acks, in nanoseconds.", nil).With()
+	metPromotions = obs.Default().Counter("repl_promotions_total",
+		"Standby promotions completed.").With()
+	metApplyErrors = obs.Default().Counter("repl_apply_errors_total",
+		"Records a standby failed to apply (standby dropped from the group).", "standby")
+)
+
+// Group replicates one primary's WAL to its standbys.
+type Group struct {
+	primaryID   int
+	primaryName string
+	log         *wal.Log
+	cfg         Config
+
+	mu       sync.Mutex
+	standbys []*standby
+	stopped  bool
+}
+
+// NewGroup starts shipping primary's WAL to the targets. Shipping begins
+// at LSN 0: groups are created at node boot, before any writes exist.
+func NewGroup(primaryID int, primaryName string, log *wal.Log, cfg Config, targets []StandbyTarget) *Group {
+	g := &Group{primaryID: primaryID, primaryName: primaryName, log: log, cfg: cfg.withDefaults()}
+	for _, t := range targets {
+		sb := &standby{
+			StandbyTarget: t,
+			stream:        log.StreamFrom(0),
+			done:          make(chan struct{}),
+			shipped:       metShipped.With(t.Name),
+			lag:           metLag.With(t.Name),
+		}
+		g.standbys = append(g.standbys, sb)
+		go g.ship(sb)
+	}
+	return g
+}
+
+// resumeStandby re-parents an existing standby onto this group's log after
+// a promotion: the standby's applied prefix is identical to the new
+// primary's log prefix (both copied the old primary's WAL), so the stream
+// resumes exactly at the standby's applied LSN.
+func (g *Group) resumeStandby(t StandbyTarget, appliedLSN int64) {
+	sb := &standby{
+		StandbyTarget: t,
+		stream:        g.log.StreamFrom(appliedLSN),
+		done:          make(chan struct{}),
+		shipped:       metShipped.With(t.Name),
+		lag:           metLag.With(t.Name),
+	}
+	sb.applied.Store(appliedLSN)
+	g.mu.Lock()
+	g.standbys = append(g.standbys, sb)
+	g.mu.Unlock()
+	go g.ship(sb)
+}
+
+// ship is the per-standby replication loop.
+func (g *Group) ship(sb *standby) {
+	defer close(sb.done)
+	for {
+		rec, ok := sb.stream.Next(g.cfg.PollInterval)
+		if !ok {
+			if sb.stream.Done() {
+				return // closed, or sealed log drained to tip
+			}
+			sb.lag.Set(sb.stream.Lag())
+			continue
+		}
+		// repl.ship models the network hop: delays grow lag, errors are
+		// retried from the same record (streaming replication never skips),
+		// panics kill the shipper like a walsender crash.
+		for {
+			if err := fault.CheckKey(fault.PointReplShip, sb.Name); err == nil {
+				break
+			}
+			if sb.stream.Done() {
+				return
+			}
+			time.Sleep(g.cfg.PollInterval)
+		}
+		if err := fault.CheckKey(fault.PointReplApply, sb.Name); err == nil {
+			err = g.apply(sb, rec)
+			if err != nil {
+				metApplyErrors.With(sb.Name).Inc()
+				sb.failed.Store(true)
+				return
+			}
+		} else {
+			// injected apply error: the standby is wedged (disk full,
+			// divergence) and drops out of the group
+			metApplyErrors.With(sb.Name).Inc()
+			sb.failed.Store(true)
+			return
+		}
+		sb.stream.Ack(rec.LSN)
+		sb.applied.Store(rec.LSN)
+		sb.shipped.Inc()
+		sb.lag.Set(sb.stream.Lag())
+	}
+}
+
+// apply copies the record into the standby's own WAL (durability first, so
+// the standby can in turn be replayed, replicated, or promoted) and then
+// applies it to the standby engine.
+func (g *Group) apply(sb *standby, rec wal.Record) error {
+	if sb.WAL != nil {
+		if lsn := sb.WAL.Append(stripLSN(rec)); lsn == 0 {
+			return errors.New("standby WAL sealed (standby crashed)")
+		}
+	}
+	return wal.ApplyRecord(sb.Apply, rec)
+}
+
+// stripLSN clears the primary-assigned LSN so the standby's log assigns
+// its own. Both logs start empty and append the same records in the same
+// order, so the LSNs coincide — which is what lets a re-parented standby
+// resume from its applied position after a promotion.
+func stripLSN(rec wal.Record) wal.Record {
+	rec.LSN = 0
+	return rec
+}
+
+// PrimaryID returns the node whose WAL this group ships.
+func (g *Group) PrimaryID() int { return g.primaryID }
+
+// live returns the standbys still shipping (not failed, not detached).
+func (g *Group) live() []*standby {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*standby, 0, len(g.standbys))
+	for _, sb := range g.standbys {
+		if !sb.failed.Load() {
+			out = append(out, sb)
+		}
+	}
+	return out
+}
+
+// Applied returns each live standby's applied LSN by node ID.
+func (g *Group) Applied() map[int]int64 {
+	out := map[int]int64{}
+	for _, sb := range g.live() {
+		out[sb.NodeID] = sb.applied.Load()
+	}
+	return out
+}
+
+// WaitSync blocks until every live standby has applied at least lsn, or
+// the timeout elapses. Used by the commit path in sync mode.
+func (g *Group) WaitSync(lsn int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		behind := 0
+		for _, sb := range g.live() {
+			if sb.applied.Load() < lsn {
+				behind++
+			}
+		}
+		if behind == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("repl: %d standby(s) of %s behind LSN %d after %v",
+				behind, g.primaryName, lsn, timeout)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// WaitLag blocks until every live standby trails the log tip by at most
+// maxLag records — the async-mode flow control that bounds staleness.
+func (g *Group) WaitLag(maxLag int64, timeout time.Duration) error {
+	tip := g.log.LastLSN()
+	if tip <= maxLag {
+		return nil
+	}
+	return g.WaitSync(tip-maxLag, timeout)
+}
+
+// MaxLag returns the largest lag (in records) among live standbys.
+func (g *Group) MaxLag() int64 {
+	var max int64
+	tip := g.log.LastLSN()
+	for _, sb := range g.live() {
+		if lag := tip - sb.applied.Load(); lag > max {
+			max = lag
+		}
+	}
+	return max
+}
+
+// Stop detaches every standby and waits for the shippers to exit.
+func (g *Group) Stop() {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	g.stopped = true
+	standbys := append([]*standby(nil), g.standbys...)
+	g.mu.Unlock()
+	for _, sb := range standbys {
+		sb.stream.Close()
+	}
+	for _, sb := range standbys {
+		<-sb.done
+	}
+}
+
+// Manager tracks the replication group of every replicated primary and
+// owns the failover sequence.
+type Manager struct {
+	mu     sync.Mutex
+	groups map[int]*Group // by primary node ID
+	meta   *metadata.Catalog
+	cfg    Config
+}
+
+// NewManager creates a manager writing role flips into meta.
+func NewManager(meta *metadata.Catalog, cfg Config) *Manager {
+	return &Manager{groups: make(map[int]*Group), meta: meta, cfg: cfg.withDefaults()}
+}
+
+// Mode returns the configured replication mode.
+func (m *Manager) Mode() Mode { return m.cfg.Mode }
+
+// AddGroup registers (and starts) replication for one primary.
+func (m *Manager) AddGroup(primaryID int, primaryName string, log *wal.Log, targets []StandbyTarget) *Group {
+	g := NewGroup(primaryID, primaryName, log, m.cfg, targets)
+	m.mu.Lock()
+	m.groups[primaryID] = g
+	m.mu.Unlock()
+	return g
+}
+
+// Group returns the replication group whose primary is nodeID, if any.
+func (m *Manager) Group(nodeID int) (*Group, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[nodeID]
+	return g, ok
+}
+
+// Wait is the commit-path hook: after a write on nodeID it enforces the
+// mode's durability contract — full standby ack in sync mode, bounded lag
+// in async mode. Unreplicated nodes return immediately.
+func (m *Manager) Wait(nodeID int) error {
+	g, ok := m.Group(nodeID)
+	if !ok {
+		return nil
+	}
+	metSyncWaits.Inc()
+	start := time.Now()
+	var err error
+	if m.cfg.Mode == ModeSync {
+		err = g.WaitSync(g.log.LastLSN(), m.cfg.SyncTimeout)
+	} else {
+		err = g.WaitLag(m.cfg.MaxAsyncLag, m.cfg.SyncTimeout)
+	}
+	metSyncWaitNs.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		metSyncTimeouts.Inc()
+	}
+	return err
+}
+
+// Promote fails over a crashed primary: the sealed log is drained to its
+// tip on the furthest-ahead standby, the catalog roles flip (bumping the
+// metadata version so cached plans invalidate), surviving standbys are
+// re-parented onto the new primary's log, and the new primary's node ID is
+// returned. The caller seals the primary's WAL by crashing the node;
+// Promote seals again defensively — promotion declares the primary dead,
+// so no post-promotion append of its may be acknowledged.
+func (m *Manager) Promote(failedPrimary int) (int, error) {
+	m.mu.Lock()
+	g, ok := m.groups[failedPrimary]
+	if ok {
+		delete(m.groups, failedPrimary)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("repl: node %d has no replication group", failedPrimary)
+	}
+	g.log.Seal()
+
+	if err := fault.CheckKey(fault.PointReplPromote, "drain"); err != nil {
+		return 0, fmt.Errorf("repl: promotion drain: %w", err)
+	}
+	// Pick the furthest-ahead live standby, then let it replay the sealed
+	// log to the tip. Draining cannot stall forever: the log is sealed, so
+	// the stream has a fixed endpoint.
+	live := g.live()
+	if len(live) == 0 {
+		return 0, fmt.Errorf("repl: node %d has no live standby to promote", failedPrimary)
+	}
+	winner := live[0]
+	for _, sb := range live[1:] {
+		if sb.applied.Load() > winner.applied.Load() {
+			winner = sb
+		}
+	}
+	tip := g.log.LastLSN()
+	deadline := time.Now().Add(g.cfg.SyncTimeout)
+	for winner.applied.Load() < tip {
+		if winner.failed.Load() {
+			return 0, fmt.Errorf("repl: standby %s failed during promotion drain", winner.Name)
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("repl: standby %s stuck at LSN %d draining to %d",
+				winner.Name, winner.applied.Load(), tip)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	if err := fault.CheckKey(fault.PointReplPromote, "flip"); err != nil {
+		return 0, fmt.Errorf("repl: promotion flip: %w", err)
+	}
+	if err := m.meta.PromoteNode(failedPrimary, winner.NodeID); err != nil {
+		return 0, err
+	}
+	// Stop the old group's shippers, then re-parent the surviving standbys
+	// onto the new primary's WAL at their applied positions.
+	g.Stop()
+	var ng *Group
+	for _, sb := range g.live() {
+		if sb.NodeID == winner.NodeID || sb.WAL == nil {
+			continue
+		}
+		if ng == nil {
+			ng = m.AddGroup(winner.NodeID, winner.Name, winner.WAL, nil)
+		}
+		ng.resumeStandby(sb.StandbyTarget, sb.applied.Load())
+	}
+	if ng == nil && winner.WAL != nil {
+		// keep an (empty) group so future AddStandby/rewiring has a home;
+		// sync waits on a group with no standbys return immediately.
+		m.AddGroup(winner.NodeID, winner.Name, winner.WAL, nil)
+	}
+	metPromotions.Inc()
+	return winner.NodeID, nil
+}
+
+// Lag reports the largest standby lag of a primary's group (0 when the
+// node is unreplicated).
+func (m *Manager) Lag(nodeID int) int64 {
+	g, ok := m.Group(nodeID)
+	if !ok {
+		return 0
+	}
+	return g.MaxLag()
+}
+
+// Stop halts every group.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	groups := make([]*Group, 0, len(m.groups))
+	for _, g := range m.groups {
+		groups = append(groups, g)
+	}
+	m.groups = make(map[int]*Group)
+	m.mu.Unlock()
+	for _, g := range groups {
+		g.Stop()
+	}
+}

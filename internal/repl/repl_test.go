@@ -1,0 +1,240 @@
+package repl
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"citusgo/internal/citus/metadata"
+	"citusgo/internal/fault"
+	"citusgo/internal/types"
+	"citusgo/internal/wal"
+)
+
+// memApplier is a minimal wal.Applier for tests: it records committed
+// rows per table, keyed by the transaction-status records.
+type memApplier struct {
+	mu       sync.Mutex
+	rows     map[string][]types.Row
+	commits  map[uint64]bool
+	prepared map[string]uint64
+	applied  int
+}
+
+func newMemApplier() *memApplier {
+	return &memApplier{rows: map[string][]types.Row{}, commits: map[uint64]bool{}, prepared: map[string]uint64{}}
+}
+
+func (m *memApplier) ApplyDDL(string) error { return nil }
+func (m *memApplier) ApplyInsert(xid uint64, table string, row types.Row) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows[table] = append(m.rows[table], row)
+	m.applied++
+	return nil
+}
+func (m *memApplier) ApplyDelete(uint64, string, types.Row) error { return nil }
+func (m *memApplier) ApplyCommit(xid uint64) {
+	m.mu.Lock()
+	m.commits[xid] = true
+	m.mu.Unlock()
+}
+func (m *memApplier) ApplyAbort(uint64) {}
+func (m *memApplier) ApplyPrepare(xid uint64, gid string) {
+	m.mu.Lock()
+	m.prepared[gid] = xid
+	m.mu.Unlock()
+}
+func (m *memApplier) ApplyCommitPrepared(gid string) {
+	m.mu.Lock()
+	delete(m.prepared, gid)
+	m.mu.Unlock()
+}
+func (m *memApplier) ApplyAbortPrepared(gid string) {
+	m.mu.Lock()
+	delete(m.prepared, gid)
+	m.mu.Unlock()
+}
+
+func (m *memApplier) rowCount(table string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.rows[table])
+}
+
+func appendTxn(l *wal.Log, xid uint64, table string, k int64) {
+	l.Append(wal.Record{Type: wal.RecInsert, XID: xid, Table: table, Row: types.Row{k}})
+	l.Append(wal.Record{Type: wal.RecCommit, XID: xid})
+}
+
+func TestSyncShippingAppliesAndAcks(t *testing.T) {
+	fault.Reset()
+	primary := wal.New()
+	a := newMemApplier()
+	sbLog := wal.New()
+	g := NewGroup(2, "w1", primary, Config{Mode: ModeSync},
+		[]StandbyTarget{{NodeID: 4, Name: "w1-sb1", WAL: sbLog, Apply: a}})
+	defer g.Stop()
+
+	for i := 0; i < 10; i++ {
+		appendTxn(primary, uint64(10+i), "t", int64(i))
+		if err := g.WaitSync(primary.LastLSN(), time.Second); err != nil {
+			t.Fatalf("sync wait %d: %v", i, err)
+		}
+	}
+	if got := a.rowCount("t"); got != 10 {
+		t.Fatalf("standby applied %d rows, want 10", got)
+	}
+	// the standby's own WAL mirrors the primary's, record for record
+	if sbLog.Len() != primary.Len() {
+		t.Fatalf("standby WAL %d records, primary %d", sbLog.Len(), primary.Len())
+	}
+	for i, rec := range sbLog.Records() {
+		prec := primary.Records()[i]
+		if rec.LSN != prec.LSN || rec.Type != prec.Type || rec.XID != prec.XID {
+			t.Fatalf("record %d diverged: standby %+v primary %+v", i, rec, prec)
+		}
+	}
+}
+
+func TestShipErrorRetriesWithoutSkipping(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	primary := wal.New()
+	a := newMemApplier()
+	g := NewGroup(2, "w1", primary, Config{Mode: ModeSync, PollInterval: time.Millisecond},
+		[]StandbyTarget{{NodeID: 4, Name: "w1-sb1", Apply: a}})
+	defer g.Stop()
+
+	// every third ship attempt fails; the shipper must retry the same
+	// record, never skip it
+	fault.Arm(fault.Rule{Point: fault.PointReplShip, Action: fault.ActError, Prob: 0.34})
+	for i := 0; i < 30; i++ {
+		appendTxn(primary, uint64(10+i), "t", int64(i))
+	}
+	if err := g.WaitSync(primary.LastLSN(), 5*time.Second); err != nil {
+		t.Fatalf("sync wait with flaky ship: %v", err)
+	}
+	if got := a.rowCount("t"); got != 30 {
+		t.Fatalf("standby applied %d rows, want 30", got)
+	}
+}
+
+func TestAsyncLagIsBounded(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	primary := wal.New()
+	a := newMemApplier()
+	const maxLag = 8
+	g := NewGroup(2, "w1", primary, Config{Mode: ModeAsync, MaxAsyncLag: maxLag, PollInterval: time.Millisecond},
+		[]StandbyTarget{{NodeID: 4, Name: "w1-sb1", Apply: a}})
+	defer g.Stop()
+
+	// a slow standby: every apply takes 200µs
+	fault.Arm(fault.Rule{Point: fault.PointReplApply, Action: fault.ActDelay, Delay: 200 * time.Microsecond})
+	for i := 0; i < 100; i++ {
+		appendTxn(primary, uint64(10+i), "t", int64(i))
+		if err := g.WaitLag(maxLag, 5*time.Second); err != nil {
+			t.Fatalf("lag wait: %v", err)
+		}
+		if lag := g.MaxLag(); lag > maxLag {
+			t.Fatalf("write %d observed lag %d > bound %d", i, lag, maxLag)
+		}
+	}
+}
+
+func promoteCatalog() *metadata.Catalog {
+	c := metadata.NewCatalog()
+	c.AddNode(&metadata.Node{ID: 1, Name: "c", IsCoordinator: true})
+	c.AddNode(&metadata.Node{ID: 2, Name: "w1"})
+	c.AddNode(&metadata.Node{ID: 4, Name: "w1-sb1", Standby: true, StandbyOf: 2})
+	c.AddNode(&metadata.Node{ID: 5, Name: "w1-sb2", Standby: true, StandbyOf: 2})
+	return c
+}
+
+func TestPromoteDrainsToTipAndFlipsCatalog(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	meta := promoteCatalog()
+	m := NewManager(meta, Config{Mode: ModeSync})
+	primary := wal.New()
+	a1, a2 := newMemApplier(), newMemApplier()
+	l1, l2 := wal.New(), wal.New()
+	m.AddGroup(2, "w1", primary, []StandbyTarget{
+		{NodeID: 4, Name: "w1-sb1", WAL: l1, Apply: a1},
+		{NodeID: 5, Name: "w1-sb2", WAL: l2, Apply: a2},
+	})
+	defer m.Stop()
+
+	// make the second standby lag far behind, then crash the primary:
+	// promotion must pick the caught-up standby and drain it to the tip
+	fault.Arm(fault.Rule{Point: fault.PointReplApply, Key: "w1-sb2", Action: fault.ActDelay, Delay: 2 * time.Millisecond})
+	for i := 0; i < 50; i++ {
+		appendTxn(primary, uint64(10+i), "t", int64(i))
+	}
+	if err := m.Wait(2); err != nil { // sync mode: both standbys acked
+		t.Fatalf("pre-crash sync wait: %v", err)
+	}
+	fault.Disarm(fault.PointReplApply)
+
+	primary.Seal() // crash instant
+	v := meta.Version()
+	newID, err := m.Promote(2)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if newID != 4 && newID != 5 {
+		t.Fatalf("promoted node %d", newID)
+	}
+	if meta.Version() == v {
+		t.Fatal("promotion did not bump metadata version")
+	}
+	winner := a1
+	if newID == 5 {
+		winner = a2
+	}
+	if got := winner.rowCount("t"); got != 50 {
+		t.Fatalf("promoted standby has %d rows, want 50 (replay to tip)", got)
+	}
+	// the surviving standby is re-parented onto the new primary
+	g, ok := m.Group(newID)
+	if !ok {
+		t.Fatal("no group for new primary")
+	}
+	applied := g.Applied()
+	if len(applied) != 1 {
+		t.Fatalf("re-parented standbys: %v", applied)
+	}
+	// writes on the new primary now replicate to the survivor
+	newLog := l1
+	if newID == 5 {
+		newLog = l2
+	}
+	appendTxn(newLog, 1<<41, "t", 999)
+	if err := g.WaitSync(newLog.LastLSN(), 5*time.Second); err != nil {
+		t.Fatalf("post-promotion sync wait: %v", err)
+	}
+	survivor := a2
+	if newID == 5 {
+		survivor = a1
+	}
+	if got := survivor.rowCount("t"); got != 51 {
+		t.Fatalf("survivor has %d rows, want 51 (re-parented stream)", got)
+	}
+}
+
+func TestPromoteWithNoLiveStandbyFails(t *testing.T) {
+	fault.Reset()
+	meta := promoteCatalog()
+	m := NewManager(meta, Config{})
+	primary := wal.New()
+	m.AddGroup(2, "w1", primary, nil)
+	defer m.Stop()
+	primary.Seal()
+	if _, err := m.Promote(2); err == nil {
+		t.Fatal("promotion with no standby succeeded")
+	}
+	if _, err := m.Promote(99); err == nil {
+		t.Fatal("promotion of unreplicated node succeeded")
+	}
+}

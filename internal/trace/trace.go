@@ -369,6 +369,26 @@ func (t *Tracer) Collect(traceID uint64) []Span {
 	return out
 }
 
+// Dump returns a copy of every span currently in the ring, ordered by
+// start time — the post-mortem artifact a failing chaos run writes out.
+func (t *Tracer) Dump() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, 0, t.size)
+	for i := 0; i < t.size; i++ {
+		sp := t.ring[i]
+		if len(sp.Attrs) > 0 {
+			sp.Attrs = append(Attrs(nil), sp.Attrs...)
+		}
+		out = append(out, sp)
+	}
+	t.mu.Unlock()
+	SortSpans(out)
+	return out
+}
+
 // SpanCount returns the number of live spans in the ring (always
 // <= RingCap — the bounded-memory invariant).
 func (t *Tracer) SpanCount() int {

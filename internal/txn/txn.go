@@ -399,6 +399,33 @@ func (m *Manager) ForceStatus(xid uint64, st Status) {
 	}
 }
 
+// MarkReplicating records a replicated writer as in-progress unless its
+// outcome is already known. A standby applies data records the moment
+// they arrive on the stream, possibly before the commit record: without
+// this marker the writer's status would read as Aborted (unknown XID) and
+// vacuum could reclaim a tuple whose commit is still in flight.
+func (m *Manager) MarkReplicating(xid uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.status[xid]; !ok {
+		m.status[xid] = InProgress
+	}
+	if xid >= m.nextXID {
+		m.nextXID = xid + 1
+	}
+}
+
+// AdvanceXIDBase moves the XID allocator to at least base. Standby nodes
+// allocate local (read-session) XIDs from a disjoint range so they can
+// never collide with XIDs replicated from the primary's WAL.
+func (m *Manager) AdvanceXIDBase(base uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if base > m.nextXID {
+		m.nextXID = base
+	}
+}
+
 // AdoptPrepared recreates a prepared transaction during WAL replay: the
 // transaction stays in-progress under gid, pending 2PC resolution.
 func (m *Manager) AdoptPrepared(xid uint64, gid string) *Txn {

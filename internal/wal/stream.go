@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stream is an incremental subscriber over a Log — the transport half of
+// WAL shipping (the paper assumes PostgreSQL streaming replication under
+// each worker, §2). A stream delivers records in LSN order starting after
+// the position passed to StreamFrom, blocking in Next until the primary
+// appends more. Because LSNs are dense (assigned 1,2,3,... under the log
+// mutex) a stream reads the record slice at its own cursor and never
+// misses or duplicates a record, regardless of how long it lags.
+//
+// Ack records the highest LSN the subscriber has durably applied; the
+// replication layer uses it for sync-commit waits and lag accounting.
+type Stream struct {
+	l      *Log
+	pos    int64 // LSN of the last record delivered
+	acked  atomic.Int64
+	closed atomic.Bool
+	stop   chan struct{}
+}
+
+// StreamFrom opens a stream delivering records with LSN > lsn (0 streams
+// from the beginning). Opening a stream on a sealed log is valid: the
+// subscriber drains the sealed prefix and then sees end-of-log.
+func (l *Log) StreamFrom(lsn int64) *Stream {
+	if lsn < 0 {
+		lsn = 0
+	}
+	s := &Stream{l: l, pos: lsn, stop: make(chan struct{})}
+	s.acked.Store(lsn)
+	return s
+}
+
+// Next returns the next record, blocking up to timeout for one to be
+// appended. ok=false means no record was delivered: either the wait timed
+// out, or the stream is done (closed, or the log is sealed and fully
+// drained) — distinguish with Done.
+func (s *Stream) Next(timeout time.Duration) (rec Record, ok bool) {
+	var timer *time.Timer
+	var expired <-chan time.Time
+	for {
+		if s.closed.Load() {
+			return Record{}, false
+		}
+		s.l.mu.Lock()
+		if s.pos < int64(len(s.l.records)) {
+			rec = s.l.records[s.pos]
+			s.pos++
+			s.l.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return rec, true
+		}
+		if s.l.sealed.Load() {
+			s.l.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return Record{}, false
+		}
+		watch := s.l.watch
+		s.l.mu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			expired = timer.C
+		}
+		select {
+		case <-watch:
+		case <-s.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return Record{}, false
+		case <-expired:
+			return Record{}, false
+		}
+	}
+}
+
+// Done reports whether the stream will never deliver another record: it
+// was closed, or the log is sealed and the cursor has reached its tip.
+func (s *Stream) Done() bool {
+	if s.closed.Load() {
+		return true
+	}
+	s.l.mu.Lock()
+	defer s.l.mu.Unlock()
+	return s.l.sealed.Load() && s.pos >= int64(len(s.l.records))
+}
+
+// Pos returns the LSN of the last record delivered by Next.
+func (s *Stream) Pos() int64 {
+	s.l.mu.Lock()
+	defer s.l.mu.Unlock()
+	return s.pos
+}
+
+// Ack records that every record up to lsn has been durably applied by the
+// subscriber. Acks are monotonic; a lower LSN is ignored.
+func (s *Stream) Ack(lsn int64) {
+	for {
+		cur := s.acked.Load()
+		if lsn <= cur {
+			return
+		}
+		if s.acked.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// AckedLSN returns the highest acknowledged LSN.
+func (s *Stream) AckedLSN() int64 { return s.acked.Load() }
+
+// Lag returns how many records the subscriber's ack trails the log tip.
+func (s *Stream) Lag() int64 {
+	lag := s.l.LastLSN() - s.acked.Load()
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// Close detaches the stream; a blocked Next wakes and returns ok=false.
+func (s *Stream) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.stop)
+	}
+}

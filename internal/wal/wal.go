@@ -100,6 +100,11 @@ type Log struct {
 	records []Record
 	nextLSN int64
 
+	// watch is the stream wakeup channel: closed and replaced under mu on
+	// every append and on Seal, so a Stream blocked in Next wakes without
+	// the log having to track subscribers.
+	watch chan struct{}
+
 	// sealed freezes the log at a crash instant: appends racing with the
 	// crash are dropped, modeling writes that never reached stable storage
 	// before the process died. A restarted node replays only the sealed
@@ -108,13 +113,26 @@ type Log struct {
 }
 
 // New creates an empty log.
-func New() *Log { return &Log{nextLSN: 1} }
+func New() *Log { return &Log{nextLSN: 1, watch: make(chan struct{})} }
 
 // Seal freezes the log: every subsequent Append is silently dropped
 // (returning LSN 0), as if the process died before the write hit disk.
 // Chaos tests call Seal at the crash instant, then hand the sealed log to
-// the restarted node for replay.
-func (l *Log) Seal() { l.sealed.Store(true) }
+// the restarted node for replay. Streams blocked in Next wake up: a
+// standby can drain the sealed prefix to its tip and then observes
+// end-of-log, which is exactly the promotion "replay to tip" step.
+func (l *Log) Seal() {
+	l.mu.Lock()
+	l.sealed.Store(true)
+	l.wakeLocked()
+	l.mu.Unlock()
+}
+
+// wakeLocked broadcasts to every blocked Stream. Callers hold l.mu.
+func (l *Log) wakeLocked() {
+	close(l.watch)
+	l.watch = make(chan struct{})
+}
 
 // Sealed reports whether the log has been frozen by Seal.
 func (l *Log) Sealed() bool { return l.sealed.Load() }
@@ -153,7 +171,17 @@ func (l *Log) Append(rec Record) int64 {
 	rec.LSN = l.nextLSN
 	l.nextLSN++
 	l.records = append(l.records, rec)
+	l.wakeLocked()
 	return rec.LSN
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 for an
+// empty log). For a sealed log this is the replay tip a promoted standby
+// must reach.
+func (l *Log) LastLSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
 }
 
 // RestorePoint appends a named restore point and returns its LSN.
@@ -262,6 +290,36 @@ func (l *Log) ReplayInto(a Applier, upTo int64) error {
 			}
 		}
 	}
+	return nil
+}
+
+// ApplyRecord applies one streamed record to a — the incremental
+// counterpart of ReplayInto used by WAL shipping. Data records are applied
+// the moment they arrive; their visibility on the subscriber follows the
+// transaction-status records (commit/abort/prepare) exactly as it does on
+// the primary, so a lagging standby exposes a consistent, slightly stale
+// snapshot rather than a torn one.
+func ApplyRecord(a Applier, rec Record) error {
+	switch rec.Type {
+	case RecDDL:
+		return a.ApplyDDL(rec.Name)
+	case RecInsert:
+		return a.ApplyInsert(rec.XID, rec.Table, rec.Row)
+	case RecDelete:
+		return a.ApplyDelete(rec.XID, rec.Table, rec.Row)
+	case RecCommit:
+		a.ApplyCommit(rec.XID)
+	case RecAbort:
+		a.ApplyAbort(rec.XID)
+	case RecPrepare:
+		a.ApplyPrepare(rec.XID, rec.GID)
+	case RecCommitPrepared:
+		a.ApplyCommitPrepared(rec.GID)
+	case RecAbortPrepared:
+		a.ApplyAbortPrepared(rec.GID)
+	}
+	// RecBegin, RecRestorePoint, and RecCommitRecord need no engine-state
+	// change; the shipper still copies them into the standby's own WAL.
 	return nil
 }
 
