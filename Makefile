@@ -38,13 +38,15 @@ race:
 	go test -race -timeout 20m ./internal/...
 
 # run every benchmark once so benchmark code can't bit-rot (the figure
-# benchmarks live in the root package, on top of internal/bench), and run
-# the A3 plan-cache, A4 pipelining, and A6 replica-routing ablations once
-# (all variants) so the cached/pipelined/replicated execution paths can't
-# either — A6 also asserts the replicated-read vs primary-read counter split
+# benchmarks live in the root package, on top of internal/bench, plus the
+# vectorized-kernel microbenchmark in internal/vec), and run the A3
+# plan-cache, A4 pipelining, A5 vectorization, and A6 replica-routing
+# ablations once (all variants) so the cached/pipelined/vectorized/
+# replicated execution paths can't either — A5 and A6 also assert their
+# counter splits (vec batches, replicated vs primary reads)
 bench-smoke:
-	go test -bench=. -benchtime=1x -run '^$$' -timeout 15m . ./internal/bench/...
-	go test -run 'TestAblationSlowStartPlanCache|TestAblationPipelining|TestAblationReplicaRouting' -count=1 -timeout 10m ./internal/bench
+	go test -bench=. -benchtime=1x -run '^$$' -timeout 15m . ./internal/bench/... ./internal/vec
+	go test -run 'TestAblationSlowStartPlanCache|TestAblationPipelining|TestAblationVectorized|TestAblationReplicaRouting' -count=1 -timeout 10m ./internal/bench
 
 # run citusbench with the slow-query log catching everything and assert the
 # tracing pipeline emitted at least one trace (see docs/tracing.md)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"citusgo/internal/bench"
@@ -20,17 +22,47 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7a, 7b, 7c, 8, 9, 10, a4 (pipelining ablation), a6 (replica-routing ablation), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7a, 7b, 7c, 8, 9, 10, a4 (pipelining ablation), a5 (vectorized-execution ablation), a6 (replica-routing ablation), or all")
 	tiny := flag.Bool("tiny", false, "run at the tiny (test) scale")
 	capabilities := flag.Bool("capabilities", false, "print the Table 2 capability matrix and exit")
 	warehouses := flag.Int("warehouses", 0, "override TPC-C warehouse count")
 	duration := flag.Duration("duration", 0, "override per-benchmark run duration")
 	traceSlow := flag.Duration("trace-slow", -1, "log statements slower than this to stderr (0 logs every statement; negative disables the slow log)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	if *capabilities {
 		printCapabilities()
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("-memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("-memprofile: %v", err)
+			}
+		}()
 	}
 
 	if *traceSlow >= 0 {
@@ -96,6 +128,8 @@ func main() {
 		run("10", bench.Figure10)
 	case "a4":
 		run("a4", bench.AblationPipelining)
+	case "a5":
+		run("a5", bench.AblationVectorized)
 	case "a6":
 		run("a6", bench.AblationReplicaRouting)
 	case "all":

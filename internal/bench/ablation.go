@@ -29,6 +29,12 @@ import (
 //     libpq pipeline mode — when the shared connection limit forces
 //     several tasks per connection, a pipelined window pays ~1 RTT where
 //     the serial protocol pays one per task).
+//   - AblationVectorized: batched columnar execution (scan → filter →
+//     partial aggregate over column chunks, internal/vec) vs the
+//     row-at-a-time interpreter for TPC-H-subset aggregates, at parallel
+//     chunk-scan degree 1 and the default degree — each point's Extra
+//     carries the columnar_vec_* counter deltas proving which path ran
+//     and how many stripes the min/max chunk statistics pruned.
 //   - AblationReplicaRouting: replica-aware read routing with one sync
 //     standby per worker vs the single-placement baseline — concurrent
 //     router reads fan out across twice the placements, so read throughput
@@ -332,6 +338,125 @@ func pipelineFanout(sc Scale, rtt time.Duration, disable bool) (time.Duration, i
 	batches := ObsSnapshot().Delta(pre).Sum("wire_pipeline_batches_total")
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	return lat[runs/2], batches, nil
+}
+
+// AblationVectorized measures the vectorized columnar execution win (A5):
+// TPC-H-subset aggregates (a Q1-style grouped report and a Q6-style
+// filtered revenue sum) over a columnar lineitem subset on one node,
+// executed row at a time vs through the batched scan→filter→partial-
+// aggregate pipeline, the latter at parallel chunk-scan degree 1 and the
+// default degree. Rows are loaded in shipdate order (the natural
+// append-only ingest order), so Q6's date-range predicate lets the
+// min/max chunk statistics prune most stripes — the stripes_skipped
+// delta in each vectorized point's Extra shows how many.
+func AblationVectorized(sc Scale) (Series, error) {
+	out := Series{Figure: "Ablation A5", Metric: "lineitem aggregate ms (median, lower is better)"}
+	c, err := cluster.New(cluster.Config{Workers: 0, ShardCount: sc.ShardCount, Trace: ClusterTrace})
+	if err != nil {
+		return out, err
+	}
+	defer c.Close()
+	eng := c.Engines[0]
+	defer func() {
+		eng.SetVectorized(true)
+		eng.SetVecParallelism(0)
+	}()
+	s := c.Session()
+	if _, err := s.Exec(`CREATE TABLE lineitem (
+		l_orderkey bigint, l_quantity double precision,
+		l_extendedprice double precision, l_discount double precision,
+		l_returnflag text, l_linestatus text, l_shipdate timestamp
+	) USING columnar`); err != nil {
+		return out, err
+	}
+
+	flags := []string{"A", "N", "R"}
+	status := []string{"O", "F"}
+	// 8x the TPC-H order count: the vectorized win is per-row CPU work, so
+	// the scan term has to dominate the per-query fixed cost even at the
+	// tiny test scale.
+	total := sc.Orders * 8
+	seed := uint64(7)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	rows := make([]types.Row, 0, 1000)
+	for i := 0; i < total; i++ {
+		// shipdate advances with i: seven years of ingest in append order
+		day := i * 2556 / total
+		ship := time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+		rows = append(rows, types.Row{
+			int64(i),
+			float64(next()%50) + 1,
+			float64(next()%90000)/100 + 10,
+			float64(next()%11) / 100,
+			flags[next()%3], status[next()%2],
+			ship,
+		})
+		if len(rows) == 1000 || i == total-1 {
+			if _, err := s.CopyFrom("lineitem", nil, rows); err != nil {
+				return out, err
+			}
+			rows = rows[:0]
+		}
+	}
+	// No boundMemory here, deliberately: A2 measures the I/O-footprint win
+	// of columnar storage; A5 isolates the CPU-side execution win, which a
+	// simulated per-page I/O stall would drown.
+
+	queries := []struct {
+		name string
+		q    string
+	}{
+		{"Q1 grouped report", `SELECT l_returnflag, l_linestatus, sum(l_quantity),
+			sum(l_extendedprice), avg(l_quantity), avg(l_discount), count(*)
+			FROM lineitem GROUP BY l_returnflag, l_linestatus
+			ORDER BY l_returnflag, l_linestatus`},
+		{"Q6 filtered sum", `SELECT sum(l_extendedprice * l_discount) FROM lineitem
+			WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+			AND l_discount BETWEEN 0.03 AND 0.07 AND l_quantity < 24`},
+	}
+	variants := []struct {
+		name string
+		vec  bool
+		par  int
+	}{
+		{"row-at-a-time", false, 0},
+		{"vectorized x1", true, 1},
+		{"vectorized", true, 0}, // default parallel degree
+	}
+	const runs = 7
+	for _, q := range queries {
+		for _, v := range variants {
+			eng.SetVectorized(v.vec)
+			eng.SetVecParallelism(v.par)
+			if _, err := s.Exec(q.q); err != nil { // warm caches and pool
+				return out, fmt.Errorf("%s %s: %w", q.name, v.name, err)
+			}
+			pre := ObsSnapshot()
+			lat := make([]time.Duration, 0, runs)
+			for i := 0; i < runs; i++ {
+				start := time.Now()
+				if _, err := s.Exec(q.q); err != nil {
+					return out, err
+				}
+				lat = append(lat, time.Since(start))
+			}
+			d := ObsSnapshot().Delta(pre)
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			out.Points = append(out.Points, Point{
+				Config: fmt.Sprintf("%s, %s", q.name, v.name),
+				Value:  float64(lat[runs/2].Microseconds()) / 1000,
+				Extra: map[string]float64{
+					"vec_batches":     float64(d.Sum("columnar_vec_batches_total")),
+					"vec_rows":        float64(d.Sum("columnar_vec_rows_total")),
+					"stripes_skipped": float64(d.Sum("columnar_vec_stripes_skipped_total")),
+				},
+			})
+		}
+	}
+	return out, nil
 }
 
 // AblationReplicaRouting measures the replica-aware routing win (A6): the

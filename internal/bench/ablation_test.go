@@ -102,6 +102,72 @@ func TestAblationReplicaRouting(t *testing.T) {
 	}
 }
 
+// TestAblationVectorized is the CI bench smoke for the vectorized
+// columnar execution dimension: A5 must run every query × variant cell,
+// the vectorized variants must actually process chunk batches (and the
+// row-at-a-time baseline must not), the shipdate-ordered load must let
+// the chunk statistics prune stripes for the Q6 date-range filter, and
+// off the race detector the vectorized path must at least halve the
+// Q6 latency. (The ≥5x per-operator headroom is the default-scale
+// citusbench run's job; tiny scale pays fixed per-query costs that
+// dilute the scan term.)
+func TestAblationVectorized(t *testing.T) {
+	series, err := AblationVectorized(Tiny())
+	if err != nil {
+		t.Fatalf("A5: %v", err)
+	}
+	t.Log("\n" + series.String())
+	if len(series.Points) != 6 {
+		t.Fatalf("A5 incomplete: %d points, want 6", len(series.Points))
+	}
+	points := make(map[string]Point, len(series.Points))
+	for _, p := range series.Points {
+		points[p.Config] = p
+	}
+	for _, q := range []string{"Q1 grouped report", "Q6 filtered sum"} {
+		row, ok := points[q+", row-at-a-time"]
+		if !ok {
+			t.Fatalf("A5 missing row variant for %s", q)
+		}
+		if row.Extra["vec_batches"] != 0 {
+			t.Errorf("%s: row-at-a-time variant processed %v vectorized batches", q, row.Extra["vec_batches"])
+		}
+		for _, v := range []string{", vectorized x1", ", vectorized"} {
+			p, ok := points[q+v]
+			if !ok {
+				t.Fatalf("A5 missing %s%s", q, v)
+			}
+			if p.Extra["vec_batches"] <= 0 {
+				t.Errorf("%s%s: vectorized variant processed no batches", q, v)
+			}
+		}
+	}
+	if points["Q6 filtered sum, vectorized"].Extra["stripes_skipped"] <= 0 {
+		t.Errorf("Q6 date filter pruned no stripes despite shipdate-ordered load: %+v",
+			points["Q6 filtered sum, vectorized"].Extra)
+	}
+	if raceEnabled {
+		t.Log("race detector on: skipping the latency assertions")
+		return
+	}
+	// Q6 (filter + sum, no grouping) is where the typed kernels and stripe
+	// pruning carry the whole query: assert the ≥2x floor there. Grouped
+	// Q1 keeps a per-row group-lookup term, so it only has to not regress.
+	rowQ6 := points["Q6 filtered sum, row-at-a-time"].Value
+	vecQ6 := points["Q6 filtered sum, vectorized"].Value
+	if vecQ6*2 > rowQ6 {
+		t.Errorf("vectorized Q6 %.2fms vs row-at-a-time %.2fms — want ≥2x improvement", vecQ6, rowQ6)
+	}
+	// loose bound: tiny-scale grouped medians jitter ±50%, so only a
+	// collapse (not noise) trips this; the real Q1 ratio is the
+	// default-scale figure's job
+	rowQ1 := points["Q1 grouped report, row-at-a-time"].Value
+	vecQ1 := points["Q1 grouped report, vectorized"].Value
+	if vecQ1 > rowQ1*2 {
+		t.Errorf("vectorized Q1 %.2fms collapsed vs row-at-a-time %.2fms", vecQ1, rowQ1)
+	}
+}
+
 // TestAblationSlowStartPlanCache is the CI bench smoke for the plan-cache
 // ablation dimension: A3 must run both cache variants without error and the
 // cached variant must actually exercise the coordinator plan cache and the

@@ -189,6 +189,7 @@ func ObsSnapshot() obs.Snapshot { return obs.Default().Snapshot() }
 var distFamilies = []string{
 	"executor_", "dtxn_", "deadlock_", "pool_", "engine_", "wal_",
 	"citus_plancache_", "wire_prepared_", "wire_pipeline_", "trace_",
+	"columnar_",
 }
 
 // FormatDistCounters renders the distributed-layer entries of a snapshot

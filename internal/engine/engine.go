@@ -181,6 +181,12 @@ type Engine struct {
 	// stmtCacheOff disables per-session statement caching (ablation toggle).
 	stmtCacheOff atomic.Bool
 
+	// vecOff disables the vectorized columnar execution path (ablation
+	// toggle; see vec_exec.go). vecPar overrides the parallel chunk-scan
+	// degree (0 = default).
+	vecOff atomic.Bool
+	vecPar atomic.Int32
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	// stopCtx is cancelled when the engine stops (Close or Crash). Lock

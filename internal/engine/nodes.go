@@ -124,7 +124,11 @@ type seqScanNode struct {
 	// needed lists column ordinals referenced by the query (columnar
 	// projection pushdown); nil = all.
 	needed []int
-	label  string
+	// conjuncts keeps the WHERE conjunct ASTs compiled into filter, so the
+	// planner can re-plan an aggregate over this scan through the
+	// vectorized columnar path (vec_exec.go).
+	conjuncts []sql.Expr
+	label     string
 }
 
 func (n *seqScanNode) columns() []string { return n.cols }

@@ -277,11 +277,18 @@ func (s *Session) planSelectNode(sel *sql.SelectStmt, params []types.Datum) (nod
 				orderExprs[i] = rw.rewrite(orderExprs[i])
 			}
 		}
-		aggN, aggScope, err := buildAggNode(cur, groupBy, rw, params, s)
-		if err != nil {
-			return nil, err
+		// A columnar scan under an eligible aggregate runs vectorized:
+		// batched filter kernels + partial-aggregate folds over column
+		// chunks, with row-at-a-time fallback for everything else.
+		if vecN, vecScope, okVec := s.tryVectorizedAgg(cur, groupBy, rw); okVec {
+			cur = planned{n: vecN, sc: vecScope}
+		} else {
+			aggN, aggScope, err := buildAggNode(cur, groupBy, rw, params, s)
+			if err != nil {
+				return nil, err
+			}
+			cur = planned{n: aggN, sc: aggScope}
 		}
-		cur = planned{n: aggN, sc: aggScope}
 	}
 
 	if having != nil {
@@ -599,7 +606,7 @@ func (s *Session) planBaseTable(t *sql.BaseTable, pool *conjunctPool, params []t
 		}
 	default:
 		n = &seqScanNode{st: st, cols: colNames, filter: filter,
-			needed: pool.neededFor(rangeName, baseCols)}
+			needed: pool.neededFor(rangeName, baseCols), conjuncts: taken}
 	}
 	return planned{n: n, sc: sc}, nil
 }

@@ -1,0 +1,805 @@
+package engine
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"citusgo/internal/columnar"
+	"citusgo/internal/expr"
+	"citusgo/internal/obs"
+	"citusgo/internal/sql"
+	"citusgo/internal/types"
+	"citusgo/internal/vec"
+)
+
+// Vectorized-execution observability: the counter split these expose is
+// asserted by ablation A5's bench smoke (vectorized variants must record
+// batches, the row-at-a-time variant must not).
+var (
+	metVecQueries = obs.Default().Counter("columnar_vec_queries_total",
+		"aggregate queries executed through the vectorized columnar path").With()
+	metVecBatches = obs.Default().Counter("columnar_vec_batches_total",
+		"column-chunk batches processed by vectorized kernels").With()
+	metVecRows = obs.Default().Counter("columnar_vec_rows_total",
+		"rows entering vectorized kernels (before filtering)").With()
+	metVecStripesSkipped = obs.Default().Counter("columnar_vec_stripes_skipped_total",
+		"stripes skipped via chunk min/max statistics without reading any chunk").With()
+	metVecParallelScans = obs.Default().Counter("columnar_vec_parallel_scans_total",
+		"vectorized scans that split stripes across a goroutine pool").With()
+)
+
+// maxVecGroupCols bounds the fixed-size grouping key of the vectorized
+// aggregate (wider GROUP BY lists fall back to the row path).
+const maxVecGroupCols = 4
+
+// vecKey is a comparable grouping key; unused positions stay nil.
+type vecKey [maxVecGroupCols]types.Datum
+
+// vecFilterSpec is one compiled WHERE conjunct: a column compared against
+// a constant expression. The constant side is bound per execution (it may
+// reference parameters), then handed to the typed vec.Filter kernels.
+type vecFilterSpec struct {
+	col     int
+	op      vec.CmpOp
+	between bool
+	k       expr.Evaluator // comparison constant
+	lo, hi  expr.Evaluator // BETWEEN bounds
+	text    string         // for EXPLAIN
+}
+
+func (f *vecFilterSpec) bind(ec *execCtx) (vec.Filter, error) {
+	out := vec.Filter{Col: f.col, Op: f.op, Between: f.between}
+	var err error
+	if f.between {
+		if out.Lo, err = ec.evalWith(f.lo, nil); err != nil {
+			return out, err
+		}
+		out.Hi, err = ec.evalWith(f.hi, nil)
+		return out, err
+	}
+	out.K, err = ec.evalWith(f.k, nil)
+	return out, err
+}
+
+// numSpec mirrors a vec.NumExpr with unresolved constants; bind rebuilds
+// the typed tree per execution so a float parameter correctly promotes the
+// whole expression, exactly like the row evaluator's per-value promotion.
+type numSpec struct {
+	isConst bool
+	constEv expr.Evaluator
+	col     int
+	isFloat bool
+	isBin   bool
+	op      vec.ArithOp
+	l, r    *numSpec
+}
+
+func (n *numSpec) bind(ec *execCtx) (*vec.NumExpr, error) {
+	switch {
+	case n.isConst:
+		v, err := ec.evalWith(n.constEv, nil)
+		if err != nil {
+			return nil, err
+		}
+		return vec.Const(v)
+	case n.isBin:
+		l, err := n.l.bind(ec)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.r.bind(ec)
+		if err != nil {
+			return nil, err
+		}
+		return vec.Bin(n.op, l, r), nil
+	default:
+		return vec.Column(n.col, n.isFloat), nil
+	}
+}
+
+// vecAggSpec is one aggregate call of the vectorized node.
+type vecAggSpec struct {
+	kind   vec.AggKind
+	star   bool
+	colOrd int      // bare-column argument ordinal; -1 when num is set
+	num    *numSpec // computed numeric argument
+}
+
+// vecAggNode executes scan→filter→partial-aggregate over a columnar table
+// with vectorized kernels: per visible stripe it loads whole column chunks,
+// runs typed filter kernels into a selection vector, folds partial
+// aggregate states directly from the column slices, and merges partials.
+// Stripes whose chunk min/max statistics contradict a filter are skipped
+// without reading a single chunk, and stripe ranges are split across a
+// bounded goroutine pool (intra-worker parallel scan).
+//
+// The node is a drop-in replacement for seqScan→filter→aggNode: it emits
+// the identical __grpN/__aggN row layout, so HAVING, projection and ORDER
+// BY above it are untouched.
+type vecAggNode struct {
+	st        *storage
+	tab       *columnar.Table
+	filters   []vecFilterSpec
+	groupOrds []int
+	aggs      []vecAggSpec
+	cols      []string // __grp0..N ++ __agg0..M
+	needed    []int    // column ordinals the scan must load
+}
+
+func (n *vecAggNode) columns() []string { return n.cols }
+
+func (n *vecAggNode) explain(indent string) []string {
+	kind := "Vectorized HashAggregate"
+	if len(n.groupOrds) == 0 {
+		kind = "Vectorized Aggregate"
+	}
+	scan := indent + "  Vectorized Columnar Scan on " + n.st.table.Name
+	if len(n.filters) > 0 {
+		parts := make([]string, len(n.filters))
+		for i := range n.filters {
+			parts[i] = n.filters[i].text
+		}
+		scan += " (filter: " + strings.Join(parts, " AND ") + ")"
+	}
+	return []string{indent + kind, scan}
+}
+
+// vecGroup is one group's accumulator set.
+type vecGroup struct {
+	key    vecKey
+	states []*vec.AggState
+}
+
+// vecPartial is one scan goroutine's private accumulation state.
+type vecPartial struct {
+	groups     map[vecKey]*vecGroup // nil while cardinality stays small
+	order      []*vecGroup          // first-seen within this partial's stripe range
+	ungrouped  []*vec.AggState
+	selA, selB vec.Sel
+	idSel      vec.Sel
+	scratch    vec.Scratch
+	batches    int64
+	rows       int64
+}
+
+func (n *vecAggNode) newPartial() *vecPartial {
+	p := &vecPartial{}
+	if len(n.groupOrds) == 0 {
+		p.ungrouped = n.newStates()
+	}
+	return p
+}
+
+// smallGroupLimit is the group cardinality below which lookup stays a
+// linear scan of the first-seen list: comparing a vecKey wholesale is far
+// cheaper than hashing four interface values per row, and analytical
+// GROUP BYs are overwhelmingly low-cardinality. Past the limit the
+// partial promotes itself to a hash map.
+const smallGroupLimit = 48
+
+// find returns the group for key, or nil. Interface equality is the same
+// relation the map would use, so promotion never changes grouping.
+func (p *vecPartial) find(key vecKey) *vecGroup {
+	if p.groups == nil {
+		for _, g := range p.order {
+			if g.key == key {
+				return g
+			}
+		}
+		return nil
+	}
+	return p.groups[key]
+}
+
+// insert registers a new group, promoting to a map past smallGroupLimit.
+func (p *vecPartial) insert(grp *vecGroup) {
+	p.order = append(p.order, grp)
+	if p.groups != nil {
+		p.groups[grp.key] = grp
+		return
+	}
+	if len(p.order) > smallGroupLimit {
+		p.groups = make(map[vecKey]*vecGroup, 2*len(p.order))
+		for _, g := range p.order {
+			p.groups[g.key] = g
+		}
+	}
+}
+
+func (n *vecAggNode) newStates() []*vec.AggState {
+	states := make([]*vec.AggState, len(n.aggs))
+	for i, a := range n.aggs {
+		states[i] = vec.NewAggState(a.kind)
+	}
+	return states
+}
+
+// processStripe folds one stripe into the partial.
+func (n *vecAggNode) processStripe(p *vecPartial, filters []vec.Filter, nums []*vec.NumExpr, view columnar.StripeView) error {
+	chunk := n.tab.LoadChunk(view, n.needed)
+	nrows := view.NumRows()
+	p.batches++
+	p.rows += int64(nrows)
+
+	// filter chain: each kernel consumes the previous selection
+	var sel vec.Sel
+	for fi := range filters {
+		out := p.selA
+		if fi%2 == 1 {
+			out = p.selB
+		}
+		sel = filters[fi].Apply(chunk[filters[fi].Col], sel, out)
+		if fi%2 == 1 {
+			p.selB = sel
+		} else {
+			p.selA = sel
+		}
+		if len(sel) == 0 {
+			return nil
+		}
+	}
+
+	p.scratch.Reset()
+	if len(n.groupOrds) == 0 {
+		for ai, a := range n.aggs {
+			switch {
+			case a.star:
+				cnt := int64(nrows)
+				if sel != nil {
+					cnt = int64(len(sel))
+				}
+				p.ungrouped[ai].AddStar(cnt)
+			case a.num != nil:
+				v, err := nums[ai].Eval(chunk, nrows, sel, &p.scratch)
+				if err != nil {
+					return err
+				}
+				if err := p.ungrouped[ai].AddVec(&v); err != nil {
+					return err
+				}
+			default:
+				if err := p.ungrouped[ai].AddDatums(chunk[a.colOrd], sel); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// grouped fold
+	if sel == nil {
+		p.idSel = vec.MaterializeAll(nrows, p.idSel)
+		sel = p.idSel
+	}
+	vecs := make([]vec.NumVec, len(n.aggs))
+	for ai, a := range n.aggs {
+		if a.num != nil {
+			v, err := nums[ai].Eval(chunk, nrows, sel, &p.scratch)
+			if err != nil {
+				return err
+			}
+			vecs[ai] = v
+		}
+	}
+	for j, i := range sel {
+		var key vecKey
+		for g, ord := range n.groupOrds {
+			key[g] = chunk[ord][i]
+		}
+		grp := p.find(key)
+		if grp == nil {
+			grp = &vecGroup{key: key, states: n.newStates()}
+			p.insert(grp)
+		}
+		for ai, a := range n.aggs {
+			var err error
+			switch {
+			case a.star:
+				grp.states[ai].AddStar(1)
+			case a.num != nil:
+				err = grp.states[ai].AddVecAt(&vecs[ai], j)
+			default:
+				err = grp.states[ai].AddDatum(chunk[a.colOrd][i])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *vecAggNode) run(ec *execCtx, emit func(types.Row) error) error {
+	eng := ec.sess.Eng
+	metVecQueries.Add(1)
+
+	// bind per-execution constants (parameters, casts)
+	filters := make([]vec.Filter, len(n.filters))
+	for i := range n.filters {
+		f, err := n.filters[i].bind(ec)
+		if err != nil {
+			return err
+		}
+		filters[i] = f
+	}
+	nums := make([]*vec.NumExpr, len(n.aggs))
+	for ai, a := range n.aggs {
+		if a.num != nil {
+			ne, err := a.num.bind(ec)
+			if err != nil {
+				return err
+			}
+			nums[ai] = ne
+		}
+	}
+
+	views := n.tab.VisibleStripes(eng.Txns, ec.snap)
+
+	// stripe skipping: a filter whose constant falls outside the chunk's
+	// min/max proves no row in the stripe can pass — drop the stripe
+	// before charging any chunk I/O.
+	work := views[:0:0]
+	skipped := int64(0)
+	for _, v := range views {
+		skip := false
+		for i := range filters {
+			min, max, ok := v.Stats(filters[i].Col)
+			if filters[i].Skip(min, max, ok) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			skipped++
+			continue
+		}
+		work = append(work, v)
+	}
+
+	degree := eng.vecParallelism()
+	if degree > len(work) {
+		degree = len(work)
+	}
+	var partials []*vecPartial
+	if degree <= 1 {
+		p := n.newPartial()
+		for _, v := range work {
+			if err := n.processStripe(p, filters, nums, v); err != nil {
+				return err
+			}
+		}
+		partials = []*vecPartial{p}
+	} else {
+		metVecParallelScans.Add(1)
+		// contiguous stripe ranges keep the merge order equal to a
+		// sequential scan, so grouped output order (first-seen) and int
+		// sums are identical to the row path.
+		partials = make([]*vecPartial, degree)
+		errs := make([]error, degree)
+		var wg sync.WaitGroup
+		for w := 0; w < degree; w++ {
+			lo := w * len(work) / degree
+			hi := (w + 1) * len(work) / degree
+			p := n.newPartial()
+			partials[w] = p
+			wg.Add(1)
+			go func(w, lo, hi int, p *vecPartial) {
+				defer wg.Done()
+				// each goroutine binds its own NumExpr views? not needed:
+				// vec.NumExpr is read-only during Eval; scratch is per-partial
+				for _, v := range work[lo:hi] {
+					if err := n.processStripe(p, filters, nums, v); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w, lo, hi, p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	var batches, rows int64
+	for _, p := range partials {
+		batches += p.batches
+		rows += p.rows
+	}
+	metVecBatches.Add(batches)
+	metVecRows.Add(rows)
+	metVecStripesSkipped.Add(skipped)
+
+	if tr := eng.Tracer; tr != nil && ec.sess.TraceID != 0 {
+		sp := tr.StartSpan(ec.sess.TraceID, ec.sess.SpanID, "vec_scan", n.st.table.Name)
+		if sp != nil {
+			sp.SetAttr("batches", strconv.FormatInt(batches, 10))
+			sp.SetAttr("rows", strconv.FormatInt(rows, 10))
+			sp.SetAttr("stripes_skipped", strconv.FormatInt(skipped, 10))
+			sp.SetAttr("parallelism", strconv.Itoa(degree))
+			sp.Finish()
+		}
+	}
+
+	// merge partials in stripe order and emit
+	if len(n.groupOrds) == 0 {
+		final := partials[0].ungrouped
+		for _, p := range partials[1:] {
+			for ai := range final {
+				if err := final[ai].Merge(p.ungrouped[ai]); err != nil {
+					return err
+				}
+			}
+		}
+		out := make(types.Row, 0, len(final))
+		for _, st := range final {
+			out = append(out, st.Result())
+		}
+		return emit(out)
+	}
+
+	merged := partials[0]
+	for _, p := range partials[1:] {
+		for _, grp := range p.order {
+			dst := merged.find(grp.key)
+			if dst == nil {
+				merged.insert(grp)
+				continue
+			}
+			for ai := range dst.states {
+				if err := dst.states[ai].Merge(grp.states[ai]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, grp := range merged.order {
+		out := make(types.Row, 0, len(n.groupOrds)+len(n.aggs))
+		out = append(out, grp.key[:len(n.groupOrds)]...)
+		for _, st := range grp.states {
+			out = append(out, st.Result())
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+
+// vecParallelism returns the intra-worker parallel chunk-scan degree.
+func (e *Engine) vecParallelism() int {
+	if n := e.vecPar.Load(); n > 0 {
+		return int(n)
+	}
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		return n
+	}
+	return 4
+}
+
+// SetVectorized toggles the vectorized columnar execution path (on by
+// default; the A5 ablation's row-at-a-time cells turn it off).
+func (e *Engine) SetVectorized(on bool) { e.vecOff.Store(!on) }
+
+// SetVecParallelism sets the parallel chunk-scan goroutine budget
+// (0 restores the default of min(GOMAXPROCS, 4)).
+func (e *Engine) SetVecParallelism(n int) { e.vecPar.Store(int32(n)) }
+
+// constSubexpr reports whether e can be evaluated without a row: no column
+// references, no subqueries, no aggregates.
+func constSubexpr(e sql.Expr) bool {
+	ok := true
+	expr.WalkExpr(e, func(x sql.Expr) bool {
+		switch n := x.(type) {
+		case *sql.ColumnRef:
+			ok = false
+			return false
+		case *sql.SubqueryExpr, *sql.ExistsExpr:
+			ok = false
+			return false
+		case *sql.FuncCall:
+			if expr.IsAggregate(n.Name) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func cmpOpOf(op sql.BinOp) (vec.CmpOp, bool) {
+	switch op {
+	case sql.OpEq:
+		return vec.Eq, true
+	case sql.OpNe:
+		return vec.Ne, true
+	case sql.OpLt:
+		return vec.Lt, true
+	case sql.OpLe:
+		return vec.Le, true
+	case sql.OpGt:
+		return vec.Gt, true
+	case sql.OpGe:
+		return vec.Ge, true
+	}
+	return 0, false
+}
+
+// flipCmp mirrors an operator across the comparison (5 > x  ≡  x < 5).
+func flipCmp(op vec.CmpOp) vec.CmpOp {
+	switch op {
+	case vec.Lt:
+		return vec.Gt
+	case vec.Le:
+		return vec.Ge
+	case vec.Gt:
+		return vec.Lt
+	case vec.Ge:
+		return vec.Le
+	}
+	return op // Eq, Ne are symmetric
+}
+
+// compileVecFilter compiles one WHERE conjunct into a column-vs-constant
+// filter spec, or reports that the conjunct needs the row path.
+func compileVecFilter(e sql.Expr, sc *scope) (vecFilterSpec, bool) {
+	resolveCol := func(x sql.Expr) (int, bool) {
+		cr, ok := x.(*sql.ColumnRef)
+		if !ok {
+			return 0, false
+		}
+		idx, _, err := sc.Resolve(cr.Table, cr.Name)
+		if err != nil {
+			return 0, false
+		}
+		return idx, true
+	}
+	switch b := e.(type) {
+	case *sql.BinaryExpr:
+		op, ok := cmpOpOf(b.Op)
+		if !ok {
+			return vecFilterSpec{}, false
+		}
+		if ord, isCol := resolveCol(b.L); isCol && constSubexpr(b.R) {
+			ev, err := expr.Compile(b.R, nil)
+			if err != nil {
+				return vecFilterSpec{}, false
+			}
+			return vecFilterSpec{col: ord, op: op, k: ev, text: e.String()}, true
+		}
+		if ord, isCol := resolveCol(b.R); isCol && constSubexpr(b.L) {
+			ev, err := expr.Compile(b.L, nil)
+			if err != nil {
+				return vecFilterSpec{}, false
+			}
+			return vecFilterSpec{col: ord, op: flipCmp(op), k: ev, text: e.String()}, true
+		}
+	case *sql.BetweenExpr:
+		if b.Not {
+			return vecFilterSpec{}, false
+		}
+		ord, isCol := resolveCol(b.E)
+		if !isCol || !constSubexpr(b.Lo) || !constSubexpr(b.Hi) {
+			return vecFilterSpec{}, false
+		}
+		loEv, err := expr.Compile(b.Lo, nil)
+		if err != nil {
+			return vecFilterSpec{}, false
+		}
+		hiEv, err := expr.Compile(b.Hi, nil)
+		if err != nil {
+			return vecFilterSpec{}, false
+		}
+		return vecFilterSpec{col: ord, between: true, lo: loEv, hi: hiEv, text: e.String()}, true
+	}
+	return vecFilterSpec{}, false
+}
+
+// compileNumSpec compiles a numeric aggregate argument into a vectorized
+// expression spec: column leaves must be declared Int or Float, constant
+// subtrees bind per execution, operators are + - * / % with expr.arith
+// semantics.
+func compileNumSpec(e sql.Expr, sc *scope) (*numSpec, bool) {
+	if constSubexpr(e) {
+		ev, err := expr.Compile(e, nil)
+		if err != nil {
+			return nil, false
+		}
+		return &numSpec{isConst: true, constEv: ev}, true
+	}
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		idx, typ, err := sc.Resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, false
+		}
+		switch typ {
+		case types.Int:
+			return &numSpec{col: idx}, true
+		case types.Float:
+			return &numSpec{col: idx, isFloat: true}, true
+		}
+		return nil, false
+	case *sql.UnaryExpr:
+		if x.Op != "-" {
+			return nil, false
+		}
+		inner, ok := compileNumSpec(x.E, sc)
+		if !ok {
+			return nil, false
+		}
+		zero, _ := expr.Compile(&sql.Literal{Value: int64(0)}, nil)
+		return &numSpec{isBin: true, op: vec.Sub, l: &numSpec{isConst: true, constEv: zero}, r: inner}, true
+	case *sql.BinaryExpr:
+		var op vec.ArithOp
+		switch x.Op {
+		case sql.OpAdd:
+			op = vec.Add
+		case sql.OpSub:
+			op = vec.Sub
+		case sql.OpMul:
+			op = vec.Mul
+		case sql.OpDiv:
+			op = vec.Div
+		case sql.OpMod:
+			op = vec.Mod
+		default:
+			return nil, false
+		}
+		l, ok := compileNumSpec(x.L, sc)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileNumSpec(x.R, sc)
+		if !ok {
+			return nil, false
+		}
+		return &numSpec{isBin: true, op: op, l: l, r: r}, true
+	}
+	return nil, false
+}
+
+// vecGroupable reports whether a column type can serve as a comparable
+// map key in the vectorized hash aggregate.
+func vecGroupable(t types.Type) bool {
+	switch t {
+	case types.Int, types.Float, types.Bool, types.Text, types.Timestamp, types.Date:
+		return true
+	}
+	return false
+}
+
+// tryVectorizedAgg plans scan→filter→aggregate over a columnar base table
+// through the vectorized path. It returns ok=false — leaving planning to
+// the row-at-a-time buildAggNode — whenever any piece of the query is
+// outside the vectorized subset: non-columnar input, residual filters
+// above the scan, OR/IN/LIKE/IS NULL predicates, DISTINCT aggregates,
+// non-numeric computed arguments, or a GROUP BY that is not plain columns.
+func (s *Session) tryVectorizedAgg(input planned, groupBy []sql.Expr, rw *aggRewriter) (node, *scope, bool) {
+	if s.Eng.vecOff.Load() {
+		return nil, nil, false
+	}
+	scan, ok := input.n.(*seqScanNode)
+	if !ok || scan.st.col == nil {
+		return nil, nil, false
+	}
+	if len(groupBy) > maxVecGroupCols {
+		return nil, nil, false
+	}
+
+	needed := map[int]bool{}
+
+	filters := make([]vecFilterSpec, 0, len(scan.conjuncts))
+	for _, c := range scan.conjuncts {
+		spec, okF := compileVecFilter(c, input.sc)
+		if !okF {
+			return nil, nil, false
+		}
+		filters = append(filters, spec)
+		needed[spec.col] = true
+	}
+
+	groupOrds := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		cr, isCol := g.(*sql.ColumnRef)
+		if !isCol {
+			return nil, nil, false
+		}
+		idx, typ, err := input.sc.Resolve(cr.Table, cr.Name)
+		if err != nil || !vecGroupable(typ) {
+			return nil, nil, false
+		}
+		groupOrds[i] = idx
+		needed[idx] = true
+	}
+
+	aggs := make([]vecAggSpec, 0, len(rw.aggCalls))
+	for _, fc := range rw.aggCalls {
+		if fc.Distinct {
+			return nil, nil, false
+		}
+		kind, okK := vec.KindOf(strings.ToLower(fc.Name))
+		if !okK {
+			return nil, nil, false
+		}
+		spec := vecAggSpec{kind: kind, colOrd: -1}
+		if fc.Star {
+			spec.star = true
+			aggs = append(aggs, spec)
+			continue
+		}
+		if len(fc.Args) != 1 {
+			return nil, nil, false
+		}
+		arg := fc.Args[0]
+		if cr, isCol := arg.(*sql.ColumnRef); isCol {
+			idx, _, err := input.sc.Resolve(cr.Table, cr.Name)
+			if err != nil {
+				return nil, nil, false
+			}
+			spec.colOrd = idx
+			needed[idx] = true
+			aggs = append(aggs, spec)
+			continue
+		}
+		num, okN := compileNumSpec(arg, input.sc)
+		if !okN {
+			return nil, nil, false
+		}
+		spec.num = num
+		collectNumCols(num, needed)
+		aggs = append(aggs, spec)
+	}
+
+	neededList := make([]int, 0, len(needed))
+	for ord := range needed {
+		neededList = append(neededList, ord)
+	}
+	// deterministic I/O order
+	for i := 1; i < len(neededList); i++ {
+		for j := i; j > 0 && neededList[j-1] > neededList[j]; j-- {
+			neededList[j-1], neededList[j] = neededList[j], neededList[j-1]
+		}
+	}
+
+	aggScope := &scope{}
+	cols := make([]string, 0, len(groupBy)+len(aggs))
+	for i := range groupBy {
+		aggScope.cols = append(aggScope.cols, scopeCol{name: rw.groupCol(i)})
+		cols = append(cols, rw.groupCol(i))
+	}
+	for i := range aggs {
+		aggScope.cols = append(aggScope.cols, scopeCol{name: rw.aggCol(i)})
+		cols = append(cols, rw.aggCol(i))
+	}
+
+	n := &vecAggNode{
+		st:        scan.st,
+		tab:       scan.st.col,
+		filters:   filters,
+		groupOrds: groupOrds,
+		aggs:      aggs,
+		cols:      cols,
+		needed:    neededList,
+	}
+	return n, aggScope, true
+}
+
+func collectNumCols(n *numSpec, needed map[int]bool) {
+	if n == nil {
+		return
+	}
+	if !n.isConst && !n.isBin {
+		needed[n.col] = true
+	}
+	collectNumCols(n.l, needed)
+	collectNumCols(n.r, needed)
+}

@@ -1,0 +1,726 @@
+// Package vec implements batched (vectorized) evaluation kernels for the
+// columnar execution path: typed filter kernels producing selection
+// vectors, vectorized numeric expression evaluation, and partial-aggregate
+// accumulators that fold whole column chunks without per-row interface
+// dispatch.
+//
+// The kernels are semantically identical to the row-at-a-time evaluator in
+// internal/expr — comparisons follow types.Compare, arithmetic follows
+// expr's int/float promotion rules (int÷int is integer division), and
+// aggregates mirror expr.AggState (NULLs ignored, sum starts in the input
+// type and promotes to float64 on the first float) — so a query planned
+// through the vectorized path returns exactly the rows the row path would.
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"citusgo/internal/types"
+)
+
+// Sel is a selection vector: the indexes of surviving rows within a chunk,
+// in ascending order. A nil Sel means "all rows selected".
+type Sel []int32
+
+// CmpOp is a comparison operator for filter kernels.
+type CmpOp uint8
+
+// Comparison operators, with the same semantics as the row evaluator's
+// types.Compare-based binary comparisons.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// relPass maps a three-way comparison result to a predicate outcome.
+func relPass(rel int, op CmpOp) bool {
+	switch op {
+	case Eq:
+		return rel == 0
+	case Ne:
+		return rel != 0
+	case Lt:
+		return rel < 0
+	case Le:
+		return rel <= 0
+	case Gt:
+		return rel > 0
+	case Ge:
+		return rel >= 0
+	}
+	return false
+}
+
+// Filter is one compiled conjunct over a single column: col <op> K, or
+// col BETWEEN Lo AND Hi. Constants are fully resolved (parameters
+// substituted, casts evaluated) before the kernel runs.
+type Filter struct {
+	Col     int // table column ordinal
+	Op      CmpOp
+	K       types.Datum
+	Between bool
+	Lo, Hi  types.Datum
+}
+
+func (f *Filter) String() string {
+	if f.Between {
+		return fmt.Sprintf("col%d BETWEEN %s AND %s", f.Col, types.Format(f.Lo), types.Format(f.Hi))
+	}
+	return fmt.Sprintf("col%d %s %s", f.Col, f.Op, types.Format(f.K))
+}
+
+type ordered interface {
+	~int64 | ~float64 | ~string
+}
+
+// relOf mirrors types.Compare for same-typed ordered values (including its
+// "incomparable floats compare equal" NaN behavior).
+func relOf[T ordered](v, k T) int {
+	if v < k {
+		return -1
+	}
+	if v > k {
+		return 1
+	}
+	return 0
+}
+
+func relTime(v, k time.Time) int {
+	if v.Before(k) {
+		return -1
+	}
+	if v.After(k) {
+		return 1
+	}
+	return 0
+}
+
+// applyCmp is the typed comparison kernel: rows whose value is the
+// constant's type take the direct comparison; rarities (cross-type rows)
+// fall back to types.Compare, exactly like the row evaluator.
+func applyCmp[T ordered](col []types.Datum, sel Sel, out Sel, op CmpOp, k T, kd types.Datum) Sel {
+	if sel == nil {
+		for i := 0; i < len(col); i++ {
+			v := col[i]
+			if v == nil {
+				continue
+			}
+			var rel int
+			if tv, ok := v.(T); ok {
+				rel = relOf(tv, k)
+			} else {
+				rel = types.Compare(v, kd)
+			}
+			if relPass(rel, op) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		v := col[i]
+		if v == nil {
+			continue
+		}
+		var rel int
+		if tv, ok := v.(T); ok {
+			rel = relOf(tv, k)
+		} else {
+			rel = types.Compare(v, kd)
+		}
+		if relPass(rel, op) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func applyCmpTime(col []types.Datum, sel Sel, out Sel, op CmpOp, k time.Time, kd types.Datum) Sel {
+	if sel == nil {
+		for i := 0; i < len(col); i++ {
+			v := col[i]
+			if v == nil {
+				continue
+			}
+			var rel int
+			if tv, ok := v.(time.Time); ok {
+				rel = relTime(tv, k)
+			} else {
+				rel = types.Compare(v, kd)
+			}
+			if relPass(rel, op) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		v := col[i]
+		if v == nil {
+			continue
+		}
+		var rel int
+		if tv, ok := v.(time.Time); ok {
+			rel = relTime(tv, k)
+		} else {
+			rel = types.Compare(v, kd)
+		}
+		if relPass(rel, op) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func applyCmpGeneric(col []types.Datum, sel Sel, out Sel, op CmpOp, kd types.Datum) Sel {
+	if sel == nil {
+		for i := 0; i < len(col); i++ {
+			if v := col[i]; v != nil && relPass(types.Compare(v, kd), op) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if v := col[i]; v != nil && relPass(types.Compare(v, kd), op) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func applyBetween[T ordered](col []types.Datum, sel Sel, out Sel, lo, hi T, lod, hid types.Datum) Sel {
+	pass := func(v types.Datum) bool {
+		if v == nil {
+			return false
+		}
+		if tv, ok := v.(T); ok {
+			return relOf(tv, lo) >= 0 && relOf(tv, hi) <= 0
+		}
+		return types.Compare(v, lod) >= 0 && types.Compare(v, hid) <= 0
+	}
+	if sel == nil {
+		for i := 0; i < len(col); i++ {
+			if pass(col[i]) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if pass(col[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func applyBetweenGeneric(col []types.Datum, sel Sel, out Sel, lod, hid types.Datum) Sel {
+	pass := func(v types.Datum) bool {
+		return v != nil && types.Compare(v, lod) >= 0 && types.Compare(v, hid) <= 0
+	}
+	if sel == nil {
+		for i := 0; i < len(col); i++ {
+			if pass(col[i]) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if pass(col[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Apply filters one column chunk: it appends to out[:0] the indexes of the
+// rows (drawn from sel, or all of col when sel is nil) whose value passes
+// the predicate, and returns the new selection. NULL values never pass; a
+// NULL constant selects nothing (SQL three-valued logic: the predicate is
+// never true).
+func (f *Filter) Apply(col []types.Datum, sel Sel, out Sel) Sel {
+	out = out[:0]
+	if f.Between {
+		if f.Lo == nil || f.Hi == nil {
+			return out
+		}
+		switch lo := f.Lo.(type) {
+		case int64:
+			if hi, ok := f.Hi.(int64); ok {
+				return applyBetween(col, sel, out, lo, hi, f.Lo, f.Hi)
+			}
+		case float64:
+			if hi, ok := f.Hi.(float64); ok {
+				return applyBetween(col, sel, out, lo, hi, f.Lo, f.Hi)
+			}
+		case string:
+			if hi, ok := f.Hi.(string); ok {
+				return applyBetween(col, sel, out, lo, hi, f.Lo, f.Hi)
+			}
+		}
+		return applyBetweenGeneric(col, sel, out, f.Lo, f.Hi)
+	}
+	switch k := f.K.(type) {
+	case nil:
+		return out
+	case int64:
+		return applyCmp(col, sel, out, f.Op, k, f.K)
+	case float64:
+		return applyCmp(col, sel, out, f.Op, k, f.K)
+	case string:
+		return applyCmp(col, sel, out, f.Op, k, f.K)
+	case time.Time:
+		return applyCmpTime(col, sel, out, f.Op, k, f.K)
+	default:
+		return applyCmpGeneric(col, sel, out, f.Op, f.K)
+	}
+}
+
+// statClass buckets datum types whose types.Compare ordering is mutually
+// consistent, so chunk min/max proofs are sound across them.
+func statClass(d types.Datum) int {
+	switch d.(type) {
+	case int64, float64:
+		return 1
+	case string:
+		return 2
+	case time.Time:
+		return 3
+	}
+	return 0
+}
+
+// textualOrderable maps a datum into the textual ordering class a
+// cross-type types.Compare would use. types.Format on time.Time (a
+// fixed-width ISO layout with trailing fraction zeros trimmed) preserves
+// ordering, so time stats mapped through it remain valid bounds under the
+// textual fallback; numeric textual forms do NOT preserve ordering
+// ("10" < "9"), so numerics never remap.
+func textualOrderable(d types.Datum) (string, bool) {
+	switch v := d.(type) {
+	case string:
+		return v, true
+	case time.Time:
+		return types.Format(v), true
+	}
+	return "", false
+}
+
+// alignClass brings a filter constant and chunk stats into one ordering
+// class. Same class: returned as-is. A string/time mixture — which the
+// per-row comparison resolves through the textual fallback — maps both
+// sides to their textual forms. Anything else is unalignable: the caller
+// must not skip.
+func alignClass(k, min, max types.Datum) (types.Datum, types.Datum, types.Datum, bool) {
+	if kc, sc := statClass(k), statClass(min); kc == sc {
+		return k, min, max, kc != 0
+	}
+	ks, ok := textualOrderable(k)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	mins, ok := textualOrderable(min)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	maxs, _ := textualOrderable(max)
+	return ks, mins, maxs, true
+}
+
+// Skip reports whether chunk statistics [min, max] (over the column's
+// non-NULL values) prove that no row of the stripe can pass the filter.
+// It is deliberately conservative: a constant that cannot be aligned with
+// the stats' ordering class (see alignClass) never skips, because
+// types.Compare's cross-type textual fallback does not in general agree
+// with the per-type ordering the stats were built under.
+func (f *Filter) Skip(min, max types.Datum, ok bool) bool {
+	if !ok {
+		return false
+	}
+	if f.Between {
+		if f.Lo == nil || f.Hi == nil {
+			return true // BETWEEN with a NULL bound is never true
+		}
+		// each bound aligns (and therefore proves emptiness) independently
+		if lo, _, mx, okLo := alignClass(f.Lo, min, max); okLo && types.Compare(mx, lo) < 0 {
+			return true
+		}
+		if hi, mn, _, okHi := alignClass(f.Hi, min, max); okHi && types.Compare(mn, hi) > 0 {
+			return true
+		}
+		return false
+	}
+	if f.K == nil {
+		return true // comparison with NULL is never true
+	}
+	k, mn, mx, okK := alignClass(f.K, min, max)
+	if !okK {
+		return false
+	}
+	switch f.Op {
+	case Eq:
+		return types.Compare(k, mn) < 0 || types.Compare(k, mx) > 0
+	case Lt:
+		return types.Compare(mn, k) >= 0
+	case Le:
+		return types.Compare(mn, k) > 0
+	case Gt:
+		return types.Compare(mx, k) <= 0
+	case Ge:
+		return types.Compare(mx, k) < 0
+	case Ne:
+		// only skippable when every value equals K
+		return types.Compare(mn, mx) == 0 && types.Compare(mn, k) == 0
+	}
+	return false
+}
+
+// MaterializeAll fills out with the identity selection [0, n).
+func MaterializeAll(n int, out Sel) Sel {
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized numeric expressions
+
+// ArithOp is an arithmetic operator for NumExpr.
+type ArithOp uint8
+
+// Arithmetic operators with expr.arith semantics.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+// NumKind discriminates NumExpr nodes.
+type NumKind uint8
+
+// NumExpr node kinds.
+const (
+	NumCol NumKind = iota
+	NumConst
+	NumBin
+)
+
+var errDivZero = errors.New("division by zero")
+
+// NumExpr is a statically typed numeric expression over column chunks:
+// column leaves (declared int64 or float64), resolved constants, and
+// binary arithmetic. The static type follows expr.arith's promotion rule —
+// a node is float64 if any input is float64, otherwise int64 (so int÷int
+// stays integer division, exactly like the row evaluator).
+type NumExpr struct {
+	Kind  NumKind
+	Float bool // static result type
+
+	Col int // NumCol: table column ordinal
+
+	// NumConst: the resolved value (IsNull for SQL NULL).
+	I      int64
+	F      float64
+	IsNull bool
+
+	// NumBin
+	Op   ArithOp
+	L, R *NumExpr
+}
+
+// Column returns a column leaf. isFloat declares the column's storage type.
+func Column(col int, isFloat bool) *NumExpr {
+	return &NumExpr{Kind: NumCol, Col: col, Float: isFloat}
+}
+
+// Const returns a constant leaf; d must be int64, float64, or nil.
+func Const(d types.Datum) (*NumExpr, error) {
+	switch v := d.(type) {
+	case nil:
+		return &NumExpr{Kind: NumConst, IsNull: true}, nil
+	case int64:
+		return &NumExpr{Kind: NumConst, I: v}, nil
+	case float64:
+		return &NumExpr{Kind: NumConst, F: v, Float: true}, nil
+	}
+	return nil, fmt.Errorf("expected a number, got %s", types.TypeOf(d))
+}
+
+// Bin combines two numeric expressions.
+func Bin(op ArithOp, l, r *NumExpr) *NumExpr {
+	return &NumExpr{Kind: NumBin, Op: op, L: l, R: r, Float: l.Float || r.Float}
+}
+
+// NumVec is the result of evaluating a NumExpr over the selected rows of a
+// chunk: element j corresponds to sel[j]. Exactly one of Ints/Floats is
+// populated, per the expression's static type; Null marks SQL NULLs.
+type NumVec struct {
+	Ints   []int64
+	Floats []float64
+	Null   []bool
+	Float  bool
+	N      int
+}
+
+// Scratch pools the intermediate buffers NumExpr evaluation needs, so a
+// per-chunk evaluation allocates only on the first chunk. Reset it before
+// each chunk.
+type Scratch struct {
+	ints       [][]int64
+	floats     [][]float64
+	bools      [][]bool
+	ni, nf, nb int
+}
+
+// Reset recycles all buffers for the next chunk.
+func (s *Scratch) Reset() { s.ni, s.nf, s.nb = 0, 0, 0 }
+
+func (s *Scratch) getInts(n int) []int64 {
+	if s.ni == len(s.ints) {
+		s.ints = append(s.ints, make([]int64, 0, n))
+	}
+	b := s.ints[s.ni][:0]
+	s.ni++
+	if cap(b) < n {
+		b = make([]int64, 0, n)
+		s.ints[s.ni-1] = b
+	}
+	return b[:n]
+}
+
+func (s *Scratch) getFloats(n int) []float64 {
+	if s.nf == len(s.floats) {
+		s.floats = append(s.floats, make([]float64, 0, n))
+	}
+	b := s.floats[s.nf][:0]
+	s.nf++
+	if cap(b) < n {
+		b = make([]float64, 0, n)
+		s.floats[s.nf-1] = b
+	}
+	return b[:n]
+}
+
+func (s *Scratch) getBools(n int) []bool {
+	if s.nb == len(s.bools) {
+		s.bools = append(s.bools, make([]bool, 0, n))
+	}
+	b := s.bools[s.nb][:0]
+	s.nb++
+	if cap(b) < n {
+		b = make([]bool, 0, n)
+		s.bools[s.nb-1] = b
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// Eval evaluates the expression over the selected rows of a chunk
+// (sel nil = all n rows). The returned vector's buffers belong to scratch
+// and are valid until the next Reset.
+func (e *NumExpr) Eval(cols [][]types.Datum, n int, sel Sel, scratch *Scratch) (NumVec, error) {
+	m := n
+	if sel != nil {
+		m = len(sel)
+	}
+	switch e.Kind {
+	case NumCol:
+		return evalColLeaf(e, cols[e.Col], n, sel, scratch, m)
+	case NumConst:
+		out := NumVec{Float: e.Float, N: m, Null: scratch.getBools(m)}
+		if e.IsNull {
+			for j := range out.Null {
+				out.Null[j] = true
+			}
+		}
+		if e.Float {
+			out.Floats = scratch.getFloats(m)
+			for j := range out.Floats {
+				out.Floats[j] = e.F
+			}
+		} else {
+			out.Ints = scratch.getInts(m)
+			for j := range out.Ints {
+				out.Ints[j] = e.I
+			}
+		}
+		return out, nil
+	case NumBin:
+		lv, err := e.L.Eval(cols, n, sel, scratch)
+		if err != nil {
+			return NumVec{}, err
+		}
+		rv, err := e.R.Eval(cols, n, sel, scratch)
+		if err != nil {
+			return NumVec{}, err
+		}
+		return evalBin(e, lv, rv, scratch, m)
+	}
+	return NumVec{}, fmt.Errorf("invalid NumExpr kind %d", e.Kind)
+}
+
+func evalColLeaf(e *NumExpr, col []types.Datum, n int, sel Sel, scratch *Scratch, m int) (NumVec, error) {
+	out := NumVec{Float: e.Float, N: m, Null: scratch.getBools(m)}
+	gather := func(j int, v types.Datum) error {
+		if v == nil {
+			out.Null[j] = true
+			return nil
+		}
+		if e.Float {
+			f, ok := v.(float64)
+			if !ok {
+				// int values can appear in float context (e.g. literals cast
+				// on an older insert path); promote like toFloat would.
+				iv, okI := v.(int64)
+				if !okI {
+					return fmt.Errorf("expected a number, got %s", types.TypeOf(v))
+				}
+				f = float64(iv)
+			}
+			out.Floats[j] = f
+			return nil
+		}
+		iv, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("expected a number, got %s", types.TypeOf(v))
+		}
+		out.Ints[j] = iv
+		return nil
+	}
+	if e.Float {
+		out.Floats = scratch.getFloats(m)
+	} else {
+		out.Ints = scratch.getInts(m)
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if err := gather(i, col[i]); err != nil {
+				return NumVec{}, err
+			}
+		}
+	} else {
+		for j, i := range sel {
+			if err := gather(j, col[i]); err != nil {
+				return NumVec{}, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalBin(e *NumExpr, lv, rv NumVec, scratch *Scratch, m int) (NumVec, error) {
+	out := NumVec{Float: e.Float, N: m, Null: scratch.getBools(m)}
+	if !e.Float {
+		// pure integer arithmetic (expr.arith's int64 branch)
+		out.Ints = scratch.getInts(m)
+		l, r := lv.Ints, rv.Ints
+		for j := 0; j < m; j++ {
+			if lv.Null[j] || rv.Null[j] {
+				out.Null[j] = true
+				continue
+			}
+			switch e.Op {
+			case Add:
+				out.Ints[j] = l[j] + r[j]
+			case Sub:
+				out.Ints[j] = l[j] - r[j]
+			case Mul:
+				out.Ints[j] = l[j] * r[j]
+			case Div:
+				if r[j] == 0 {
+					return NumVec{}, errDivZero
+				}
+				out.Ints[j] = l[j] / r[j]
+			case Mod:
+				if r[j] == 0 {
+					return NumVec{}, errDivZero
+				}
+				out.Ints[j] = l[j] % r[j]
+			}
+		}
+		return out, nil
+	}
+	out.Floats = scratch.getFloats(m)
+	lf := asFloats(lv, scratch)
+	rf := asFloats(rv, scratch)
+	for j := 0; j < m; j++ {
+		if lv.Null[j] || rv.Null[j] {
+			out.Null[j] = true
+			continue
+		}
+		switch e.Op {
+		case Add:
+			out.Floats[j] = lf[j] + rf[j]
+		case Sub:
+			out.Floats[j] = lf[j] - rf[j]
+		case Mul:
+			out.Floats[j] = lf[j] * rf[j]
+		case Div:
+			if rf[j] == 0 {
+				return NumVec{}, errDivZero
+			}
+			out.Floats[j] = lf[j] / rf[j]
+		case Mod:
+			if rf[j] == 0 {
+				return NumVec{}, errDivZero
+			}
+			out.Floats[j] = float64(int64(lf[j]) % int64(rf[j]))
+		}
+	}
+	return out, nil
+}
+
+func asFloats(v NumVec, scratch *Scratch) []float64 {
+	if v.Float {
+		return v.Floats
+	}
+	f := scratch.getFloats(v.N)
+	for j, iv := range v.Ints {
+		f[j] = float64(iv)
+	}
+	return f
+}
+
+// At returns element j as a datum (used by the grouped fold).
+func (v *NumVec) At(j int) types.Datum {
+	if v.Null[j] {
+		return nil
+	}
+	if v.Float {
+		return v.Floats[j]
+	}
+	return v.Ints[j]
+}

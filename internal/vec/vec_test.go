@@ -1,0 +1,356 @@
+package vec
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"citusgo/internal/types"
+)
+
+func selEqual(a Sel, want []int32) bool {
+	if len(a) != len(want) {
+		return false
+	}
+	for i := range a {
+		if a[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFilterTypedKernels(t *testing.T) {
+	intCol := []types.Datum{int64(5), nil, int64(10), int64(3), int64(10)}
+	floatCol := []types.Datum{0.5, 1.5, nil, 2.5, 1.5}
+	strCol := []types.Datum{"b", "a", "c", nil, "b"}
+	ts := func(d int) time.Time { return time.Date(2020, 1, d, 0, 0, 0, 0, time.UTC) }
+	timeCol := []types.Datum{ts(1), ts(5), nil, ts(10), ts(5)}
+
+	cases := []struct {
+		f    Filter
+		col  []types.Datum
+		want []int32
+	}{
+		{Filter{Col: 0, Op: Eq, K: int64(10)}, intCol, []int32{2, 4}},
+		{Filter{Col: 0, Op: Ne, K: int64(10)}, intCol, []int32{0, 3}},
+		{Filter{Col: 0, Op: Lt, K: int64(10)}, intCol, []int32{0, 3}},
+		{Filter{Col: 0, Op: Ge, K: int64(5)}, intCol, []int32{0, 2, 4}},
+		// cross-type constant: int column vs float constant
+		{Filter{Col: 0, Op: Gt, K: 4.5}, intCol, []int32{0, 2, 4}},
+		{Filter{Col: 0, Op: Le, K: 3.0}, intCol, []int32{3}},
+		{Filter{Col: 0, Op: Eq, K: nil}, intCol, nil},
+		{Filter{Col: 0, Op: Lt, K: 2.0}, floatCol, []int32{0, 1, 4}},
+		{Filter{Col: 0, Op: Ge, K: "b"}, strCol, []int32{0, 2, 4}},
+		{Filter{Col: 0, Op: Lt, K: ts(6)}, timeCol, []int32{0, 1, 4}},
+		{Filter{Col: 0, Between: true, Lo: int64(3), Hi: int64(5)}, intCol, []int32{0, 3}},
+		{Filter{Col: 0, Between: true, Lo: 1.0, Hi: 2.0}, floatCol, []int32{1, 4}},
+		{Filter{Col: 0, Between: true, Lo: nil, Hi: int64(5)}, intCol, nil},
+		// mixed-type between bounds fall back to generic Compare
+		{Filter{Col: 0, Between: true, Lo: int64(1), Hi: 2.0}, floatCol, []int32{1, 4}},
+	}
+	for i, tc := range cases {
+		got := tc.f.Apply(tc.col, nil, nil)
+		if !selEqual(got, tc.want) {
+			t.Errorf("case %d (%s): got %v want %v", i, tc.f.String(), got, tc.want)
+		}
+	}
+}
+
+func TestFilterChainsSelections(t *testing.T) {
+	col := []types.Datum{int64(1), int64(2), int64(3), int64(4), int64(5), int64(6)}
+	f1 := Filter{Op: Gt, K: int64(2)}
+	f2 := Filter{Op: Lt, K: int64(6)}
+	sel := f1.Apply(col, nil, nil)
+	sel = f2.Apply(col, sel, nil)
+	if !selEqual(sel, []int32{2, 3, 4}) {
+		t.Fatalf("chained selection = %v", sel)
+	}
+}
+
+func TestFilterSkip(t *testing.T) {
+	cases := []struct {
+		f        Filter
+		min, max types.Datum
+		ok       bool
+		skip     bool
+	}{
+		{Filter{Op: Eq, K: int64(5)}, int64(10), int64(20), true, true},
+		{Filter{Op: Eq, K: int64(15)}, int64(10), int64(20), true, false},
+		{Filter{Op: Lt, K: int64(10)}, int64(10), int64(20), true, true},
+		{Filter{Op: Le, K: int64(10)}, int64(10), int64(20), true, false},
+		{Filter{Op: Gt, K: int64(20)}, int64(10), int64(20), true, true},
+		{Filter{Op: Ge, K: int64(20)}, int64(10), int64(20), true, false},
+		{Filter{Op: Ne, K: int64(7)}, int64(7), int64(7), true, true},
+		{Filter{Op: Ne, K: int64(7)}, int64(7), int64(8), true, false},
+		// numeric cross-type: int stats vs float constant are sound
+		{Filter{Op: Lt, K: 9.5}, int64(10), int64(20), true, true},
+		// cross-class numeric/string must never skip (textual fallback
+		// ordering does not match the typed stats ordering)
+		{Filter{Op: Lt, K: "10"}, int64(10), int64(20), true, false},
+		// string constant vs time stats aligns through the textual
+		// fallback (types.Format on time.Time preserves ordering)
+		{Filter{Op: Lt, K: "1994-01-01"},
+			time.Date(1994, 6, 1, 0, 0, 0, 0, time.UTC),
+			time.Date(1995, 6, 1, 0, 0, 0, 0, time.UTC), true, true},
+		{Filter{Op: Ge, K: "1994-01-01"},
+			time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC),
+			time.Date(1993, 12, 31, 0, 0, 0, 0, time.UTC), true, true},
+		{Filter{Op: Lt, K: "1995-01-01"},
+			time.Date(1994, 6, 1, 0, 0, 0, 0, time.UTC),
+			time.Date(1995, 6, 1, 0, 0, 0, 0, time.UTC), true, false},
+		// time constant vs string stats aligns the same way
+		{Filter{Op: Gt, K: time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC)},
+			"1992-01-01", "1993-01-01", true, true},
+		// no stats: never skip
+		{Filter{Op: Eq, K: int64(5)}, nil, nil, false, false},
+		// NULL constant: always skip (predicate can never be true)
+		{Filter{Op: Eq, K: nil}, int64(0), int64(1), true, true},
+		{Filter{Between: true, Lo: int64(1), Hi: int64(5)}, int64(10), int64(20), true, true},
+		{Filter{Between: true, Lo: int64(15), Hi: int64(16)}, int64(10), int64(20), true, false},
+		{Filter{Between: true, Lo: int64(21), Hi: int64(30)}, int64(10), int64(20), true, true},
+	}
+	for i, tc := range cases {
+		if got := tc.f.Skip(tc.min, tc.max, tc.ok); got != tc.skip {
+			t.Errorf("case %d (%s, min=%v max=%v): skip=%v want %v",
+				i, tc.f.String(), tc.min, tc.max, got, tc.skip)
+		}
+	}
+}
+
+func TestNumExprEval(t *testing.T) {
+	price := []types.Datum{10.0, 20.0, nil, 40.0}
+	disc := []types.Datum{0.1, nil, 0.3, 0.5}
+	qty := []types.Datum{int64(2), int64(4), int64(6), int64(8)}
+	cols := [][]types.Datum{price, disc, qty}
+	var scratch Scratch
+
+	// float product with NULL propagation
+	e := Bin(Mul, Column(0, true), Column(1, true))
+	v, err := e.Eval(cols, 4, nil, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Float || v.N != 4 {
+		t.Fatalf("bad vec: %+v", v)
+	}
+	if v.Floats[0] != 1.0 || !v.Null[1] || !v.Null[2] || v.Floats[3] != 20.0 {
+		t.Fatalf("product = %v nulls %v", v.Floats, v.Null)
+	}
+
+	// integer division stays integer (expr.arith semantics)
+	scratch.Reset()
+	c, _ := Const(int64(4))
+	e = Bin(Div, Column(2, false), c)
+	v, err = e.Eval(cols, 4, nil, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float {
+		t.Fatal("int/int division promoted to float")
+	}
+	if v.Ints[0] != 0 || v.Ints[1] != 1 || v.Ints[2] != 1 || v.Ints[3] != 2 {
+		t.Fatalf("int division = %v", v.Ints)
+	}
+
+	// int column promoted in float context
+	scratch.Reset()
+	e = Bin(Add, Column(2, false), Column(0, true))
+	v, err = e.Eval(cols, 4, nil, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Float || v.Floats[0] != 12.0 {
+		t.Fatalf("promotion failed: %+v", v)
+	}
+
+	// selection vector: only selected positions evaluate
+	scratch.Reset()
+	e = Bin(Mul, Column(0, true), Column(1, true))
+	v, err = e.Eval(cols, 4, Sel{0, 3}, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.N != 2 || v.Floats[0] != 1.0 || v.Floats[1] != 20.0 {
+		t.Fatalf("selected eval = %+v", v)
+	}
+
+	// division by zero errors like the row path
+	scratch.Reset()
+	zero, _ := Const(int64(0))
+	e = Bin(Div, Column(2, false), zero)
+	if _, err = e.Eval(cols, 4, nil, &scratch); err == nil {
+		t.Fatal("division by zero did not error")
+	}
+}
+
+func TestAggStateMatchesRowSemantics(t *testing.T) {
+	// sum starts int64 and promotes to float64 on the first float
+	s := NewAggState(AggSum)
+	if err := s.AddDatums([]types.Datum{int64(1), int64(2), nil}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Result(); got != int64(3) {
+		t.Fatalf("int sum = %v (%T)", got, got)
+	}
+	if err := s.AddDatums([]types.Datum{1.5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Result(); got != 4.5 {
+		t.Fatalf("promoted sum = %v (%T)", got, got)
+	}
+
+	// sum over only NULLs stays NULL
+	s = NewAggState(AggSum)
+	if err := s.AddDatums([]types.Datum{nil, nil}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Result() != nil {
+		t.Fatalf("sum over NULLs = %v", s.Result())
+	}
+
+	// avg counts only non-NULL inputs
+	s = NewAggState(AggAvg)
+	_ = s.AddDatums([]types.Datum{int64(2), nil, int64(4)}, nil)
+	if got := s.Result(); got != 3.0 {
+		t.Fatalf("avg = %v (%T)", got, got)
+	}
+
+	// count(col) skips NULLs; AddStar counts all
+	s = NewAggState(AggCount)
+	_ = s.AddDatums([]types.Datum{int64(1), nil, int64(3)}, nil)
+	if got := s.Result(); got != int64(2) {
+		t.Fatalf("count(col) = %v", got)
+	}
+	s = NewAggState(AggCount)
+	s.AddStar(5)
+	if got := s.Result(); got != int64(5) {
+		t.Fatalf("count(*) = %v", got)
+	}
+
+	// min/max across types, non-numeric sum errors
+	s = NewAggState(AggMin)
+	_ = s.AddDatums([]types.Datum{"b", "a", nil, "c"}, nil)
+	if got := s.Result(); got != "a" {
+		t.Fatalf("min = %v", got)
+	}
+	s = NewAggState(AggSum)
+	if err := s.AddDatums([]types.Datum{"oops"}, nil); err == nil {
+		t.Fatal("sum over text did not error")
+	}
+}
+
+func TestAggStateMerge(t *testing.T) {
+	// int + int stays int; int partial + float partial promotes
+	a, b := NewAggState(AggSum), NewAggState(AggSum)
+	_ = a.AddDatums([]types.Datum{int64(1), int64(2)}, nil)
+	_ = b.AddDatums([]types.Datum{int64(3)}, nil)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Result(); got != int64(6) {
+		t.Fatalf("merged int sum = %v (%T)", got, got)
+	}
+	c := NewAggState(AggSum)
+	_ = c.AddDatums([]types.Datum{0.5}, nil)
+	_ = a.Merge(c)
+	if got := a.Result(); got != 6.5 {
+		t.Fatalf("merged mixed sum = %v (%T)", got, got)
+	}
+
+	// avg merges counts and sums
+	x, y := NewAggState(AggAvg), NewAggState(AggAvg)
+	_ = x.AddDatums([]types.Datum{int64(1), int64(2)}, nil)
+	_ = y.AddDatums([]types.Datum{int64(6)}, nil)
+	_ = x.Merge(y)
+	if got := x.Result(); got != 3.0 {
+		t.Fatalf("merged avg = %v", got)
+	}
+
+	// min/max merge keeps extrema; empty partials are no-ops
+	m, n := NewAggState(AggMax), NewAggState(AggMax)
+	_ = m.AddDatums([]types.Datum{int64(10)}, nil)
+	_ = m.Merge(n)
+	if got := m.Result(); got != int64(10) {
+		t.Fatalf("max after empty merge = %v", got)
+	}
+	_ = n.AddDatums([]types.Datum{int64(99)}, nil)
+	_ = m.Merge(n)
+	if got := m.Result(); got != int64(99) {
+		t.Fatalf("max after merge = %v", got)
+	}
+}
+
+func TestAggVecFolds(t *testing.T) {
+	v := NumVec{Float: true, N: 4, Floats: []float64{1, 2, 3, 4}, Null: []bool{false, true, false, false}}
+	s := NewAggState(AggSum)
+	if err := s.AddVec(&v); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Result(); got != 8.0 {
+		t.Fatalf("sum(vec) = %v", got)
+	}
+	iv := NumVec{N: 3, Ints: []int64{5, 6, 7}, Null: make([]bool, 3)}
+	si := NewAggState(AggSum)
+	_ = si.AddVec(&iv)
+	if got := si.Result(); got != int64(18) {
+		t.Fatalf("sum(int vec) = %v (%T)", got, got)
+	}
+	mn := NewAggState(AggMin)
+	_ = mn.AddVec(&v)
+	if got := mn.Result(); got != 1.0 {
+		t.Fatalf("min(vec) = %v", got)
+	}
+	ct := NewAggState(AggCount)
+	_ = ct.AddVec(&v)
+	if got := ct.Result(); got != int64(3) {
+		t.Fatalf("count(vec) = %v", got)
+	}
+}
+
+func TestMaterializeAll(t *testing.T) {
+	sel := MaterializeAll(4, nil)
+	if !selEqual(sel, []int32{0, 1, 2, 3}) {
+		t.Fatalf("identity = %v", sel)
+	}
+	sel = MaterializeAll(2, sel) // reuse shrinks
+	if !selEqual(sel, []int32{0, 1}) {
+		t.Fatalf("reused identity = %v", sel)
+	}
+}
+
+func TestScratchReuse(t *testing.T) {
+	var s Scratch
+	cols := [][]types.Datum{make([]types.Datum, 1000)}
+	for i := range cols[0] {
+		cols[0][i] = int64(i)
+	}
+	e := Bin(Add, Column(0, false), Column(0, false))
+	for chunk := 0; chunk < 3; chunk++ {
+		s.Reset()
+		v, err := e.Eval(cols, 1000, nil, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Ints[999] != 1998 {
+			t.Fatalf("chunk %d: %v", chunk, v.Ints[999])
+		}
+	}
+	// after warm-up, repeated evaluation must not allocate per element
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset()
+		if _, err := e.Eval(cols, 1000, nil, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Errorf("Eval allocates %.0f times per chunk; scratch reuse broken", allocs)
+	}
+}
+
+func ExampleFilter_Apply() {
+	col := []types.Datum{int64(1), int64(7), nil, int64(9)}
+	f := Filter{Op: Gt, K: int64(5)}
+	fmt.Println(f.Apply(col, nil, nil))
+	// Output: [1 3]
+}
