@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7a, 7b, 7c, 8, 9, 10, a4 (pipelining ablation), a5 (vectorized-execution ablation), a6 (replica-routing ablation), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7a, 7b, 7c, 8, 9, 10, a4 (pipelining ablation), a5 (vectorized-execution ablation), a6 (replica-routing ablation), a7 (SSI ablation), or all")
 	tiny := flag.Bool("tiny", false, "run at the tiny (test) scale")
 	capabilities := flag.Bool("capabilities", false, "print the Table 2 capability matrix and exit")
 	warehouses := flag.Int("warehouses", 0, "override TPC-C warehouse count")
@@ -132,6 +132,8 @@ func main() {
 		run("a5", bench.AblationVectorized)
 	case "a6":
 		run("a6", bench.AblationReplicaRouting)
+	case "a7":
+		run("a7", bench.AblationSSI)
 	case "all":
 		pre := bench.ObsSnapshot()
 		series, err := bench.AllFigures(sc)

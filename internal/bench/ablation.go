@@ -8,8 +8,11 @@ import (
 
 	"citusgo/internal/citus"
 	"citusgo/internal/cluster"
+	"citusgo/internal/engine"
+	"citusgo/internal/obs"
 	"citusgo/internal/repl"
 	"citusgo/internal/types"
+	"citusgo/internal/workload/tpcc"
 )
 
 // The ablations quantify the design choices §3 argues for:
@@ -40,6 +43,11 @@ import (
 //     router reads fan out across twice the placements, so read throughput
 //     rises while the executor_routed_reads_total counters prove where the
 //     reads actually landed.
+//   - AblationSSI: distributed serializable snapshot isolation on vs off —
+//     the overhead side on the cached-router TPC-C mix at SERIALIZABLE,
+//     the correctness side on a cross-shard write-skew micro-benchmark
+//     that plain SI commits and SSI's coordinator-merged conflict graph
+//     must abort; Extra carries the ssi_* counter deltas.
 
 // AblationPlannerOverhead measures per-tier planning+execution latency.
 func AblationPlannerOverhead(sc Scale) (Series, error) {
@@ -564,4 +572,203 @@ func replicaReadThroughput(sc Scale, rf int) (float64, int64, int64, error) {
 	primary := d.Get(`executor_routed_reads_total{placement="primary"}`)
 	standby := d.Get(`executor_routed_reads_total{placement="standby"}`)
 	return float64(workers*readsPer) / elapsed.Seconds(), primary, standby, nil
+}
+
+// AblationSSI measures what distributed serializability costs and what it
+// buys (A7). The cost side is the cached-router TPC-C mix (Citus 4+1,
+// stored procedures delegated by warehouse id) with every session at
+// SERIALIZABLE, run under full SSI and again with the machinery disabled
+// (plain snapshot isolation): TPC-C transactions are single-warehouse in
+// the common case, so the SIREAD bookkeeping and commit-time checks should
+// stay within ~15% of the SI median. The win side is a cross-shard
+// write-skew micro-benchmark — pairs of accounts on different workers,
+// two transactions each reading both balances and withdrawing from
+// opposite sides — where SSI must abort one side of every conflicting
+// pair (zero anomalies) and plain SI commits both (every pair violates
+// the invariant). Extra carries the ssi_* counter deltas proving which
+// machinery ran.
+func AblationSSI(sc Scale) (Series, error) {
+	out := Series{Figure: "Ablation A7", Metric: "TPC-C NOPM at SERIALIZABLE / write-skew anomalies (of 8 pairs)"}
+	variants := []struct {
+		name    string
+		disable bool
+	}{
+		{"SSI on", false},
+		{"SSI off (plain SI)", true},
+	}
+	for _, v := range variants {
+		nopm, p50, d, err := serializableTPCC(sc, v.disable)
+		if err != nil {
+			return out, fmt.Errorf("TPC-C %s: %w", v.name, err)
+		}
+		out.Points = append(out.Points, Point{
+			Config: "TPC-C serializable, " + v.name,
+			Value:  nopm,
+			Extra: map[string]float64{
+				"p50_ms":       p50,
+				"rw_conflicts": float64(d.Sum("ssi_rw_conflicts_total")),
+				"ssi_aborts":   float64(d.Sum("ssi_aborts_total") + d.Sum("ssi_dist_aborts_total")),
+				"dist_checks":  float64(d.Sum("ssi_dist_checks_total")),
+			},
+		})
+	}
+	for _, v := range variants {
+		anomalies, aborts, d, err := writeSkewMicro(sc, v.disable)
+		if err != nil {
+			return out, fmt.Errorf("write-skew %s: %w", v.name, err)
+		}
+		out.Points = append(out.Points, Point{
+			Config: "write-skew micro, " + v.name,
+			Value:  float64(anomalies),
+			Extra: map[string]float64{
+				"serialization_aborts": float64(aborts),
+				"rw_conflicts":         float64(d.Sum("ssi_rw_conflicts_total")),
+				"dist_checks":          float64(d.Sum("ssi_dist_checks_total")),
+			},
+		})
+	}
+	return out, nil
+}
+
+// serializableTPCC runs the Figure 6 Citus 4+1 TPC-C configuration with
+// every virtual user's session at SERIALIZABLE, returning NOPM, the
+// New-Order p50 in ms, and the obs delta over the measured window.
+func serializableTPCC(sc Scale, disableSSI bool) (float64, float64, obs.Snapshot, error) {
+	c, err := cluster.New(cluster.Config{
+		Workers:      4,
+		ShardCount:   sc.ShardCount,
+		SyncMetadata: true, // workers plan the delegated procedures (MX)
+		Trace:        ClusterTrace,
+		Citus:        citus.Config{DisableSSI: disableSSI},
+	})
+	if err != nil {
+		return 0, 0, obs.Snapshot{}, err
+	}
+	defer c.Close()
+	cfg := tpcc.Config{
+		Warehouses:           sc.Warehouses,
+		Districts:            4,
+		CustomersPerDistrict: sc.TPCCCustomers,
+		Items:                sc.TPCCItems,
+		VUsers:               sc.TPCCUsers,
+		Duration:             sc.TPCCRun,
+		ThinkTime:            time.Millisecond,
+		Distributed:          true,
+	}
+	for _, eng := range c.Engines {
+		tpcc.RegisterProcedures(eng, cfg)
+	}
+	for _, node := range c.Nodes {
+		tpcc.RegisterDelegation(node)
+	}
+	if err := tpcc.Load(c.Session(), cfg); err != nil {
+		return 0, 0, obs.Snapshot{}, err
+	}
+	boundMemory(c, sc)
+	pre := ObsSnapshot()
+	res := tpcc.Run(func(int) *engine.Session {
+		s := c.Session()
+		_, _ = s.Exec("SET transaction_isolation = 'serializable'")
+		return s
+	}, cfg)
+	d := ObsSnapshot().Delta(pre)
+	return res.NOPM, float64(res.NewOrderP50.Microseconds()) / 1000, d, nil
+}
+
+// writeSkewMicro drives writeSkewPairs deterministic cross-shard write-skew
+// interleavings (each pair's two account shards on different workers, so
+// only the coordinator's merged conflict graph can see the cycle) and
+// returns how many pairs committed the anomaly and how many second COMMITs
+// were aborted with a serialization failure.
+func writeSkewMicro(sc Scale, disableSSI bool) (int, int, obs.Snapshot, error) {
+	const pairs = 8
+	c, err := cluster.New(cluster.Config{
+		Workers:    2,
+		ShardCount: sc.ShardCount,
+		Trace:      ClusterTrace,
+		Citus:      citus.Config{DisableSSI: disableSSI, DeadlockInterval: -1, RecoveryInterval: -1},
+	})
+	if err != nil {
+		return 0, 0, obs.Snapshot{}, err
+	}
+	defer c.Close()
+	s := c.Session()
+	if _, err := s.Exec("CREATE TABLE ws (k bigint PRIMARY KEY, balance bigint)"); err != nil {
+		return 0, 0, obs.Snapshot{}, err
+	}
+	if _, err := s.Exec("SELECT create_distributed_table('ws', 'k')"); err != nil {
+		return 0, 0, obs.Snapshot{}, err
+	}
+	// Pair keys from two distinct workers: every pair's rw-antidependency
+	// edges land on different nodes.
+	nodeOf := func(k int64) (int, error) {
+		sh, err := c.Meta.ShardForValue("ws", k)
+		if err != nil {
+			return 0, err
+		}
+		return c.Meta.PrimaryPlacement(sh.ID)
+	}
+	first, err := nodeOf(0)
+	if err != nil {
+		return 0, 0, obs.Snapshot{}, err
+	}
+	var aKeys, bKeys []int64
+	for k := int64(0); k < 100000 && (len(aKeys) < pairs || len(bKeys) < pairs); k++ {
+		n, err := nodeOf(k)
+		if err != nil {
+			return 0, 0, obs.Snapshot{}, err
+		}
+		if n == first {
+			aKeys = append(aKeys, k)
+		} else {
+			bKeys = append(bKeys, k)
+		}
+	}
+	if len(aKeys) < pairs || len(bKeys) < pairs {
+		return 0, 0, obs.Snapshot{}, fmt.Errorf("could not place %d key pairs on distinct workers", pairs)
+	}
+	for p := 0; p < pairs; p++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO ws VALUES (%d, 100), (%d, 100)", aKeys[p], bKeys[p])); err != nil {
+			return 0, 0, obs.Snapshot{}, err
+		}
+	}
+
+	pre := ObsSnapshot()
+	anomalies, aborts := 0, 0
+	for p := 0; p < pairs; p++ {
+		a, b := aKeys[p], bKeys[p]
+		s1, s2 := c.Session(), c.Session()
+		for _, sess := range []*engine.Session{s1, s2} {
+			if _, err := sess.Exec("SET transaction_isolation = 'serializable'"); err != nil {
+				return 0, 0, obs.Snapshot{}, err
+			}
+			if _, err := sess.Exec("BEGIN"); err != nil {
+				return 0, 0, obs.Snapshot{}, err
+			}
+			if _, err := sess.Exec(fmt.Sprintf("SELECT balance FROM ws WHERE k = %d OR k = %d", a, b)); err != nil {
+				return 0, 0, obs.Snapshot{}, err
+			}
+		}
+		if _, err := s1.Exec(fmt.Sprintf("UPDATE ws SET balance = balance - 150 WHERE k = %d", a)); err != nil {
+			return 0, 0, obs.Snapshot{}, err
+		}
+		if _, err := s2.Exec(fmt.Sprintf("UPDATE ws SET balance = balance - 150 WHERE k = %d", b)); err != nil {
+			return 0, 0, obs.Snapshot{}, err
+		}
+		if _, err := s1.Exec("COMMIT"); err != nil {
+			return 0, 0, obs.Snapshot{}, fmt.Errorf("first COMMIT of pair %d: %w", p, err)
+		}
+		if _, err := s2.Exec("COMMIT"); err != nil {
+			aborts++
+			_, _ = s2.Exec("ROLLBACK")
+		}
+		res, err := s.Exec(fmt.Sprintf("SELECT sum(balance) FROM ws WHERE k = %d OR k = %d", a, b))
+		if err != nil {
+			return 0, 0, obs.Snapshot{}, err
+		}
+		if sum, _ := res.Rows[0][0].(int64); sum < 0 {
+			anomalies++
+		}
+	}
+	return anomalies, aborts, ObsSnapshot().Delta(pre), nil
 }

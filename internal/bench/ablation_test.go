@@ -217,3 +217,68 @@ func TestAblationSlowStartPlanCache(t *testing.T) {
 		t.Error("A3 run left no plan-cache activity in the obs registry")
 	}
 }
+
+// TestAblationSSI is the CI bench smoke for distributed serializability:
+// A7 must run all four arms, the write-skew micro-benchmark must show the
+// anomaly under plain SI and zero anomalies (with real serialization
+// aborts and rw-antidependency evidence) under SSI, and the counter deltas
+// must prove the SSI machinery only runs when enabled.
+func TestAblationSSI(t *testing.T) {
+	series, err := AblationSSI(Tiny())
+	if err != nil {
+		t.Fatalf("A7: %v", err)
+	}
+	t.Log("\n" + series.String())
+	points := make(map[string]Point, len(series.Points))
+	for _, p := range series.Points {
+		points[p.Config] = p
+	}
+	for _, name := range []string{
+		"TPC-C serializable, SSI on",
+		"TPC-C serializable, SSI off (plain SI)",
+		"write-skew micro, SSI on",
+		"write-skew micro, SSI off (plain SI)",
+	} {
+		if _, ok := points[name]; !ok {
+			t.Fatalf("A7 missing arm %q: %+v", name, series.Points)
+		}
+	}
+
+	// Correctness: SSI aborts one side of every conflicting pair, so no
+	// pair ever commits the negative-sum anomaly; plain SI commits both
+	// sides of all 8 pairs.
+	ssiMicro := points["write-skew micro, SSI on"]
+	siMicro := points["write-skew micro, SSI off (plain SI)"]
+	if ssiMicro.Value != 0 {
+		t.Errorf("SSI committed %v write-skew anomalies, want 0", ssiMicro.Value)
+	}
+	if ssiMicro.Extra["serialization_aborts"] <= 0 {
+		t.Errorf("SSI aborted no write-skew transactions: %+v", ssiMicro.Extra)
+	}
+	if ssiMicro.Extra["rw_conflicts"] <= 0 || ssiMicro.Extra["dist_checks"] <= 0 {
+		t.Errorf("SSI arm shows no conflict-tracking evidence: %+v", ssiMicro.Extra)
+	}
+	if siMicro.Value != 8 {
+		t.Errorf("plain SI committed %v anomalous pairs, want all 8", siMicro.Value)
+	}
+	if siMicro.Extra["serialization_aborts"] != 0 || siMicro.Extra["rw_conflicts"] != 0 {
+		t.Errorf("disabled SSI still tracked or aborted something: %+v", siMicro.Extra)
+	}
+
+	// Overhead: both TPC-C arms must have done real work, and the
+	// disabled arm must not have touched the SSI machinery. The ≤15%
+	// NOPM bar is judged on the default scale (citusbench -fig a7); the
+	// tiny CI scale only gets a loose floor, and none under the race
+	// detector where per-txn cost is inflated ~10×.
+	ssiTPCC := points["TPC-C serializable, SSI on"]
+	siTPCC := points["TPC-C serializable, SSI off (plain SI)"]
+	if ssiTPCC.Value <= 0 || siTPCC.Value <= 0 {
+		t.Fatalf("TPC-C arms did no work: ssi=%v si=%v", ssiTPCC.Value, siTPCC.Value)
+	}
+	if siTPCC.Extra["rw_conflicts"] != 0 || siTPCC.Extra["dist_checks"] != 0 {
+		t.Errorf("disabled SSI still ran conflict tracking under TPC-C: %+v", siTPCC.Extra)
+	}
+	if !raceEnabled && ssiTPCC.Value < 0.5*siTPCC.Value {
+		t.Errorf("SSI TPC-C NOPM %v vs SI %v: overhead beyond the smoke floor", ssiTPCC.Value, siTPCC.Value)
+	}
+}

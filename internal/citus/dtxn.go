@@ -9,6 +9,7 @@ import (
 	"citusgo/internal/engine"
 	"citusgo/internal/fault"
 	"citusgo/internal/obs"
+	"citusgo/internal/ssi"
 	"citusgo/internal/types"
 	"citusgo/internal/wal"
 	"citusgo/internal/wire"
@@ -80,9 +81,25 @@ func (n *Node) registerTxnCallbacks(s *engine.Session, st *sessState) {
 			return nil
 		}
 		writers := 0
+		nodes := make(map[int]bool)
 		for _, wc := range participants {
 			if wc.wrote {
 				writers++
+			}
+			nodes[wc.nodeID] = true
+		}
+		// Distributed SSI: a serializable transaction spanning several nodes
+		// validates against the merged conflict graph before any participant
+		// commits; the commit mutex is held until the worker commits (or
+		// prepares, which fix the SSI commit order) have landed, so sibling
+		// serializable commits serialize against this check. A dangerous
+		// pivot aborts here with a retryable serialization error — the
+		// cluster-wide write-skew abort.
+		if len(nodes) > 1 && s.Serializable() && n.ssiActive() {
+			release, err := n.ssiMergedCheck(st.distID, participants, traceID, traceSpanID)
+			defer release()
+			if err != nil {
+				return err
 			}
 		}
 		// Single-node delegation (§3.7.1): with at most one writer there
@@ -416,10 +433,16 @@ func (n *Node) deadlockLoop() {
 // processes that belong to the same distributed transaction, and cancels
 // the youngest distributed transaction of any cycle. Returns the cancelled
 // distributed transaction id, or "".
+//
+// The same poll piggybacks the nodes' SSI rw-antidependency edges
+// (LockGraphEx carries both in one round trip) and dooms any in-flight
+// distributed transaction that already forms a dangerous structure in the
+// merged conflict graph — the background half of cluster-wide pivot abort.
 func (n *Node) CheckDistributedDeadlock() string {
 	metDeadlockPolls.Inc()
 	type edge struct{ from, to string }
 	var edges []edge
+	var ssiEdges []ssi.WireEdge
 	vertexName := func(nodeID int, xid uint64, dist string) string {
 		if dist != "" {
 			return "d:" + dist
@@ -435,18 +458,21 @@ func (n *Node) CheckDistributedDeadlock() string {
 		}
 	}
 	collect(n.ID, n.Eng.LockGraph())
+	ssiEdges = append(ssiEdges, n.Eng.SSIWireEdges()...)
 	for _, node := range n.Meta.ActiveNodes() {
 		if node.ID == n.ID {
 			continue
 		}
 		n.withNodeConn(node.ID, func(c *wire.Conn) error {
-			les, err := c.LockGraph()
+			les, ses, err := c.LockGraphEx()
 			if err == nil {
 				collect(node.ID, les)
+				ssiEdges = append(ssiEdges, ses...)
 			}
 			return err
 		})
 	}
+	n.doomActivePivots(ssiEdges)
 
 	adj := make(map[string][]string)
 	for _, e := range edges {

@@ -480,35 +480,50 @@ func (n *Node) acquireConn(p *pool.NodePool, nodeID int, mustHave bool) (*worker
 }
 
 // beginTxnBlock opens the remote transaction block the first time a
-// transactional task lands on a connection. BEGIN and the dist-txn-id SET
-// ride one pipelined batch (one round trip instead of two); both are
+// transactional task lands on a connection. BEGIN and the session SETs
+// (dist txn id, plus the isolation level for serializable sessions) ride
+// one pipelined batch (one round trip instead of two or three); all are
 // checked before any task request is issued, so a failed BEGIN can never
 // let a write execute outside the block. With pipelining disabled they
-// fall back to two plain round trips.
-func (n *Node) beginTxnBlock(st *sessState, wc *workerConn) error {
+// fall back to plain round trips.
+func (n *Node) beginTxnBlock(s *engine.Session, st *sessState, wc *workerConn) error {
+	stmts := []string{
+		"BEGIN",
+		fmt.Sprintf("SET citus.dist_txn_id = '%s'", st.distID),
+	}
+	// Serializable sessions propagate the isolation level so the worker's
+	// local transaction registers for SSI tracking (SIREAD locks and
+	// rw-antidependency edges happen where the data lives; see docs/ssi.md).
+	if s.Serializable() && n.ssiActive() {
+		stmts = append(stmts, "SET transaction_isolation = 'serializable'")
+	}
 	if n.Cfg.DisablePipelining {
-		if _, err := wc.conn.Query("BEGIN"); err != nil {
-			wc.broken = true
-			return fmt.Errorf("opening transaction block on node %d: %w", wc.nodeID, err)
-		}
-		if _, err := wc.conn.Query(fmt.Sprintf("SET citus.dist_txn_id = '%s'", st.distID)); err != nil {
-			wc.broken = true
-			return err
+		for i, q := range stmts {
+			if _, err := wc.conn.Query(q); err != nil {
+				wc.broken = true
+				if i == 0 {
+					return fmt.Errorf("opening transaction block on node %d: %w", wc.nodeID, err)
+				}
+				return err
+			}
 		}
 		wc.inTxn = true
 		return nil
 	}
-	pl := wc.conn.Pipeline(2)
-	begin := pl.Query("BEGIN")
-	set := pl.Query(fmt.Sprintf("SET citus.dist_txn_id = '%s'", st.distID))
-	_ = pl.Flush()
-	if _, err := begin.Result(); err != nil {
-		wc.broken = true
-		return fmt.Errorf("opening transaction block on node %d: %w", wc.nodeID, err)
+	pl := wc.conn.Pipeline(len(stmts))
+	pending := make([]*wire.Pending, len(stmts))
+	for i, q := range stmts {
+		pending[i] = pl.Query(q)
 	}
-	if _, err := set.Result(); err != nil {
-		wc.broken = true
-		return err
+	_ = pl.Flush()
+	for i, pd := range pending {
+		if _, err := pd.Result(); err != nil {
+			wc.broken = true
+			if i == 0 {
+				return fmt.Errorf("opening transaction block on node %d: %w", wc.nodeID, err)
+			}
+			return err
+		}
 	}
 	wc.inTxn = true
 	return nil
@@ -518,7 +533,7 @@ func (n *Node) beginTxnBlock(st *sessState, wc *workerConn) error {
 // transaction block first when in transactional mode.
 func (n *Node) runTask(s *engine.Session, st *sessState, wc *workerConn, t *task, results []*engine.Result, i int, txnMode bool) error {
 	if txnMode && !wc.inTxn {
-		if err := n.beginTxnBlock(st, wc); err != nil {
+		if err := n.beginTxnBlock(s, st, wc); err != nil {
 			return err
 		}
 	}
@@ -616,7 +631,7 @@ func (n *Node) runTaskWindow(s *engine.Session, st *sessState, wc *workerConn, i
 		return n.runTask(s, st, wc, &tasks[idxs[0]], results, idxs[0], txnMode)
 	}
 	if txnMode && !wc.inTxn {
-		if err := n.beginTxnBlock(st, wc); err != nil {
+		if err := n.beginTxnBlock(s, st, wc); err != nil {
 			return err
 		}
 	}

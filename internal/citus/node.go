@@ -69,6 +69,12 @@ type Config struct {
 	// (mirroring DisablePlanCache as the ablation toggle for the pipelined
 	// wire protocol; see docs/wire.md).
 	DisablePipelining bool
+	// DisableSSI turns off serializable snapshot isolation cluster-wide
+	// (the ablation A7 toggle): `SET transaction_isolation = 'serializable'`
+	// is still accepted but degrades to plain snapshot isolation — no SIREAD
+	// locks, no rw-antidependency tracking, no merged-graph commit check.
+	// See docs/ssi.md.
+	DisableSSI bool
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +126,13 @@ type Node struct {
 	// serializes record writes against restore-point creation (§3.9).
 	commitMu      sync.Mutex
 	commitRecords map[string]struct{}
+
+	// ssiCommitMu serializes the SSI merged-graph commit check against the
+	// worker commits of other serializable distributed transactions from
+	// this coordinator: the graph a transaction validates against must not
+	// gain edges from a concurrently committing sibling between the check
+	// and the point its own commits become visible.
+	ssiCommitMu sync.Mutex
 
 	distSeq  atomic.Uint64
 	stopOnce sync.Once

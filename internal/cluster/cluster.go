@@ -258,6 +258,11 @@ func (c *Cluster) newEngine(i int, name string) *engine.Engine {
 		// the off variant measures the genuinely uncached baseline
 		eng.SetStmtCacheEnabled(false)
 	}
+	if c.cfg.Citus.DisableSSI {
+		// ablation A7 off-arm: serializable sessions run plain SI on
+		// every node (no SIREAD tracking, no commit-time checks)
+		eng.SetSSIEnabled(false)
+	}
 	return eng
 }
 
@@ -270,8 +275,20 @@ func (c *Cluster) CrashWorker(i int) error {
 	if i <= 0 || i >= len(c.Engines) {
 		return fmt.Errorf("cannot crash node %d (valid workers: 1..%d)", i, len(c.Engines)-1)
 	}
+	return c.crashNode(i)
+}
+
+// CrashCoordinator kills the coordinator process mid-flight: its WAL seals
+// at the crash instant (the commit records already written survive on
+// "disk"), every open session dies, and in-flight 2PC transactions freeze
+// wherever they were — prepared transactions keep holding locks on workers
+// until the restarted coordinator's recovery resolves them by the
+// commit-record rule (§3.7.2).
+func (c *Cluster) CrashCoordinator() error { return c.crashNode(0) }
+
+func (c *Cluster) crashNode(i int) error {
 	if c.cfg.UseTCP {
-		return fmt.Errorf("CrashWorker supports only the in-process transport")
+		return fmt.Errorf("crash supports only the in-process transport")
 	}
 	eng := c.Engines[i]
 	eng.WAL.Seal()
@@ -289,9 +306,28 @@ func (c *Cluster) RestartWorker(i int) error {
 	if i <= 0 || i >= len(c.Engines) {
 		return fmt.Errorf("cannot restart node %d (valid workers: 1..%d)", i, len(c.Engines)-1)
 	}
+	return c.restartNode(i)
+}
+
+// RestartCoordinator recovers a crashed coordinator from its sealed WAL:
+// the replayed log rebuilds the commit-record table, so the recovery
+// daemon can resolve every transaction that was mid-2PC at the crash —
+// commit records present ⇒ COMMIT PREPARED, absent ⇒ ROLLBACK PREPARED.
+// Sessions opened before the crash are dead; open new ones via Session().
+func (c *Cluster) RestartCoordinator() error { return c.restartNode(0) }
+
+func (c *Cluster) restartNode(i int) error {
 	old := c.Engines[i]
 	if !old.Crashed() {
 		return fmt.Errorf("node %d is not crashed", i)
+	}
+	// A failed-over primary does not come back as a primary: the catalog
+	// already promoted a standby in its place, so the restarted node rejoins
+	// as a standby of the promoted node (PostgreSQL's pg_rewind + follow).
+	if c.Repl != nil {
+		if meta, ok := c.Meta.Node(i + 1); ok && meta.Standby {
+			return c.rejoinStandby(i, meta.StandbyOf)
+		}
 	}
 	eng := c.newEngine(i, old.Name)
 	// Carry the full history into the new incarnation's WAL (a process
@@ -350,6 +386,91 @@ func (c *Cluster) RestartWorker(i int) error {
 		node.SyncWaiter = c.Repl.Wait
 	}
 	node.StartDaemons()
+	return nil
+}
+
+// rejoinStandby rebuilds a failed-over worker as a standby of the node
+// promoted in its place. The recovered engine replays its own sealed WAL —
+// a strict prefix of the promoted primary's log, since promotion drained
+// the winner to the sealed tip before flipping roles — and then resumes
+// streaming from the new primary at exactly its own last LSN (the logs
+// append the same records in the same order, so positions coincide). The
+// node re-enters the catalog as a live standby once it has caught up to
+// the primary's current tip, at which point replica reads route to it and
+// sync-mode commits wait for its acks again.
+func (c *Cluster) rejoinStandby(i, primaryID int) error {
+	old := c.Engines[i]
+	nodeID := i + 1
+	eng := c.newEngine(i, old.Name)
+	// Standbys never self-log: the shipper appends each primary record into
+	// this WAL itself, and replayed history must share the same alignment.
+	eng.SetApplyMode(true)
+	for _, rec := range old.WAL.Records() {
+		rec.LSN = 0 // the new log assigns its own; orders coincide
+		eng.WAL.Append(rec)
+	}
+	if err := old.WAL.ReplayInto(eng.ReplayTarget(), 0); err != nil {
+		return fmt.Errorf("replaying %s WAL: %w", old.Name, err)
+	}
+	// Standby-local sessions (replica reads) allocate XIDs from a range
+	// disjoint from any primary's, same as standbys booted at New.
+	eng.Txns.AdvanceXIDBase(uint64(nodeID) << 40)
+	// Quiesce in-flight executions before rewiring (see RestartWorker).
+	for j, peer := range c.Nodes {
+		if j == i {
+			continue
+		}
+		peer.WaitExecutorIdle(time.Second)
+	}
+	c.mu.Lock()
+	c.Engines[i] = eng
+	c.standbys[nodeID] = eng
+	c.mu.Unlock()
+	// The demoted node runs no Citus layer (standbys are bare engines and
+	// dial no one); live nodes re-dial it for replica reads.
+	for j, peer := range c.Nodes {
+		if j == i {
+			continue
+		}
+		target := eng
+		rtt := c.cfg.NetworkRTT
+		peer.SetDialer(nodeID, func() (*wire.Conn, error) {
+			return wire.DialLocal(target, rtt), nil
+		})
+		peer.RegisterPeerEngine(nodeID, eng)
+	}
+	if err := c.Repl.AddStandby(primaryID, repl.StandbyTarget{
+		NodeID: nodeID, Name: eng.Name,
+		WAL: eng.WAL, Apply: eng.ReplayTarget(),
+	}, eng.WAL.LastLSN()); err != nil {
+		return err
+	}
+	// Catch up to the promoted primary's current tip before going back into
+	// read rotation, so replica reads never regress past the failover.
+	timeout := c.cfg.SyncTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	var tip int64
+	c.mu.Lock()
+	primaryEng := c.standbys[primaryID]
+	c.mu.Unlock()
+	if primaryEng != nil {
+		tip = primaryEng.WAL.LastLSN()
+	}
+	g, ok := c.Repl.Group(primaryID)
+	if !ok {
+		return fmt.Errorf("promoted node %d lost its replication group", primaryID)
+	}
+	deadline := time.Now().Add(timeout)
+	for g.Applied()[nodeID] < tip {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("standby %s stuck at LSN %d catching up to %d",
+				eng.Name, g.Applied()[nodeID], tip)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Meta.SetNodeDown(nodeID, false)
 	return nil
 }
 

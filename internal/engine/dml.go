@@ -8,6 +8,7 @@ import (
 	"citusgo/internal/index"
 	"citusgo/internal/lock"
 	"citusgo/internal/sql"
+	"citusgo/internal/ssi"
 	"citusgo/internal/txn"
 	"citusgo/internal/types"
 	"citusgo/internal/wal"
@@ -142,11 +143,25 @@ func (s *Session) insertRow(store *storage, t *txn.Txn, full types.Row, onConfli
 	if err := s.checkForeignKeys(store, t, full); err != nil {
 		return nil, false, err
 	}
+	ssiW := s.ssiWriter(t)
 	if store.col != nil {
+		// Columnar readers hold table-granularity SIREAD locks only.
+		if err := ssiW.writeProbe(ssi.TableKey(store.table.ID)); err != nil {
+			return nil, false, err
+		}
 		store.col.Insert(t.XID, full)
 		t.MarkWrite()
 		s.Eng.WAL.Append(wal.Record{Type: wal.RecInsert, XID: t.XID, Table: store.table.Name, Row: full})
 		return full, true, nil
+	}
+	// SIREAD probes for the insert: the table (seq-scan readers) and every
+	// index key the new row produces (phantom protection — a reader locked
+	// the key it searched even though no tuple existed).
+	if ssiW != nil {
+		keys := s.indexWriteKeys(store, []ssi.Key{ssi.TableKey(store.table.ID)}, full, params)
+		if err := ssiW.writeProbe(keys...); err != nil {
+			return nil, false, err
+		}
 	}
 
 	// Unique checks are serialized per table; a concurrent in-progress
@@ -201,6 +216,12 @@ func (s *Session) insertRow(store *storage, t *txn.Txn, full types.Row, onConfli
 		return nil, false, err
 	}
 	store.mu.Unlock()
+	// A reader's promoted page lock can cover the page the new tuple landed
+	// on; probe it now that the TID is known (on failure the transaction
+	// aborts, so the already-inserted tuple stays invisible).
+	if err := ssiW.writeProbe(ssi.PageKey(store.table.ID, tidPage(tid))); err != nil {
+		return nil, false, err
+	}
 	t.MarkWrite()
 	s.Eng.WAL.Append(wal.Record{Type: wal.RecInsert, XID: t.XID, Table: store.table.Name, Row: full})
 	return full, true, nil
@@ -280,7 +301,7 @@ func (s *Session) checkForeignKeys(store *storage, t *txn.Txn, row types.Row) er
 
 // refExists checks whether a referenced key is visible, preferring an index.
 func (s *Session) refExists(ref *storage, t *txn.Txn, col string, val types.Datum) bool {
-	snap := s.Eng.Txns.TakeSnapshot(t)
+	snap := s.snapshot(t)
 	ord := ref.table.ColumnIndex(col)
 	if ord == -1 {
 		return false
@@ -398,7 +419,8 @@ func (s *Session) collectTargets(store *storage, where sql.Expr, params []types.
 			return nil, nil, err
 		}
 	}
-	snap := s.Eng.Txns.TakeSnapshot(t)
+	snap := s.snapshot(t)
+	hooks := s.ssiFor(t, snap)
 	ctx := &expr.Ctx{Params: params, ExecSubquery: func(sel *sql.SelectStmt) ([]types.Row, error) {
 		return s.runSubquery(sel, params)
 	}}
@@ -442,14 +464,38 @@ func (s *Session) collectTargets(store *storage, where sql.Expr, params []types.
 				return true
 			})
 		}
+		hooks.lockIndexKey(store.table.ID, path.idx.def.Name, indexKeyString(key))
 		for _, tid := range tids {
 			tup, ok := store.heap.Get(tid)
-			if !ok || !heap.Visible(s.Eng.Txns, snap, tup) {
+			if !ok {
 				continue
 			}
+			if err := hooks.observeTuple(tup); err != nil {
+				return nil, nil, err
+			}
+			if !heap.Visible(s.Eng.Txns, snap, tup) {
+				continue
+			}
+			hooks.lockTuple(store.table.ID, tid)
 			if !visit(tid, tup.Row) {
 				break
 			}
+		}
+	} else if hooks != nil {
+		hooks.lockTable(store.table.ID)
+		var ssiErr error
+		store.heap.AllTuples(func(tid heap.TID, tup heap.Tuple) bool {
+			if err := hooks.observeTuple(tup); err != nil {
+				ssiErr = err
+				return false
+			}
+			if !heap.Visible(s.Eng.Txns, snap, tup) {
+				return true
+			}
+			return visit(tid, tup.Row)
+		})
+		if ssiErr != nil {
+			return nil, nil, ssiErr
 		}
 	} else {
 		store.heap.Scan(s.Eng.Txns, snap, visit)
@@ -538,7 +584,24 @@ func (s *Session) recheckPredicate(where sql.Expr, sc *scope, row types.Row, par
 // writeNewVersion inserts the new row version, links the update chain, and
 // maintains indexes and WAL.
 func (s *Session) writeNewVersion(store *storage, t *txn.Txn, oldTID heap.TID, newRow types.Row, params []types.Datum) error {
+	ssiW := s.ssiWriter(t)
+	if ssiW != nil {
+		// Probe readers of the old version (any granularity) and of the
+		// index keys of both versions: a reader who searched a key the row
+		// moves into — or out of — conflicts with this write.
+		keys := tupleWriteKeys(store.table.ID, oldTID)
+		keys = s.indexWriteKeys(store, keys, newRow, params)
+		if old, ok := store.heap.Get(oldTID); ok {
+			keys = s.indexWriteKeys(store, keys, old.Row, params)
+		}
+		if err := ssiW.writeProbe(keys...); err != nil {
+			return err
+		}
+	}
 	newTID := store.heap.Insert(t.XID, newRow)
+	if err := ssiW.writeProbe(ssi.PageKey(store.table.ID, tidPage(newTID))); err != nil {
+		return err
+	}
 	store.heap.MarkDeleted(oldTID, t.XID, newTID)
 	store.mu.Lock()
 	err := s.insertIndexEntries(store, newRow, newTID, params)
@@ -603,6 +666,11 @@ func (s *Session) execUpdate(stmt *sql.UpdateStmt, params []types.Datum, t *txn.
 		}
 		seen[latestTID] = struct{}{}
 		if latestTID != tgt.tid {
+			// A SERIALIZABLE transaction never chases to a version written
+			// after its snapshot: the concurrent update is a conflict.
+			if s.ssiState(t) != nil {
+				return nil, fmt.Errorf("could not serialize access due to concurrent update: %w", ssi.ErrSerializationFailure)
+			}
 			ok, err := s.recheckPredicate(stmt.Where, sc, tup.Row, params)
 			if err != nil {
 				return nil, err
@@ -666,6 +734,7 @@ func (s *Session) execDelete(stmt *sql.DeleteStmt, params []types.Datum, t *txn.
 	}
 	affected := 0
 	seen := make(map[heap.TID]struct{})
+	ssiW := s.ssiWriter(t)
 	for _, tgt := range targets {
 		latestTID, tup, exists, err := s.lockAndChase(store, t, tgt.tid)
 		if err != nil {
@@ -679,12 +748,21 @@ func (s *Session) execDelete(stmt *sql.DeleteStmt, params []types.Datum, t *txn.
 		}
 		seen[latestTID] = struct{}{}
 		if latestTID != tgt.tid {
+			if ssiW != nil {
+				return nil, fmt.Errorf("could not serialize access due to concurrent update: %w", ssi.ErrSerializationFailure)
+			}
 			ok, err := s.recheckPredicate(stmt.Where, sc, tup.Row, params)
 			if err != nil {
 				return nil, err
 			}
 			if !ok {
 				continue
+			}
+		}
+		if ssiW != nil {
+			keys := s.indexWriteKeys(store, tupleWriteKeys(store.table.ID, latestTID), tup.Row, params)
+			if err := ssiW.writeProbe(keys...); err != nil {
+				return nil, err
 			}
 		}
 		store.heap.MarkDeleted(latestTID, t.XID, heap.NilTID)

@@ -28,6 +28,7 @@ import (
 	"citusgo/internal/lock"
 	"citusgo/internal/obs"
 	"citusgo/internal/sql"
+	"citusgo/internal/ssi"
 	"citusgo/internal/trace"
 	"citusgo/internal/txn"
 	"citusgo/internal/types"
@@ -151,6 +152,9 @@ type Engine struct {
 	Locks   *lock.Manager
 	Pool    *bufpool.Pool
 	WAL     *wal.Log
+	// SSI tracks serializable transactions' SIREAD locks and
+	// rw-antidependency edges (see internal/ssi and ssi_integration.go).
+	SSI *ssi.Manager
 
 	PlannerHook PlannerHook
 	UtilityHook UtilityHook
@@ -186,6 +190,10 @@ type Engine struct {
 	// degree (0 = default).
 	vecOff atomic.Bool
 	vecPar atomic.Int32
+
+	// ssiOff disables SSI tracking for serializable sessions (DisableSSI
+	// config / ablation A7): SERIALIZABLE then degrades to plain SI.
+	ssiOff atomic.Bool
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -260,10 +268,12 @@ type Config struct {
 
 // New creates a node and starts its local deadlock detector.
 func New(cfg Config) *Engine {
+	txns := txn.NewManager()
 	e := &Engine{
 		Name:         cfg.Name,
 		Catalog:      catalog.New(),
-		Txns:         txn.NewManager(),
+		Txns:         txns,
+		SSI:          ssi.NewManager(txns),
 		Locks:        lock.NewManager(),
 		Pool:         bufpool.New(cfg.BufferPool),
 		WAL:          wal.New(),
@@ -566,6 +576,7 @@ func (s *Session) ensureTxn() (*txn.Txn, bool) {
 		t.SetTraceSpan(s.TraceID, s.curSpanKind)
 	}
 	s.txn = t
+	s.maybeRegisterSSI(t)
 	return t, true
 }
 
@@ -707,6 +718,11 @@ func (s *Session) ExecStmt(stmt sql.Statement, params []types.Datum) (*Result, e
 		s.Settings[st.Name] = types.Format(v)
 		if st.Name == "citus.dist_txn_id" && s.txn != nil {
 			s.txn.DistID = types.Format(v)
+		}
+		// The pipelined BEGIN/SET window delivers BEGIN before this SET, so
+		// an already-open transaction enrolls in SSI here.
+		if st.Name == "transaction_isolation" {
+			s.maybeRegisterSSI(s.txn)
 		}
 		return &Result{Tag: "SET"}, nil
 	}
@@ -917,6 +933,9 @@ func (s *Session) execFinishPrepared(gid string, commit bool) (*Result, error) {
 		return nil, err
 	}
 	s.Eng.Locks.ReleaseAll(t.XID)
+	// FinishPrepared flips only the clog — no callbacks run (the owning
+	// session detached at PREPARE) — so SSI is finalized explicitly.
+	s.Eng.finalizePreparedSSI(t.XID, commit)
 	if commit {
 		s.Eng.WAL.Append(wal.Record{Type: wal.RecCommitPrepared, XID: t.XID, GID: gid})
 		return &Result{Tag: "COMMIT PREPARED"}, nil
@@ -925,9 +944,14 @@ func (s *Session) execFinishPrepared(gid string, commit bool) (*Result, error) {
 	return &Result{Tag: "ROLLBACK PREPARED"}, nil
 }
 
-// Snapshot returns a fresh statement snapshot for the current transaction
-// (READ COMMITTED: one snapshot per statement).
+// Snapshot returns a statement snapshot for the current transaction: a
+// fresh one per statement (READ COMMITTED, the default), or the cached
+// transaction-lifetime snapshot for SSI-tracked transactions (SERIALIZABLE
+// is defined over one snapshot for the whole transaction).
 func (s *Session) snapshot(t *txn.Txn) txn.Snapshot {
+	if st := s.ssiState(t); st != nil {
+		return st.Snapshot(func() txn.Snapshot { return s.Eng.Txns.TakeSnapshot(t) })
+	}
 	return s.Eng.Txns.TakeSnapshot(t)
 }
 

@@ -23,6 +23,9 @@ type execCtx struct {
 	txn  *txn.Txn
 	snap txn.Snapshot
 	eval *expr.Ctx
+	// ssi is non-nil for SSI-tracked (SERIALIZABLE) transactions: scans
+	// take SIREAD locks and record read-side rw-antidependencies through it.
+	ssi *ssiHooks
 }
 
 // node is one executor node; run pushes output rows into emit.
@@ -48,6 +51,7 @@ func (p *localPlan) Execute(s *Session, params []types.Datum) (*Result, error) {
 		txn:  t,
 		snap: s.snapshot(t),
 	}
+	ec.ssi = s.ssiFor(t, ec.snap)
 	ec.eval = &expr.Ctx{
 		Params: params,
 		ExecSubquery: func(sel *sql.SelectStmt) ([]types.Row, error) {
@@ -162,7 +166,27 @@ func (n *seqScanNode) run(ec *execCtx, emit func(types.Row) error) error {
 		return true
 	}
 	if n.st.col != nil {
+		// Columnar tables carry no per-tuple SIREAD state: the scan takes a
+		// table-granularity lock, so conflicts are caught write-side.
+		ec.ssi.lockTable(n.st.table.ID)
 		n.st.col.Scan(ec.sess.Eng.Txns, ec.snap, n.needed, visit)
+	} else if ec.ssi != nil {
+		// A sequential scan reads the whole relation: table-granularity
+		// SIREAD lock, plus a read-side conflict check against concurrent
+		// writers of every tuple version — including versions our snapshot
+		// cannot see (reading *around* a concurrent write is exactly the
+		// rw-antidependency).
+		ec.ssi.lockTable(n.st.table.ID)
+		n.st.heap.AllTuples(func(_ heap.TID, tup heap.Tuple) bool {
+			if err := ec.ssi.observeTuple(tup); err != nil {
+				scanErr = err
+				return false
+			}
+			if !heap.Visible(ec.sess.Eng.Txns, ec.snap, tup) {
+				return true
+			}
+			return visit(tup.Row)
+		})
 	} else {
 		n.st.heap.Scan(ec.sess.Eng.Txns, ec.snap, func(_ heap.TID, row types.Row) bool {
 			return visit(row)
@@ -211,7 +235,16 @@ func (n *indexScanNode) run(ec *execCtx, emit func(types.Row) error) error {
 		} else {
 			n.idx.tree.SearchPrefix(key, collect)
 		}
+		// Phantom protection: lock the searched key itself so an insert
+		// producing it later collides even though no tuple exists yet.
+		// Full-key equality gets a key lock + per-tuple locks in emitTIDs;
+		// prefix searches are conservatively covered by the same key hash
+		// of the prefix.
+		ec.ssi.lockIndexKey(n.st.table.ID, n.idx.def.Name, indexKeyString(key))
 	default:
+		// Range scans have unbounded phantom exposure: table-granularity
+		// SIREAD lock.
+		ec.ssi.lockTable(n.st.table.ID)
 		var lo, hi index.Key
 		if n.rangeLo != nil {
 			v, err := ec.evalWith(n.rangeLo, nil)
@@ -235,9 +268,16 @@ func (n *indexScanNode) run(ec *execCtx, emit func(types.Row) error) error {
 func (n *indexScanNode) emitTIDs(ec *execCtx, tids []heap.TID, emit func(types.Row) error) error {
 	for _, tid := range tids {
 		tup, ok := n.st.heap.Get(tid)
-		if !ok || !heap.Visible(ec.sess.Eng.Txns, ec.snap, tup) {
+		if !ok {
 			continue
 		}
+		if err := ec.ssi.observeTuple(tup); err != nil {
+			return err
+		}
+		if !heap.Visible(ec.sess.Eng.Txns, ec.snap, tup) {
+			continue
+		}
+		ec.ssi.lockTuple(n.st.table.ID, tid)
 		ok2, err := ec.filterPasses(n.filter, tup.Row)
 		if err != nil {
 			return err
@@ -276,9 +316,17 @@ func (n *ginScanNode) run(ec *execCtx, emit func(types.Row) error) error {
 		return seq.run(ec, emit)
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	// GIN search is lossy and pattern-shaped: conservative table lock.
+	ec.ssi.lockTable(n.st.table.ID)
 	for _, tid := range candidates {
 		tup, ok := n.st.heap.Get(tid)
-		if !ok || !heap.Visible(ec.sess.Eng.Txns, ec.snap, tup) {
+		if !ok {
+			continue
+		}
+		if err := ec.ssi.observeTuple(tup); err != nil {
+			return err
+		}
+		if !heap.Visible(ec.sess.Eng.Txns, ec.snap, tup) {
 			continue
 		}
 		pass, err := ec.filterPasses(n.filter, tup.Row)

@@ -41,17 +41,23 @@ type vecKey [maxVecGroupCols]types.Datum
 // a constant expression. The constant side is bound per execution (it may
 // reference parameters), then handed to the typed vec.Filter kernels.
 type vecFilterSpec struct {
-	col     int
-	op      vec.CmpOp
-	between bool
-	k       expr.Evaluator // comparison constant
-	lo, hi  expr.Evaluator // BETWEEN bounds
-	text    string         // for EXPLAIN
+	col      int
+	op       vec.CmpOp
+	between  bool
+	nullTest bool // col IS [NOT] NULL
+	notNull  bool
+	k        expr.Evaluator // comparison constant
+	lo, hi   expr.Evaluator // BETWEEN bounds
+	text     string         // for EXPLAIN
 }
 
 func (f *vecFilterSpec) bind(ec *execCtx) (vec.Filter, error) {
-	out := vec.Filter{Col: f.col, Op: f.op, Between: f.between}
+	out := vec.Filter{Col: f.col, Op: f.op, Between: f.between,
+		NullTest: f.nullTest, NotNull: f.notNull}
 	var err error
+	if f.nullTest {
+		return out, nil
+	}
 	if f.between {
 		if out.Lo, err = ec.evalWith(f.lo, nil); err != nil {
 			return out, err
@@ -582,6 +588,12 @@ func compileVecFilter(e sql.Expr, sc *scope) (vecFilterSpec, bool) {
 			}
 			return vecFilterSpec{col: ord, op: flipCmp(op), k: ev, text: e.String()}, true
 		}
+	case *sql.IsNullExpr:
+		ord, isCol := resolveCol(b.E)
+		if !isCol {
+			return vecFilterSpec{}, false
+		}
+		return vecFilterSpec{col: ord, nullTest: true, notNull: b.Not, text: e.String()}, true
 	case *sql.BetweenExpr:
 		if b.Not {
 			return vecFilterSpec{}, false
@@ -681,7 +693,7 @@ func vecGroupable(t types.Type) bool {
 // through the vectorized path. It returns ok=false — leaving planning to
 // the row-at-a-time buildAggNode — whenever any piece of the query is
 // outside the vectorized subset: non-columnar input, residual filters
-// above the scan, OR/IN/LIKE/IS NULL predicates, DISTINCT aggregates,
+// above the scan, OR/IN/LIKE predicates, DISTINCT aggregates,
 // non-numeric computed arguments, or a GROUP BY that is not plain columns.
 func (s *Session) tryVectorizedAgg(input planned, groupBy []sql.Expr, rw *aggRewriter) (node, *scope, bool) {
 	if s.Eng.vecOff.Load() {

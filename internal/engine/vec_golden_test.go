@@ -46,6 +46,13 @@ var vecGoldenQueries = []struct {
 	{"avg_int_is_float", `SELECT avg(l_orderkey) FROM lineitem`, true, nil},
 	{"flipped_comparison", `SELECT count(*) FROM lineitem WHERE 10 > l_quantity`, true, nil},
 	{"sum_constant", `SELECT sum(2), count(l_orderkey) FROM lineitem WHERE l_linenumber = 3`, true, nil},
+	{"is_null", `SELECT count(*) FROM lineitem WHERE l_comment_len IS NULL`, true, nil},
+	{"is_not_null", `SELECT count(*), sum(l_comment_len) FROM lineitem
+		WHERE l_comment_len IS NOT NULL`, true, nil},
+	{"is_null_conjunct", `SELECT count(*), sum(l_quantity) FROM lineitem
+		WHERE l_comment_len IS NULL AND l_quantity < 25 AND l_returnflag = 'R'`, true, nil},
+	{"is_not_null_grouped", `SELECT l_returnflag, count(*), avg(l_comment_len) FROM lineitem
+		WHERE l_comment_len IS NOT NULL GROUP BY l_returnflag ORDER BY 1`, true, nil},
 
 	// fallback shapes: must stay on the row path and still agree
 	{"fallback_or_filter", `SELECT count(*) FROM lineitem
@@ -55,7 +62,8 @@ var vecGoldenQueries = []struct {
 	{"fallback_group_expr", `SELECT l_orderkey % 2, count(*) FROM lineitem
 		GROUP BY l_orderkey % 2 ORDER BY 1`, false, nil},
 	{"fallback_agg_cast_arg", `SELECT sum(l_orderkey::float) FROM lineitem`, false, nil},
-	{"fallback_is_null", `SELECT count(*) FROM lineitem WHERE l_comment_len IS NULL`, false, nil},
+	{"fallback_is_null_expr", `SELECT count(*) FROM lineitem
+		WHERE (l_orderkey % 2) IS NULL`, false, nil},
 }
 
 // loadVecGoldenLineitem creates a columnar lineitem subset and fills it

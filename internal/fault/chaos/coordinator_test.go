@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"citusgo/internal/fault"
+)
+
+// crashCoordinatorMid2PC drives a two-participant transaction into an
+// injected coordinator panic at the given 2PC seam, then crashes and
+// restarts the coordinator process. The restarted coordinator replays its
+// WAL (rebuilding the commit-record table) and its recovery must resolve
+// every prepared transaction left dangling on the workers by the
+// commit-record rule: records present ⇒ the batch becomes visible
+// everywhere, absent ⇒ nowhere. Returns whether the batch survived.
+func crashCoordinatorMid2PC(t *testing.T, point string, batch int64) bool {
+	t.Helper()
+	h := New(t, Options{RecoveryGrace: 20 * time.Millisecond})
+	dumpArtifactOnFailure(t, h)
+	table := fmt.Sprintf("cc%d", batch)
+	h.CreateTable(table)
+	keys, _ := h.KeysOnDistinctWorkers(table, 2)
+	h.SeedRows(table, keys)
+
+	s := h.C.Session()
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if _, err := s.Exec(fmt.Sprintf("UPDATE %s SET v = $1 WHERE k = $2", table), batch, k); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+	}
+	// The coordinator process dies at the seam: the panic unwinds the
+	// committing goroutine mid-2PC, exactly like a kill -9 between two
+	// protocol steps. Both participants hold prepared transactions.
+	fault.Arm(fault.Rule{Point: point, Action: fault.ActPanic, Count: 1})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("commit finished without hitting the %s panic (seed %d)", point, h.Seed)
+			}
+			if _, ok := r.(fault.InjectedPanic); !ok {
+				panic(r) // a real bug, not the injected crash
+			}
+		}()
+		_, _ = s.Exec("COMMIT")
+	}()
+	fault.Reset()
+	if err := h.C.CrashCoordinator(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.DanglingPrepared(); got != 2 {
+		t.Fatalf("dangling prepared after coordinator crash = %d, want 2 (seed %d)", got, h.Seed)
+	}
+
+	if err := h.C.RestartCoordinator(); err != nil {
+		t.Fatalf("coordinator restart: %v (seed %d)", err, h.Seed)
+	}
+	// Sessions opened before the crash died with the process.
+	h.S = h.C.Session()
+	if resolved := h.Quiesce(5 * time.Second); resolved != 2 {
+		t.Fatalf("recovery resolved %d transactions, want 2 (seed %d)", resolved, h.Seed)
+	}
+	return h.CheckAtomic(table, keys, batch)
+}
+
+// TestScheduleCoordinatorCrashBeforeCommitRecord kills the coordinator at
+// the commit-record write: nothing became durable, so after restart the
+// recovery daemon must roll back both prepared participants and the batch
+// is visible nowhere.
+func TestScheduleCoordinatorCrashBeforeCommitRecord(t *testing.T) {
+	if crashCoordinatorMid2PC(t, fault.Point2PCCommitRecord, 11) {
+		t.Fatal("transaction without a commit record became visible after coordinator restart")
+	}
+}
+
+// TestScheduleCoordinatorCrashAfterCommitRecord kills the coordinator after
+// the commit records are in its WAL but before any COMMIT PREPARED went
+// out. The transaction IS committed by the commit-record rule: the
+// restarted coordinator rebuilds the records from its replayed WAL and
+// recovery commits both prepared participants.
+func TestScheduleCoordinatorCrashAfterCommitRecord(t *testing.T) {
+	if !crashCoordinatorMid2PC(t, fault.Point2PCCommit, 12) {
+		t.Fatal("committed transaction not visible after coordinator restart and recovery")
+	}
+}

@@ -305,6 +305,81 @@ func TestChaosPromoteCrashPoints(t *testing.T) {
 	}
 }
 
+// TestRestartFailedOverPrimaryRejoinsAsStandby is the regression test for
+// restarting a replicated primary that has already been failed over: the
+// catalog says the node is a standby of the promoted winner, so the restart
+// must NOT rebuild it as a second primary (split-brain: two engines both
+// accepting writes for the same placements). Instead it replays its sealed
+// WAL, rejoins the promoted primary's replication group at its own tip,
+// streams the post-failover history it missed, and re-enters read rotation.
+func TestRestartFailedOverPrimaryRejoinsAsStandby(t *testing.T) {
+	h := New(t, Options{
+		ReplicationFactor: 1,
+		ReplicationMode:   repl.ModeSync,
+		RecoveryInterval:  5 * time.Millisecond,
+	})
+	dumpArtifactOnFailure(t, h)
+	h.CreateTable("rj")
+	keys, nodeIDs := h.KeysOnDistinctWorkers("rj", 2)
+	h.SeedRows("rj", keys)
+	s := h.C.Session()
+	if err := h.UpdateAll(s, "rj", keys, 1); err != nil {
+		t.Fatalf("pre-failover batch: %v (seed %d)", err, h.Seed)
+	}
+
+	victim := nodeIDs[0]
+	newID, err := h.C.Failover(victim - 1)
+	if err != nil {
+		t.Fatalf("failover of node %d: %v (seed %d)", victim, err, h.Seed)
+	}
+	// History the crashed node missed: committed only after the promotion.
+	if err := h.UpdateAll(s, "rj", keys, 2); err != nil {
+		t.Fatalf("post-failover batch: %v (seed %d)", err, h.Seed)
+	}
+
+	if err := h.C.RestartWorker(victim - 1); err != nil {
+		t.Fatalf("restart of failed-over node %d: %v (seed %d)", victim, err, h.Seed)
+	}
+	node, ok := h.C.Meta.Node(victim)
+	if !ok || !node.Standby || node.StandbyOf != newID {
+		t.Fatalf("restarted node %d did not rejoin as standby of %d: %+v (seed %d)",
+			victim, newID, node, h.Seed)
+	}
+	if h.C.Meta.NodeDown(victim) {
+		t.Fatalf("rejoined standby %d still marked down (seed %d)", victim, h.Seed)
+	}
+
+	// Sync-mode commits wait for the rejoined standby's ack again: this
+	// batch cannot commit unless the restarted engine applies it.
+	if err := h.UpdateAll(s, "rj", keys, 3); err != nil {
+		t.Fatalf("post-rejoin batch: %v (seed %d)", err, h.Seed)
+	}
+	drainRepl(t, h)
+
+	// Read the restarted engine directly: it must hold the pre-failover
+	// history it replayed from its own WAL AND everything streamed after the
+	// rejoin — including the batch committed while it was down.
+	sb := h.C.StandbyEngine(victim)
+	if sb == nil {
+		t.Fatalf("rejoined standby %d has no engine (seed %d)", victim, h.Seed)
+	}
+	sh, err := h.C.Meta.ShardForValue("rj", keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sb.NewSession().Exec(fmt.Sprintf("SELECT v FROM %s WHERE k = %d", sh.ShardName(), keys[0]))
+	if err != nil {
+		t.Fatalf("reading rejoined standby: %v (seed %d)", err, h.Seed)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 3 {
+		t.Fatalf("rejoined standby holds %v for key %d, want batch 3 (seed %d)",
+			res.Rows, keys[0], h.Seed)
+	}
+	if !h.CheckAtomic("rj", keys, 3) {
+		t.Fatalf("post-rejoin batch not atomically visible (seed %d)", h.Seed)
+	}
+}
+
 // TestRestartWorkerDuringRetryBackoff is the regression test for the
 // restart-vs-retry race: readers sit in transient-retry backoff against a
 // crashed worker while RestartWorker rewires the mesh. The quiesce gate in

@@ -44,6 +44,8 @@ const (
 	PointReplShip        = "repl.ship"         // key: standby node name (per shipped record)
 	PointReplApply       = "repl.apply"        // key: standby node name (before applying a record)
 	PointReplPromote     = "repl.promote"      // key: promotion stage ("drain", "flip")
+	PointSSICheck        = "ssi.check"         // key: distributed txn id ("" for local txns)
+	PointSSIEdgePoll     = "ssi.edge_poll"     // key: worker node ID (decimal)
 )
 
 // Action says what an armed rule does when it fires.

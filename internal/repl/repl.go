@@ -362,6 +362,22 @@ func (m *Manager) Group(nodeID int) (*Group, bool) {
 	return g, ok
 }
 
+// AddStandby attaches a standby to an existing primary's group, resuming
+// the stream at the standby's applied position. This is the
+// restart-after-failover path: the old primary's recovered engine rejoins
+// the cluster as a standby of the node promoted in its place. Its replayed
+// WAL is a prefix of the new primary's log (promotion drained the winner to
+// the sealed tip before flipping roles) and LSNs coincide across the two
+// logs, so shipping resumes exactly at appliedLSN with no gap or overlap.
+func (m *Manager) AddStandby(primaryID int, t StandbyTarget, appliedLSN int64) error {
+	g, ok := m.Group(primaryID)
+	if !ok {
+		return fmt.Errorf("repl: node %d has no replication group", primaryID)
+	}
+	g.resumeStandby(t, appliedLSN)
+	return nil
+}
+
 // Wait is the commit-path hook: after a write on nodeID it enforces the
 // mode's durability contract — full standby ack in sync mode, bounded lag
 // in async mode. Unreplicated nodes return immediately.

@@ -1057,6 +1057,45 @@ func (p *parser) parseCopy() (Statement, error) {
 func (p *parser) parseSet() (Statement, error) {
 	p.next() // SET
 	p.acceptKw("LOCAL")
+	// SET TRANSACTION ISOLATION LEVEL <level> is sugar for the
+	// transaction_isolation session setting (SERIALIZABLE engages SSI;
+	// everything else runs the engine's native snapshot isolation). The
+	// level words are not reserved keywords, so match them loosely.
+	acceptWord := func(w string) bool {
+		t := p.peek()
+		if (t.kind == tkKeyword || t.kind == tkIdent) && strings.EqualFold(t.val, w) {
+			p.i++
+			return true
+		}
+		return false
+	}
+	if acceptWord("TRANSACTION") {
+		if !acceptWord("ISOLATION") || !acceptWord("LEVEL") {
+			return nil, p.errorf("expected ISOLATION LEVEL after SET TRANSACTION")
+		}
+		var level string
+		switch {
+		case acceptWord("SERIALIZABLE"):
+			level = "serializable"
+		case acceptWord("REPEATABLE"):
+			if !acceptWord("READ") {
+				return nil, p.errorf("expected READ after REPEATABLE")
+			}
+			level = "repeatable read"
+		case acceptWord("READ"):
+			switch {
+			case acceptWord("COMMITTED"):
+				level = "read committed"
+			case acceptWord("UNCOMMITTED"):
+				level = "read uncommitted"
+			default:
+				return nil, p.errorf("expected COMMITTED or UNCOMMITTED after READ")
+			}
+		default:
+			return nil, p.errorf("unknown isolation level")
+		}
+		return &SetStmt{Name: "transaction_isolation", Value: &Literal{Value: level}}, nil
+	}
 	var nameParts []string
 	part, err := p.ident()
 	if err != nil {

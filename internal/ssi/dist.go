@@ -1,0 +1,122 @@
+package ssi
+
+// Distributed SSI: each node exports its rw-antidependency edges keyed by
+// distributed transaction id (only edges whose both endpoints carry one —
+// purely local transactions are fully handled by the local check). The
+// coordinator merges the per-node edge lists into one conflict graph and
+// runs the same dangerous-structure test over it, so a pivot whose
+// in-conflict lives on worker A and out-conflict on worker B is still
+// aborted. Cross-node commit ordering uses wall-clock nanoseconds captured
+// at each node's pre-commit; clock skew can only delay detection into a
+// false negative between *different* pairs of nodes — single-node orderings
+// stay exact — and the per-node local check remains a backstop.
+
+// WireEdge is one rw-antidependency (From read what To wrote) shipped to
+// the coordinator. Commit times are UnixNano at the owning node, 0 while
+// the transaction is uncommitted. Edges with an aborted endpoint are not
+// exported.
+type WireEdge struct {
+	From         string `json:"from"`
+	To           string `json:"to"`
+	FromCommitNs int64  `json:"from_commit_ns,omitempty"`
+	ToCommitNs   int64  `json:"to_commit_ns,omitempty"`
+}
+
+// Export returns this node's cross-shard rw-antidependency edges for the
+// coordinator merge.
+func (m *Manager) Export() []WireEdge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []WireEdge
+	for _, st := range m.states {
+		if st.dist == "" || st.aborted {
+			continue
+		}
+		for w := range st.out {
+			if w.dist == "" || w.dist == st.dist || w.aborted {
+				continue
+			}
+			e := WireEdge{From: st.dist, To: w.dist}
+			if st.commitSeq != 0 {
+				e.FromCommitNs = st.commitWall
+			}
+			if w.commitSeq != 0 {
+				e.ToCommitNs = w.commitWall
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Graph is a merged cluster-wide conflict graph.
+type Graph struct {
+	out    map[string]map[string]struct{}
+	in     map[string]map[string]struct{}
+	commit map[string]int64 // 0 or absent = uncommitted
+}
+
+// BuildGraph merges per-node edge lists. A transaction reported committed
+// by any node counts as committed (a 2PC participant's prepare commits its
+// SSI clock on that node first).
+func BuildGraph(edges []WireEdge) *Graph {
+	g := &Graph{
+		out:    make(map[string]map[string]struct{}),
+		in:     make(map[string]map[string]struct{}),
+		commit: make(map[string]int64),
+	}
+	note := func(id string, ns int64) {
+		if ns != 0 && (g.commit[id] == 0 || ns < g.commit[id]) {
+			g.commit[id] = ns
+		}
+	}
+	for _, e := range edges {
+		if e.From == "" || e.To == "" || e.From == e.To {
+			continue
+		}
+		if g.out[e.From] == nil {
+			g.out[e.From] = make(map[string]struct{})
+		}
+		g.out[e.From][e.To] = struct{}{}
+		if g.in[e.To] == nil {
+			g.in[e.To] = make(map[string]struct{})
+		}
+		g.in[e.To][e.From] = struct{}{}
+		note(e.From, e.FromCommitNs)
+		note(e.To, e.ToCommitNs)
+	}
+	return g
+}
+
+// DangerousPivot reports whether committing pivot now would complete a
+// dangerous structure: an out-neighbor W already committed, and an
+// in-neighbor R that is uncommitted or did not commit strictly before W.
+// Mirrors Manager.dangerousLocked for an uncommitted pivot.
+func (g *Graph) DangerousPivot(pivot string) bool {
+	for w := range g.out[pivot] {
+		wc := g.commit[w]
+		if wc == 0 {
+			continue
+		}
+		for r := range g.in[pivot] {
+			if rc := g.commit[r]; rc != 0 && rc < wc {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// ActivePivots lists uncommitted distributed transactions that already form
+// a dangerous structure — the background poll dooms these cluster-wide
+// rather than waiting for their commit to fail.
+func (g *Graph) ActivePivots() []string {
+	var out []string
+	for id := range g.out {
+		if g.commit[id] == 0 && g.DangerousPivot(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

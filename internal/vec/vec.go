@@ -75,22 +75,53 @@ func relPass(rel int, op CmpOp) bool {
 	return false
 }
 
-// Filter is one compiled conjunct over a single column: col <op> K, or
-// col BETWEEN Lo AND Hi. Constants are fully resolved (parameters
-// substituted, casts evaluated) before the kernel runs.
+// Filter is one compiled conjunct over a single column: col <op> K,
+// col BETWEEN Lo AND Hi, or col IS [NOT] NULL. Constants are fully
+// resolved (parameters substituted, casts evaluated) before the kernel
+// runs.
 type Filter struct {
 	Col     int // table column ordinal
 	Op      CmpOp
 	K       types.Datum
 	Between bool
 	Lo, Hi  types.Datum
+	// NullTest selects rows by NULL-ness instead of comparing: IS NULL,
+	// or IS NOT NULL when NotNull is also set. Unlike every comparison
+	// kernel, IS NULL is the one predicate NULL rows *pass*.
+	NullTest bool
+	NotNull  bool
 }
 
 func (f *Filter) String() string {
+	if f.NullTest {
+		if f.NotNull {
+			return fmt.Sprintf("col%d IS NOT NULL", f.Col)
+		}
+		return fmt.Sprintf("col%d IS NULL", f.Col)
+	}
 	if f.Between {
 		return fmt.Sprintf("col%d BETWEEN %s AND %s", f.Col, types.Format(f.Lo), types.Format(f.Hi))
 	}
 	return fmt.Sprintf("col%d %s %s", f.Col, f.Op, types.Format(f.K))
+}
+
+// applyNullTest is the IS [NOT] NULL kernel: wantNull selects the NULL
+// rows, !wantNull the non-NULL ones.
+func applyNullTest(col []types.Datum, sel Sel, out Sel, wantNull bool) Sel {
+	if sel == nil {
+		for i := 0; i < len(col); i++ {
+			if (col[i] == nil) == wantNull {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if (col[i] == nil) == wantNull {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 type ordered interface {
@@ -266,6 +297,9 @@ func applyBetweenGeneric(col []types.Datum, sel Sel, out Sel, lod, hid types.Dat
 // never true).
 func (f *Filter) Apply(col []types.Datum, sel Sel, out Sel) Sel {
 	out = out[:0]
+	if f.NullTest {
+		return applyNullTest(col, sel, out, !f.NotNull)
+	}
 	if f.Between {
 		if f.Lo == nil || f.Hi == nil {
 			return out
@@ -360,6 +394,11 @@ func alignClass(k, min, max types.Datum) (types.Datum, types.Datum, types.Datum,
 // types.Compare's cross-type textual fallback does not in general agree
 // with the per-type ordering the stats were built under.
 func (f *Filter) Skip(min, max types.Datum, ok bool) bool {
+	if f.NullTest {
+		// chunk stats cover only non-NULL values and carry no null count,
+		// so they can prove nothing about either polarity of a null test
+		return false
+	}
 	if !ok {
 		return false
 	}

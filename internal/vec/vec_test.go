@@ -57,6 +57,37 @@ func TestFilterTypedKernels(t *testing.T) {
 	}
 }
 
+func TestFilterNullTestKernel(t *testing.T) {
+	col := []types.Datum{int64(5), nil, int64(10), nil, int64(3)}
+	isNull := Filter{Col: 0, NullTest: true}
+	isNotNull := Filter{Col: 0, NullTest: true, NotNull: true}
+
+	if got := isNull.Apply(col, nil, nil); !selEqual(got, []int32{1, 3}) {
+		t.Fatalf("IS NULL over full chunk: got %v", got)
+	}
+	if got := isNotNull.Apply(col, nil, nil); !selEqual(got, []int32{0, 2, 4}) {
+		t.Fatalf("IS NOT NULL over full chunk: got %v", got)
+	}
+	// consuming a prior selection
+	sel := Sel{0, 1, 2}
+	if got := isNull.Apply(col, sel, nil); !selEqual(got, []int32{1}) {
+		t.Fatalf("IS NULL over selection: got %v", got)
+	}
+	if got := isNotNull.Apply(col, sel, nil); !selEqual(got, []int32{0, 2}) {
+		t.Fatalf("IS NOT NULL over selection: got %v", got)
+	}
+	// stats are over non-NULL values only: a null test must never skip a
+	// stripe, in either polarity, with or without stats
+	for _, f := range []Filter{isNull, isNotNull} {
+		if f.Skip(int64(1), int64(2), true) || f.Skip(nil, nil, false) {
+			t.Fatalf("%s skipped a stripe on min/max stats", f.String())
+		}
+	}
+	if isNull.String() != "col0 IS NULL" || isNotNull.String() != "col0 IS NOT NULL" {
+		t.Fatalf("null-test String(): %q / %q", isNull.String(), isNotNull.String())
+	}
+}
+
 func TestFilterChainsSelections(t *testing.T) {
 	col := []types.Datum{int64(1), int64(2), int64(3), int64(4), int64(5), int64(6)}
 	f1 := Filter{Op: Gt, K: int64(2)}

@@ -21,6 +21,7 @@ import (
 	"citusgo/internal/jsonb"
 	"citusgo/internal/obs"
 	"citusgo/internal/sql"
+	"citusgo/internal/ssi"
 	"citusgo/internal/trace"
 	"citusgo/internal/types"
 )
@@ -81,6 +82,13 @@ const (
 	// ReqTraceSpans returns the node's ring-buffered spans for the trace
 	// id in the request header (citus_trace reassembly).
 	ReqTraceSpans
+	// ReqSSIEdges returns the node's cross-transaction rw-antidependency
+	// edges (the coordinator's merged SSI conflict graph polls this; the
+	// edges also piggyback on every ReqLockGraph response).
+	ReqSSIEdges
+	// ReqDoomDist dooms the local member of a distributed transaction: its
+	// commit will fail with a serialization error (cluster-wide pivot abort).
+	ReqDoomDist
 )
 
 // String names the request kind; fault-injection rules key wire.send /
@@ -111,6 +119,10 @@ func (k RequestKind) String() string {
 		return "exec_prepared"
 	case ReqTraceSpans:
 		return "trace_spans"
+	case ReqSSIEdges:
+		return "ssi_edges"
+	case ReqDoomDist:
+		return "doom_dist"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -166,6 +178,7 @@ type Response struct {
 	Seq uint64
 
 	Edges    []engine.LockEdge
+	SSIEdges []ssi.WireEdge
 	Prepared []PreparedTxn
 	Spans    []trace.Span
 	Count    int64
@@ -401,14 +414,46 @@ func (c *Conn) Copy(table string, columns []string, rows []types.Row) (int, erro
 
 // LockGraph polls the node's waits-for edges.
 func (c *Conn) LockGraph() ([]engine.LockEdge, error) {
+	edges, _, err := c.LockGraphEx()
+	return edges, err
+}
+
+// LockGraphEx polls the node's waits-for edges together with its SSI
+// rw-antidependency edges — one round trip feeds both the distributed
+// deadlock detector and the background pivot-abort scan.
+func (c *Conn) LockGraphEx() ([]engine.LockEdge, []ssi.WireEdge, error) {
 	resp, err := c.roundTrip(&Request{Kind: ReqLockGraph})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != "" {
+		return nil, nil, errors.New(resp.Err)
+	}
+	return resp.Edges, resp.SSIEdges, nil
+}
+
+// SSIEdges polls the node's rw-antidependency edges (the coordinator's
+// pre-commit merged conflict-graph check).
+func (c *Conn) SSIEdges() ([]ssi.WireEdge, error) {
+	resp, err := c.roundTrip(&Request{Kind: ReqSSIEdges})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
-	return resp.Edges, nil
+	return resp.SSIEdges, nil
+}
+
+// DoomDistTxn dooms the local member of a distributed transaction: unlike
+// CancelDistTxn it does not interrupt running statements — the member's
+// commit fails with a retryable serialization error instead.
+func (c *Conn) DoomDistTxn(distID string) (bool, error) {
+	resp, err := c.roundTrip(&Request{Kind: ReqDoomDist, Name: distID})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
 }
 
 // CancelDistTxn cancels the local participant of a distributed transaction.
@@ -571,9 +616,13 @@ func (h *handler) handle(req *Request) *Response {
 		}
 		return &Response{Affected: n, Tag: fmt.Sprintf("COPY %d", n)}
 	case ReqLockGraph:
-		return &Response{Edges: h.eng.LockGraph()}
+		return &Response{Edges: h.eng.LockGraph(), SSIEdges: h.eng.SSIWireEdges()}
+	case ReqSSIEdges:
+		return &Response{SSIEdges: h.eng.SSIWireEdges()}
 	case ReqCancelDist:
 		return &Response{OK: h.eng.CancelByDistID(req.Name)}
+	case ReqDoomDist:
+		return &Response{OK: h.eng.DoomByDistID(req.Name)}
 	case ReqAppendResult:
 		h.eng.AppendIntermediateResult(req.Name, req.Columns, wireToRows(req.Rows))
 		return &Response{OK: true}
