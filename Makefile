@@ -1,6 +1,6 @@
 # Convenience targets for the citusgo reproduction.
 
-.PHONY: all build test bench figures examples vet fmt fmt-check lint race bench-smoke trace-smoke chaos-smoke chaos-soak ci
+.PHONY: all build test bench figures examples vet fmt fmt-check lint race bench-smoke trace-smoke chaos-smoke chaos-soak soak soak-smoke fuzz-smoke ci
 
 all: build vet test
 
@@ -33,9 +33,11 @@ lint:
 test:
 	go test -timeout 15m ./...
 
-# race-enabled tests over the concurrent internals (mirrors the CI job)
+# race-enabled tests over the concurrent internals (mirrors the CI job);
+# -shuffle=on randomizes test order so order-dependent tests can't hide —
+# a failure prints the shuffle seed, reproduce with -shuffle=<seed>
 race:
-	go test -race -timeout 20m ./internal/...
+	go test -race -shuffle=on -timeout 20m ./internal/...
 
 # run every benchmark once so benchmark code can't bit-rot (the figure
 # benchmarks live in the root package, on top of internal/bench, plus the
@@ -71,8 +73,46 @@ chaos-soak:
 	CHAOS_ARTIFACT_DIR=$(CURDIR)/chaos-artifacts \
 	go test -race -run 'TestChaosSoakMatrix|TestChaosAsyncBoundedStaleness|TestChaosPromoteCrashPoints' -count=1 -timeout 900s -v ./internal/fault/chaos
 
+# long open-loop production soak (nightly CI, see
+# .github/workflows/soak.yml): mixed tenant traffic (TPC-C + YCSB +
+# ILIKE dashboards + 2PC ledger + serializable bank) at fixed arrival
+# rates with seeded faults and periodic failovers, invariants checked
+# continuously. A violation dumps seed + trace rings to soak-artifacts/
+# and reproduces with the printed -soak-seed
+soak:
+	CHAOS_ARTIFACT_DIR=$(CURDIR)/soak-artifacts \
+	go run ./cmd/citusbench -soak -soak-duration 120s -soak-failovers 3
+
+# the PR-sized soak slice: a 30s mixed run with one failover (must pass),
+# then the checker self-test — a canary run that deliberately loses one
+# acked ledger batch and MUST fail, catch the violation, and dump a
+# reproduction artifact; the same seed is then re-run to prove the
+# violation reproduces deterministically
+soak-smoke:
+	CHAOS_ARTIFACT_DIR=$(CURDIR)/soak-artifacts \
+	go run ./cmd/citusbench -soak -soak-duration 30s -soak-seed 4242 -soak-failovers 1
+	@rm -rf $(CURDIR)/soak-artifacts-canary && mkdir -p $(CURDIR)/soak-artifacts-canary
+	@echo "--- canary: a run that loses one acked write MUST fail ---"
+	! go run ./cmd/citusbench -soak -soak-duration 5s -soak-seed 777 -soak-canary \
+		-soak-artifacts $(CURDIR)/soak-artifacts-canary
+	@test -n "$$(ls $(CURDIR)/soak-artifacts-canary)" || \
+		{ echo "canary violation produced no artifact"; exit 1; }
+	@grep -q 'acked-write' $(CURDIR)/soak-artifacts-canary/soak-seed-777.txt || \
+		{ echo "artifact missing the acked-write violation"; exit 1; }
+	@echo "--- canary: same seed must reproduce the violation ---"
+	! go run ./cmd/citusbench -soak -soak-duration 5s -soak-seed 777 -soak-canary \
+		-soak-artifacts $(CURDIR)/soak-artifacts-canary
+	@echo "soak-smoke: clean run passed, canary caught + reproduced"
+
+# short native-fuzz smoke over the wire protocol (framing + pipeline Seq
+# correlation); longer local runs just extend the same corpus:
+#   go test ./internal/wire -fuzz FuzzWireFraming -fuzztime 10m
+fuzz-smoke:
+	go test ./internal/wire -run '^$$' -fuzz FuzzWireFraming -fuzztime 15s
+	go test ./internal/wire -run '^$$' -fuzz FuzzPipelineSeq -fuzztime 15s
+
 # the full CI pipeline (.github/workflows/ci.yml), reproducible locally
-ci: build vet fmt-check lint test race bench-smoke trace-smoke chaos-smoke
+ci: build vet fmt-check lint test race bench-smoke trace-smoke chaos-smoke soak-smoke fuzz-smoke
 
 # one testing.B benchmark per paper figure (test scale)
 bench:

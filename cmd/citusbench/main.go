@@ -6,6 +6,8 @@
 //	citusbench -fig 6              # just the TPC-C comparison
 //	citusbench -fig 9 -tiny       # quick run at test scale
 //	citusbench -capabilities       # print the Table 2 capability matrix
+//	citusbench -soak -soak-duration 30s -soak-failovers 1
+//	                               # open-loop mixed-tenant soak run
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"time"
 
 	"citusgo/internal/bench"
+	"citusgo/internal/repl"
+	"citusgo/internal/soak"
 	"citusgo/internal/trace"
 )
 
@@ -30,10 +34,65 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", -1, "log statements slower than this to stderr (0 logs every statement; negative disables the slow log)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+
+	// The open-loop production soak harness (internal/soak): mixed tenant
+	// traffic at fixed arrival rates, continuous invariant checking, SLO
+	// report. Exits 1 on any invariant violation (or SLO breach with
+	// -soak-fail-slo), after dumping the reproduction artifact.
+	soakRun := flag.Bool("soak", false, "run the open-loop mixed-tenant soak instead of a figure")
+	soakDuration := flag.Duration("soak-duration", 30*time.Second, "soak traffic window")
+	soakSeed := flag.Int64("soak-seed", 0, "soak RNG/fault seed (0: FAULT_SEED env, else wall clock)")
+	soakMode := flag.String("soak-mode", "sync", "replication mode: sync or async")
+	soakWorkers := flag.Int("soak-workers", 0, "soak worker node count (0: default)")
+	soakRF := flag.Int("soak-rf", 0, "standbys per worker (0: default)")
+	soakTenants := flag.Int("soak-tenants", 0, "tenant (TPC-C warehouse) count (0: default)")
+	soakFailovers := flag.Int("soak-failovers", 1, "worker failovers injected across the run")
+	soakRateScale := flag.Float64("soak-rate-scale", 1.0, "multiplier applied to every class arrival rate")
+	soakFaults := flag.Bool("soak-faults", true, "arm the seeded background fault brew")
+	soakCanary := flag.Bool("soak-canary", false, "deliberately lose one acked ledger batch (checker self-test; the run must FAIL)")
+	soakFailSLO := flag.Bool("soak-fail-slo", false, "fail the run on SLO breaches, not just invariant violations")
+	soakArtifacts := flag.String("soak-artifacts", "", "violation artifact directory (default: CHAOS_ARTIFACT_DIR)")
 	flag.Parse()
 
 	if *capabilities {
 		printCapabilities()
+		return
+	}
+
+	if *soakRun {
+		var mode repl.Mode
+		switch *soakMode {
+		case "sync":
+			mode = repl.ModeSync
+		case "async":
+			mode = repl.ModeAsync
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -soak-mode %q (want sync or async)\n", *soakMode)
+			os.Exit(2)
+		}
+		report, err := soak.Run(soak.Config{
+			Duration:          *soakDuration,
+			Seed:              *soakSeed,
+			ReplicationMode:   mode,
+			Workers:           *soakWorkers,
+			ReplicationFactor: *soakRF,
+			Tenants:           *soakTenants,
+			Failovers:         *soakFailovers,
+			RateScale:         *soakRateScale,
+			Faults:            *soakFaults,
+			CanaryLostAck:     *soakCanary,
+			FailOnSLO:         *soakFailSLO,
+			ArtifactDir:       *soakArtifacts,
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak failed to run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(report.String())
+		if !report.Passed() {
+			os.Exit(1)
+		}
 		return
 	}
 

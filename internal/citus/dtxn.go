@@ -289,7 +289,7 @@ func (n *Node) releaseSessionConns(st *sessState) {
 			continue
 		}
 		for _, wc := range list {
-			if wc.broken || wc.inTxn {
+			if wc.broken || wc.inTxn || (wc.dirty && !n.resetWorkerSession(wc)) {
 				p.Discard(wc.conn)
 			} else {
 				p.Put(wc.conn)

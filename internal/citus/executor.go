@@ -497,6 +497,12 @@ func (n *Node) beginTxnBlock(s *engine.Session, st *sessState, wc *workerConn) e
 	if s.Serializable() && n.ssiActive() {
 		stmts = append(stmts, "SET transaction_isolation = 'serializable'")
 	}
+	// The pool is shared across coordinator sessions, so these session-level
+	// GUCs must be wiped before the connection is reused (see
+	// resetWorkerSession) — a leaked 'serializable' would enroll unrelated
+	// queries in SSI tracking, and a stale dist txn id could let a
+	// cluster-wide pivot abort doom an innocent transaction.
+	wc.dirty = true
 	if n.Cfg.DisablePipelining {
 		for i, q := range stmts {
 			if _, err := wc.conn.Query(q); err != nil {
@@ -527,6 +533,43 @@ func (n *Node) beginTxnBlock(s *engine.Session, st *sessState, wc *workerConn) e
 	}
 	wc.inTxn = true
 	return nil
+}
+
+// resetWorkerSession wipes the session-level GUCs beginTxnBlock installed
+// (dist txn id, isolation level) before a connection goes back to the
+// shared pool — the moral equivalent of a pooler's server_reset_query.
+// Without it the next checkout inherits another session's serializable
+// isolation (enrolling plain autocommit reads in SSI tracking) and its
+// stale dist txn id (misattributing stat rows, and worse: a cluster-wide
+// pivot abort matches on dist id). Returns false when the reset itself
+// failed, in which case the connection must be discarded, not pooled.
+func (n *Node) resetWorkerSession(wc *workerConn) bool {
+	stmts := []string{
+		"SET citus.dist_txn_id = ''",
+		"SET transaction_isolation = 'read committed'",
+	}
+	if n.Cfg.DisablePipelining {
+		for _, q := range stmts {
+			if _, err := wc.conn.Query(q); err != nil {
+				return false
+			}
+		}
+		wc.dirty = false
+		return true
+	}
+	pl := wc.conn.Pipeline(len(stmts))
+	pending := make([]*wire.Pending, len(stmts))
+	for i, q := range stmts {
+		pending[i] = pl.Query(q)
+	}
+	_ = pl.Flush()
+	for _, pd := range pending {
+		if _, err := pd.Result(); err != nil {
+			return false
+		}
+	}
+	wc.dirty = false
+	return true
 }
 
 // runTask executes one task on one connection, opening a remote

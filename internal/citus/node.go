@@ -394,6 +394,7 @@ type workerConn struct {
 	pool   *pool.NodePool // originating pool, for mid-task replacement
 	inTxn  bool           // BEGIN sent for the current distributed transaction
 	wrote  bool           // performed a write in this transaction
+	dirty  bool           // session GUCs were SET; reset before the shared pool reuses it
 	broken bool           // protocol error: discard instead of returning to pool
 	gone   bool           // already discarded mid-task (failed refresh); skip disposition
 }

@@ -27,6 +27,7 @@ import (
 //	SELECT citus_move_shard_placement(shard_id, from_node, to_node)
 //	SELECT citus_stat_counters()
 //	SELECT citus_stat_activity()
+//	SELECT citus_stat_ssi()
 //	SELECT citus_trace(trace_id)
 func (n *Node) matchUDF(s *engine.Session, stmt sql.Statement, params []types.Datum) (engine.Plan, bool, error) {
 	sel, ok := stmt.(*sql.SelectStmt)
@@ -171,6 +172,15 @@ func (n *Node) matchUDF(s *engine.Session, stmt sql.Statement, params []types.Da
 		// observability: the coordinator distributed-plan cache
 		return &planCacheStatsPlan{node: n}, true, nil
 
+	case "citus_stat_ssi":
+		// observability: per-session SSI state (locks, conflict edges,
+		// doomed flags) across the cluster
+		return &statSSIPlan{node: n, clusterWide: true}, true, nil
+
+	case "citus_node_stat_ssi":
+		// node-local part of citus_stat_ssi, invoked over the wire
+		return &statSSIPlan{node: n}, true, nil
+
 	case "citus_stat_activity":
 		// observability: active/prepared transactions across the cluster
 		return &statActivityPlan{node: n, clusterWide: true}, true, nil
@@ -259,6 +269,51 @@ func (p *statActivityPlan) Execute(s *engine.Session, params []types.Datum) (*en
 			}
 			p.node.withNodeConn(node.ID, func(c *wire.Conn) error {
 				remote, err := c.Query("SELECT citus_node_stat_activity()")
+				if err != nil {
+					return err
+				}
+				res.Rows = append(res.Rows, remote.Rows...)
+				return nil
+			})
+		}
+	}
+	res.Tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+	return res, nil
+}
+
+// statSSIPlan lists per-transaction SSI state the node's ssi.Manager
+// tracks — pg_stat-style: one row per serializable transaction (including
+// committed ones retained for conflict detection), with its conflict-edge
+// counts, SIREAD lock count, and doomed flag. Cluster-wide from a
+// coordinator it gathers every other node's rows over the wire via
+// citus_node_stat_ssi().
+type statSSIPlan struct {
+	node        *Node
+	clusterWide bool
+}
+
+func (p *statSSIPlan) Columns() []string {
+	return []string{"node_id", "xid", "dist_txn_id", "state", "doomed",
+		"in_conflicts", "out_conflicts", "siread_locks", "commit_seq"}
+}
+func (p *statSSIPlan) ExplainLines() []string { return []string{"Citus Stat SSI"} }
+
+func (p *statSSIPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Result, error) {
+	res := &engine.Result{Columns: p.Columns()}
+	for _, ss := range p.node.Eng.SSISessions() {
+		res.Rows = append(res.Rows, types.Row{
+			int64(p.node.ID), int64(ss.XID), ss.DistID, ss.State, ss.Doomed,
+			int64(ss.InConflicts), int64(ss.OutConflicts), int64(ss.SIREADLocks),
+			int64(ss.CommitSeq),
+		})
+	}
+	if p.clusterWide {
+		for _, node := range p.node.Meta.Nodes() {
+			if node.ID == p.node.ID {
+				continue
+			}
+			p.node.withNodeConn(node.ID, func(c *wire.Conn) error {
+				remote, err := c.Query("SELECT citus_node_stat_ssi()")
 				if err != nil {
 					return err
 				}

@@ -345,6 +345,9 @@ func (c *Cluster) restartNode(i int) error {
 	if err != nil {
 		return fmt.Errorf("replaying %s WAL: %w", old.Name, err)
 	}
+	// End-of-recovery: transactions the log left in-progress died with
+	// the old incarnation and must not block the new one's writers.
+	eng.FinishRecovery()
 	node := citus.NewNode(i+1, eng, c.Meta, c.cfg.Citus)
 	// Commit records this node wrote as a coordinator (MX mode) are
 	// rebuilt from its WAL, the same way RestoreToPoint does it.
@@ -412,6 +415,15 @@ func (c *Cluster) rejoinStandby(i, primaryID int) error {
 	if err := old.WAL.ReplayInto(eng.ReplayTarget(), 0); err != nil {
 		return fmt.Errorf("replaying %s WAL: %w", old.Name, err)
 	}
+	// End of crash recovery: transactions in flight on the dead timeline
+	// have no commit record anywhere — the promoted primary aborted the
+	// same set from the same log prefix when it took over, so resolving
+	// them here keeps both copies' clogs consistent. Without this, their
+	// xmax stamps read as in-progress forever: old row versions stay
+	// visible on this standby and the new primary's streamed deletes no
+	// longer match them, forking the version chain. Prepared (2PC) XIDs
+	// are exempt; their COMMIT/ROLLBACK PREPARED arrives via the stream.
+	eng.FinishRecovery()
 	// Standby-local sessions (replica reads) allocate XIDs from a range
 	// disjoint from any primary's, same as standbys booted at New.
 	eng.Txns.AdvanceXIDBase(uint64(nodeID) << 40)
@@ -498,9 +510,13 @@ func (c *Cluster) Failover(i int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	// The promoted engine originates writes now: DDL must self-log again.
+	// The promoted engine originates writes now: DDL must self-log again,
+	// and writers that were in flight on the crashed primary — replicated
+	// as bare heap stamps with no commit record to come — must be aborted,
+	// or the first write touching their tuples waits on them forever.
 	if eng := c.standbys[newID]; eng != nil {
 		eng.SetApplyMode(false)
+		eng.FinishRecovery()
 	}
 	// The promoted engine replicated the primary's commit records through
 	// the stream; if an MX worker wrote them, recovery needs them rebuilt
@@ -632,6 +648,9 @@ func (c *Cluster) RestoreToPoint(name string) (*Cluster, error) {
 		}
 		// rebuild commit records from the replayed coordinator WAL
 		restored.Nodes[i].RecoverCommitRecords(eng.WAL.Records(), lsn)
+		// end-of-recovery: writers in flight at the restore point have no
+		// commit record before it and are implicitly aborted
+		restored.Engines[i].FinishRecovery()
 	}
 	// resolve prepared transactions left pending at the restore point
 	restored.Coordinator().RecoverTwoPhaseCommits()

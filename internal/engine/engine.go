@@ -234,6 +234,22 @@ func (e *Engine) SetStmtCacheEnabled(enabled bool) { e.stmtCacheOff.Store(!enabl
 // when the engine starts originating writes again.
 func (e *Engine) SetApplyMode(on bool) { e.applyMode.Store(on) }
 
+// FinishRecovery closes out WAL recovery the way PostgreSQL ends crash
+// recovery: every transaction the replayed log left in-progress — a
+// writer that was in flight on the failed primary, so its commit record
+// can never arrive — is implicitly aborted. Without this, the first
+// writer to touch one of their tuples on a promoted standby (or a
+// restarted primary) waits on the orphan's commit-log status forever.
+// Prepared transactions survive; the coordinator's 2PC recovery owns
+// them. Returns the number of in-doubt transactions aborted.
+func (e *Engine) FinishRecovery() int {
+	aborted := e.Txns.AbortInDoubt()
+	for _, xid := range aborted {
+		e.Locks.ReleaseAll(xid)
+	}
+	return len(aborted)
+}
+
 // logDDL appends a DDL record unless the engine is applying someone
 // else's log (see SetApplyMode).
 func (e *Engine) logDDL(ddl string) {
@@ -583,20 +599,28 @@ func (s *Session) ensureTxn() (*txn.Txn, bool) {
 func (s *Session) finishImplicit(t *txn.Txn, commit bool) error {
 	s.txn = nil
 	defer s.Eng.Locks.ReleaseAll(t.XID)
+	// Read-only transactions write no commit/abort record, like
+	// PostgreSQL's xid-less transactions: there is nothing to make
+	// durable, and — critically for replication — a standby serving
+	// replica reads must not interleave local records into its WAL. The
+	// standby's WAL is a verbatim copy of the primary's stream, and
+	// promotion/rejoin resume positions assume the two logs coincide
+	// record for record.
+	if !t.DidWrite() {
+		if commit {
+			return s.Eng.Txns.Commit(t)
+		}
+		s.Eng.Txns.Abort(t)
+		return nil
+	}
 	if commit {
 		if err := s.Eng.Txns.Commit(t); err != nil {
 			s.Eng.WAL.Append(wal.Record{Type: wal.RecAbort, XID: t.XID})
 			return err
 		}
 		// The commit record's WAL append is the durability point (the
-		// stand-in for an fsync), so it gets its own span when traced —
-		// but only for transactions that wrote: a read-only commit does
-		// not make anything durable, and spanning it would tax every
-		// traced SELECT.
-		var sp *trace.ActiveSpan
-		if t.DidWrite() {
-			sp = s.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "wal_fsync", "")
-		}
+		// stand-in for an fsync), so it gets its own span when traced.
+		sp := s.Eng.Tracer.StartSpan(s.TraceID, s.SpanID, "wal_fsync", "")
 		s.Eng.WAL.Append(wal.Record{Type: wal.RecCommit, XID: t.XID})
 		sp.Finish()
 		return nil
@@ -788,7 +812,9 @@ func (s *Session) abortFailedStatement() {
 	s.txnFailed = true
 	s.Eng.Txns.Abort(t)
 	s.Eng.Locks.ReleaseAll(t.XID)
-	s.Eng.WAL.Append(wal.Record{Type: wal.RecAbort, XID: t.XID})
+	if t.DidWrite() {
+		s.Eng.WAL.Append(wal.Record{Type: wal.RecAbort, XID: t.XID})
+	}
 }
 
 func (s *Session) execute(stmt sql.Statement, params []types.Datum) (*Result, error) {

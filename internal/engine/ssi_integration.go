@@ -41,6 +41,9 @@ func (e *Engine) DoomByDistID(distID string) bool {
 // the coordinator's merged conflict graph.
 func (e *Engine) SSIWireEdges() []ssi.WireEdge { return e.SSI.Export() }
 
+// SSISessions exports per-transaction SSI state for citus_stat_ssi().
+func (e *Engine) SSISessions() []ssi.SessionState { return e.SSI.Sessions() }
+
 // serializableRequested reports whether the session asked for SERIALIZABLE.
 func (s *Session) serializableRequested() bool {
 	return strings.EqualFold(s.Settings["transaction_isolation"], "serializable")

@@ -505,7 +505,18 @@ func (r replayTarget) ApplyDelete(xid uint64, table string, row types.Row) error
 	}
 	target := hashKeyString(row)
 	store.heap.AllTuples(func(tid heap.TID, tup heap.Tuple) bool {
-		if tup.Xmax == 0 && hashKeyString(tup.Row) == target {
+		// Match the live version: skip tuples from aborted writers (dead
+		// twins with identical content), and treat an aborted deleter's
+		// xmax as clear — after a failover the rejoined standby may carry
+		// stamps from dead-timeline transactions that end-of-recovery
+		// aborted, and the new primary's deletes must still land.
+		if hashKeyString(tup.Row) != target {
+			return true
+		}
+		if r.e.Txns.Status(tup.Xmin) == txn.Aborted {
+			return true
+		}
+		if tup.Xmax == 0 || r.e.Txns.Status(tup.Xmax) == txn.Aborted {
 			store.heap.MarkDeleted(tid, xid, heap.NilTID)
 			return false
 		}

@@ -46,6 +46,7 @@ const (
 	PointReplPromote     = "repl.promote"      // key: promotion stage ("drain", "flip")
 	PointSSICheck        = "ssi.check"         // key: distributed txn id ("" for local txns)
 	PointSSIEdgePoll     = "ssi.edge_poll"     // key: worker node ID (decimal)
+	PointSoakAck         = "soak.ack"          // key: soak workload class; canary for the soak's acked-write ledger
 )
 
 // Action says what an armed rule does when it fires.

@@ -155,8 +155,8 @@ func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(value
 
 // Snapshot is a point-in-time copy of every metric in a registry, keyed by
 // `name` or `name{label="value",...}`. Histograms expand into _count, _sum,
-// _p50, _p95, and _p99 entries. A Snapshot is fully isolated from the live
-// registry: later metric updates never change it.
+// _p50, _p95, _p99, and _p999 entries. A Snapshot is fully isolated from the
+// live registry: later metric updates never change it.
 type Snapshot map[string]int64
 
 // labelSuffix renders `{a="x",b="y"}` for a metric key, or "".
@@ -195,6 +195,7 @@ func (r *Registry) Snapshot() Snapshot {
 				out[f.name+"_p50"+lbl] = v.Quantile(0.50)
 				out[f.name+"_p95"+lbl] = v.Quantile(0.95)
 				out[f.name+"_p99"+lbl] = v.Quantile(0.99)
+				out[f.name+"_p999"+lbl] = v.Quantile(0.999)
 			}
 		}
 		f.mu.RUnlock()
@@ -218,7 +219,7 @@ func (s Snapshot) Sum(name string) int64 {
 }
 
 // Delta returns s - prev for counter-like keys, dropping zero deltas.
-// Histogram quantile entries (_p50/_p95/_p99) are carried over from s
+// Histogram quantile entries (_p50/_p95/_p99/_p999) are carried over from s
 // as-is rather than subtracted — a quantile difference is meaningless.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	out := make(Snapshot)
@@ -241,7 +242,8 @@ func isQuantileKey(k string) bool {
 	if i := strings.IndexByte(k, '{'); i >= 0 {
 		base = k[:i]
 	}
-	return strings.HasSuffix(base, "_p50") || strings.HasSuffix(base, "_p95") || strings.HasSuffix(base, "_p99")
+	return strings.HasSuffix(base, "_p50") || strings.HasSuffix(base, "_p95") ||
+		strings.HasSuffix(base, "_p99") || strings.HasSuffix(base, "_p999")
 }
 
 // Keys returns the snapshot's keys, sorted.
@@ -296,7 +298,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 				for _, q := range []struct {
 					q float64
 					s string
-				}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+				}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}, {0.999, "0.999"}} {
 					qlbl := lbl
 					if qlbl == "" {
 						qlbl = fmt.Sprintf("{quantile=%q}", q.s)

@@ -16,6 +16,7 @@ package ssi
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -535,4 +536,59 @@ func (m *Manager) Stats() (txns, locks int) {
 		locks += len(holders)
 	}
 	return len(m.states), locks
+}
+
+// SessionState is a read-only snapshot of one tracked transaction's SSI
+// bookkeeping — the pg_stat-style row behind citus_stat_ssi(). Committed
+// transactions retained for conflict detection still appear (state
+// "committed") until gc drains them, exactly mirroring PostgreSQL's
+// SERIALIZABLEXACT retention.
+type SessionState struct {
+	XID      uint64
+	DistID   string
+	BeginSeq uint64
+	// CommitSeq is the commit order assigned by the pre-commit check; 0
+	// while the transaction is active or when it aborted.
+	CommitSeq uint64
+	// State is "active", "committed", or "aborted".
+	State string
+	// Doomed marks a transaction already condemned by the cluster-wide
+	// pivot check: it is still running but its commit will fail.
+	Doomed bool
+	// InConflicts / OutConflicts count rw-antidependency edges (R → this /
+	// this → W) currently recorded against the transaction.
+	InConflicts  int
+	OutConflicts int
+	// SIREADLocks counts predicate locks held, after promotion.
+	SIREADLocks int
+}
+
+// Sessions exports every tracked transaction's state, ordered by begin
+// sequence so concurrent observers see a stable listing.
+func (m *Manager) Sessions() []SessionState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionState, 0, len(m.states))
+	for _, st := range m.states {
+		state := "active"
+		switch {
+		case st.finished && st.aborted:
+			state = "aborted"
+		case st.finished:
+			state = "committed"
+		}
+		out = append(out, SessionState{
+			XID:          st.xid,
+			DistID:       st.dist,
+			BeginSeq:     st.beginSeq,
+			CommitSeq:    st.commitSeq,
+			State:        state,
+			Doomed:       st.doomed,
+			InConflicts:  len(st.in),
+			OutConflicts: len(st.out),
+			SIREADLocks:  len(st.locks),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BeginSeq < out[j].BeginSeq })
+	return out
 }

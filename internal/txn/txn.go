@@ -415,6 +415,40 @@ func (m *Manager) MarkReplicating(xid uint64) {
 	}
 }
 
+// AbortInDoubt aborts every transaction known only from replicated WAL:
+// in-progress in the commit log, but with no live local session and no
+// prepared record. After a promotion or crash restart these are writers
+// that were in flight on the failed primary — their commit record can
+// never arrive, so leaving them in-progress would block every later
+// writer that meets their XID in a tuple header (PostgreSQL resolves the
+// same way: transactions without a commit record at the end of crash
+// recovery are implicitly aborted). Prepared transactions are exempt:
+// their fate belongs to the coordinator's 2PC recovery. Returns the
+// aborted XIDs.
+func (m *Manager) AbortInDoubt() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	preparedXIDs := make(map[uint64]struct{}, len(m.prepared))
+	for _, p := range m.prepared {
+		preparedXIDs[p.txn.XID] = struct{}{}
+	}
+	var aborted []uint64
+	for xid, st := range m.status {
+		if st != InProgress {
+			continue
+		}
+		if _, live := m.active[xid]; live {
+			continue
+		}
+		if _, prep := preparedXIDs[xid]; prep {
+			continue
+		}
+		m.status[xid] = Aborted
+		aborted = append(aborted, xid)
+	}
+	return aborted
+}
+
 // AdvanceXIDBase moves the XID allocator to at least base. Standby nodes
 // allocate local (read-session) XIDs from a disjoint range so they can
 // never collide with XIDs replicated from the primary's WAL.

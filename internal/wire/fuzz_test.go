@@ -1,0 +1,202 @@
+package wire
+
+// Native Go fuzz targets for the wire protocol.
+//
+//   - FuzzWireFraming feeds arbitrary bytes through the exact
+//     decode-handle loop Server.serveConn runs: whatever gob makes of the
+//     bytes, the handler must return a response without panicking. Seeds
+//     cover every request kind plus malformed variants (bogus kind,
+//     truncated frames, absurd field values).
+//   - FuzzPipelineSeq drives Pipeline against a scripted transport that
+//     misdelivers: wrong Seq, zero Seq (legacy peer), out-of-order
+//     responses, transport errors. The oracle is the protocol's safety
+//     property — a response delivered to the caller without error either
+//     carries the matching Seq or a legacy zero; any detectable mismatch
+//     must poison the pipeline rather than silently hand over another
+//     request's rows.
+//
+// CI runs these with a short -fuzztime smoke (make fuzz-smoke); longer
+// local runs just extend the same corpus.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"testing"
+
+	"citusgo/internal/engine"
+)
+
+// encodeRequests gob-encodes a request stream the way tcpTransport does,
+// for seeding the framing corpus.
+func encodeRequests(t *testing.F, reqs ...*Request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatalf("seed encode: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func FuzzWireFraming(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0xff})
+	f.Add(encodeRequests(f, &Request{Kind: ReqPing, Seq: 1}))
+	f.Add(encodeRequests(f,
+		&Request{Kind: ReqQuery, SQL: "SELECT 1", Seq: 1},
+		&Request{Kind: ReqQuery, SQL: "INSERT INTO t VALUES (1, 'x')", Seq: 2},
+		&Request{Kind: ReqQuery, SQL: "SELECT * FROM t WHERE k = $1", Params: []any{int64(1)}, Seq: 3},
+	))
+	f.Add(encodeRequests(f,
+		&Request{Kind: ReqPrepare, Name: "p1", SQL: "SELECT k FROM t WHERE k = $1", Seq: 1},
+		&Request{Kind: ReqExecPrepared, Name: "p1", Params: []any{int64(2)}, Seq: 2},
+		&Request{Kind: ReqExecPrepared, Name: "missing", Seq: 3},
+	))
+	f.Add(encodeRequests(f,
+		&Request{Kind: ReqCopy, Table: "t", Columns: []string{"k", "v"}, Rows: [][]any{{int64(7), "z"}}},
+		&Request{Kind: ReqTableRows, Table: "t"},
+		&Request{Kind: ReqListPrepared},
+		&Request{Kind: ReqLockGraph},
+		&Request{Kind: ReqSSIEdges},
+	))
+	f.Add(encodeRequests(f,
+		&Request{Kind: RequestKind(999), SQL: "nonsense"},
+		&Request{Kind: ReqQuery, SQL: "", Hdr: Header{Version: 77, TraceID: ^uint64(0)}},
+		&Request{Kind: ReqCancelDist, Name: "no-such-dist-txn"},
+		&Request{Kind: ReqDoomDist, Name: ""},
+		&Request{Kind: ReqDropResults, Name: "../weird//prefix"},
+		&Request{Kind: ReqAppendResult, Name: "r", Columns: []string{"a"}, Rows: [][]any{{nil}}},
+		&Request{Kind: ReqTraceSpans, Hdr: Header{Version: HeaderV1, TraceID: 42}},
+	))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := engine.New(engine.Config{Name: "fuzz"})
+		h := newHandler(eng)
+		defer h.closeSession()
+		if resp := h.handle(&Request{Kind: ReqQuery, SQL: "CREATE TABLE t (k BIGINT PRIMARY KEY, v TEXT)"}); resp.Err != "" {
+			t.Fatalf("setup: %s", resp.Err)
+		}
+		// The exact loop Server.serveConn runs: decode until the stream
+		// errors, handle every request that decodes. Bounded so a frame
+		// that decodes into a huge valid stream can't stall the fuzzer.
+		dec := gob.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			var req Request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			resp := h.handle(&req)
+			if resp == nil {
+				t.Fatalf("handler returned nil response for kind %v", req.Kind)
+			}
+		}
+	})
+}
+
+// scriptTransport delivers responses according to a fuzz-chosen script:
+// correct, zero-Seq (legacy peer), corrupted Seq, out-of-order, or a
+// transport error. Every response carries Tag = the Seq of the request it
+// actually answers, so the oracle can tell what was delivered regardless
+// of what the Seq field claims.
+type scriptTransport struct {
+	script []byte
+	si     int
+	queue  []*Request
+	closed bool
+}
+
+func (t *scriptTransport) nextOp() byte {
+	if t.si >= len(t.script) {
+		return 0 // script exhausted: behave correctly
+	}
+	b := t.script[t.si]
+	t.si++
+	return b
+}
+
+func (t *scriptTransport) send(req *Request) error {
+	cp := *req
+	t.queue = append(t.queue, &cp)
+	return nil
+}
+
+func (t *scriptTransport) recv() (*Response, error) {
+	if len(t.queue) == 0 {
+		return nil, errors.New("protocol error: recv with no request in flight")
+	}
+	op := t.nextOp()
+	pick := 0
+	if op%5 == 4 && len(t.queue) > 1 {
+		// Out-of-order: answer a later request first.
+		pick = 1 + int(t.nextOp())%(len(t.queue)-1)
+	}
+	req := t.queue[pick]
+	t.queue = append(t.queue[:pick], t.queue[pick+1:]...)
+	resp := &Response{Tag: fmt.Sprintf("answers-%d", req.Seq), Seq: req.Seq}
+	switch op % 5 {
+	case 1: // legacy peer: Seq not echoed
+		resp.Seq = 0
+	case 2: // corrupted correlation id
+		resp.Seq = req.Seq + 1 + uint64(t.nextOp())
+	case 3: // transport failure
+		return nil, errors.New("connection reset by script")
+	}
+	return resp, nil
+}
+
+func (t *scriptTransport) close() error { t.closed = true; return nil }
+
+func FuzzPipelineSeq(f *testing.F) {
+	f.Add(uint8(4), uint8(0), []byte{})                       // all correct
+	f.Add(uint8(8), uint8(2), []byte{2, 0, 0})                // early corruption
+	f.Add(uint8(6), uint8(0), []byte{0, 3, 0})                // mid-batch transport error
+	f.Add(uint8(10), uint8(3), []byte{4, 1, 4, 2, 0, 1})      // reorder + legacy mix
+	f.Add(uint8(40), uint8(1), []byte{1, 1, 1, 1})            // legacy peer, window 1
+	f.Add(uint8(12), uint8(5), []byte{4, 9, 4, 14, 4, 19, 0}) // repeated swaps
+	f.Add(uint8(33), uint8(7), bytes.Repeat([]byte{2}, 33))   // every response corrupted
+
+	f.Fuzz(func(t *testing.T, n, window uint8, script []byte) {
+		reqs := int(n)%40 + 1
+		st := &scriptTransport{script: script}
+		conn := &Conn{t: st, node: "scripted"}
+		p := conn.Pipeline(int(window) % 8)
+
+		pendings := make([]*Pending, 0, reqs)
+		for i := 0; i < reqs; i++ {
+			pendings = append(pendings, p.Query(fmt.Sprintf("req-%d", i)))
+		}
+		flushErr := p.Flush()
+
+		poisoned := false
+		for _, pd := range pendings {
+			if !pd.done {
+				t.Fatalf("pending seq=%d not resolved by Flush", pd.seq)
+			}
+			if pd.err != nil {
+				// Once one request fails at the transport level, every
+				// later one must fail too (the stream is untrustworthy),
+				// and Flush must report it.
+				poisoned = true
+				if flushErr == nil {
+					t.Fatalf("pending seq=%d failed (%v) but Flush returned nil", pd.seq, pd.err)
+				}
+				continue
+			}
+			if poisoned {
+				t.Fatalf("pending seq=%d succeeded after an earlier transport failure", pd.seq)
+			}
+			// Safety: a delivered response either answers this exact
+			// request, or came from a legacy peer that echoes no Seq —
+			// a mismatch with a non-zero Seq must never reach the caller.
+			if pd.resp.Seq != 0 {
+				if want := fmt.Sprintf("answers-%d", pd.seq); pd.resp.Tag != want {
+					t.Fatalf("silent misdelivery: pending seq=%d got %q", pd.seq, pd.resp.Tag)
+				}
+			}
+		}
+	})
+}
