@@ -104,12 +104,15 @@ soak-smoke:
 		-soak-artifacts $(CURDIR)/soak-artifacts-canary
 	@echo "soak-smoke: clean run passed, canary caught + reproduced"
 
-# short native-fuzz smoke over the wire protocol (framing + pipeline Seq
-# correlation); longer local runs just extend the same corpus:
+# short native-fuzz smoke: wire protocol (framing + pipeline Seq
+# correlation) and vectorized-vs-row-path parity; longer local runs just
+# extend the same corpus:
 #   go test ./internal/wire -fuzz FuzzWireFraming -fuzztime 10m
+#   go test ./internal/engine -fuzz FuzzVecParity -fuzztime 10m
 fuzz-smoke:
 	go test ./internal/wire -run '^$$' -fuzz FuzzWireFraming -fuzztime 15s
 	go test ./internal/wire -run '^$$' -fuzz FuzzPipelineSeq -fuzztime 15s
+	go test ./internal/engine -run '^$$' -fuzz FuzzVecParity -fuzztime 15s
 
 # the full CI pipeline (.github/workflows/ci.yml), reproducible locally
 ci: build vet fmt-check lint test race bench-smoke trace-smoke chaos-smoke soak-smoke fuzz-smoke

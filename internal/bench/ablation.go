@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -371,7 +372,7 @@ func AblationVectorized(sc Scale) (Series, error) {
 	}()
 	s := c.Session()
 	if _, err := s.Exec(`CREATE TABLE lineitem (
-		l_orderkey bigint, l_quantity double precision,
+		l_orderkey bigint, l_linenumber bigint, l_quantity double precision,
 		l_extendedprice double precision, l_discount double precision,
 		l_returnflag text, l_linestatus text, l_shipdate timestamp
 	) USING columnar`); err != nil {
@@ -380,10 +381,14 @@ func AblationVectorized(sc Scale) (Series, error) {
 
 	flags := []string{"A", "N", "R"}
 	status := []string{"O", "F"}
-	// 8x the TPC-H order count: the vectorized win is per-row CPU work, so
-	// the scan term has to dominate the per-query fixed cost even at the
-	// tiny test scale.
-	total := sc.Orders * 8
+	// 16x the TPC-H order count, with a hard floor: the vectorized win is
+	// per-row CPU work, and the per-query fixed cost (parse, plan, emit)
+	// is ~1ms regardless of scale — below ~40k rows it dominates the
+	// vectorized side and the grouped ≥3x assertion drowns in jitter.
+	total := sc.Orders * 16
+	if total < 40000 {
+		total = 40000
+	}
 	seed := uint64(7)
 	next := func() uint64 {
 		seed = seed*6364136223846793005 + 1442695040888963407
@@ -396,6 +401,7 @@ func AblationVectorized(sc Scale) (Series, error) {
 		ship := time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, day)
 		rows = append(rows, types.Row{
 			int64(i),
+			int64(next()%7) + 1,
 			float64(next()%50) + 1,
 			float64(next()%90000)/100 + 10,
 			float64(next()%11) / 100,
@@ -421,6 +427,14 @@ func AblationVectorized(sc Scale) (Series, error) {
 			sum(l_extendedprice), avg(l_quantity), avg(l_discount), count(*)
 			FROM lineitem GROUP BY l_returnflag, l_linestatus
 			ORDER BY l_returnflag, l_linestatus`},
+		// the wide variant: a third group column takes the cardinality to
+		// 3×2×7 = 42 groups, the dashboard-rollup shape where the per-row
+		// group lookup used to dominate (and the group-ID fold pays off)
+		{"Q1 wide groups", `SELECT l_returnflag, l_linestatus, l_linenumber,
+			sum(l_quantity), sum(l_extendedprice), avg(l_quantity),
+			avg(l_discount), count(*)
+			FROM lineitem GROUP BY l_returnflag, l_linestatus, l_linenumber
+			ORDER BY l_returnflag, l_linestatus, l_linenumber`},
 		{"Q6 filtered sum", `SELECT sum(l_extendedprice * l_discount) FROM lineitem
 			WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
 			AND l_discount BETWEEN 0.03 AND 0.07 AND l_quantity < 24`},
@@ -442,6 +456,10 @@ func AblationVectorized(sc Scale) (Series, error) {
 			if _, err := s.Exec(q.q); err != nil { // warm caches and pool
 				return out, fmt.Errorf("%s %s: %w", q.name, v.name, err)
 			}
+			// start each cell with a fresh GC budget so a collection pause
+			// triggered by earlier cells' garbage doesn't land mid-loop and
+			// inflate even the best-of-runs sample
+			runtime.GC()
 			pre := ObsSnapshot()
 			lat := make([]time.Duration, 0, runs)
 			for i := 0; i < runs; i++ {
@@ -457,14 +475,115 @@ func AblationVectorized(sc Scale) (Series, error) {
 				Config: fmt.Sprintf("%s, %s", q.name, v.name),
 				Value:  float64(lat[runs/2].Microseconds()) / 1000,
 				Extra: map[string]float64{
-					"vec_batches":     float64(d.Sum("columnar_vec_batches_total")),
-					"vec_rows":        float64(d.Sum("columnar_vec_rows_total")),
-					"stripes_skipped": float64(d.Sum("columnar_vec_stripes_skipped_total")),
+					"vec_batches":       float64(d.Sum("columnar_vec_batches_total")),
+					"vec_rows":          float64(d.Sum("columnar_vec_rows_total")),
+					"stripes_skipped":   float64(d.Sum("columnar_vec_stripes_skipped_total")),
+					"vec_group_batches": float64(d.Sum("columnar_vec_group_batches_total")),
+					// best-of-runs: what the speedup assertions compare —
+					// medians absorb scheduler noise on loaded CI boxes,
+					// minima measure the actual per-row CPU work
+					"best_ms": float64(lat[0].Microseconds()) / 1000,
 				},
 			})
 		}
 	}
+
+	topn, err := ablationTopNPushdown(sc)
+	if err != nil {
+		return out, err
+	}
+	out.Points = append(out.Points, topn...)
 	return out, nil
+}
+
+// ablationTopNPushdown measures the distributed TopN leg of A5: a grouped
+// dashboard query (GROUP BY a non-distribution column, ORDER BY the group
+// key, LIMIT k) over a 2-worker cluster, with the worker-side TopN
+// pushdown on vs ablated off. The win is not primarily latency at test
+// scale — it is shipped rows: Extra records how many rows the coordinator
+// merge collected and how many the workers pruned, which is the
+// O(workers × k) contract made visible.
+func ablationTopNPushdown(sc Scale) ([]Point, error) {
+	variants := []struct {
+		name    string
+		disable bool
+	}{
+		{"TopN pushdown", false},
+		{"TopN no-pushdown", true},
+	}
+	var points []Point
+	for _, v := range variants {
+		c, err := cluster.New(cluster.Config{
+			Workers: 2, ShardCount: sc.ShardCount, Trace: ClusterTrace,
+			Citus: citus.Config{DeadlockInterval: -1, DisableTopNPushdown: v.disable},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := c.Session()
+		if _, err := s.Exec(`CREATE TABLE dash_events (
+			tenant bigint, bucket bigint, val double precision)`); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if _, err := s.Exec(`SELECT create_distributed_table('dash_events', 'tenant')`); err != nil {
+			c.Close()
+			return nil, err
+		}
+		seed := uint64(11)
+		next := func() uint64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return seed >> 33
+		}
+		total := sc.Orders * 4
+		buckets := total / 8
+		if buckets < 64 {
+			buckets = 64
+		}
+		rows := make([]types.Row, 0, 1000)
+		for i := 0; i < total; i++ {
+			rows = append(rows, types.Row{
+				int64(next() % 64), int64(i % buckets), float64(next()%1000) / 10,
+			})
+			if len(rows) == 1000 || i == total-1 {
+				if _, err := s.CopyFrom("dash_events", nil, rows); err != nil {
+					c.Close()
+					return nil, err
+				}
+				rows = rows[:0]
+			}
+		}
+		q := `SELECT bucket, count(*), sum(val) FROM dash_events
+			GROUP BY bucket ORDER BY bucket LIMIT 10`
+		if _, err := s.Exec(q); err != nil { // warm plan cache and pools
+			c.Close()
+			return nil, err
+		}
+		const runs = 7
+		pre := ObsSnapshot()
+		lat := make([]time.Duration, 0, runs)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			if _, err := s.Exec(q); err != nil {
+				c.Close()
+				return nil, err
+			}
+			lat = append(lat, time.Since(start))
+		}
+		d := ObsSnapshot().Delta(pre)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		points = append(points, Point{
+			Config: "dashboard TopN, " + v.name,
+			Value:  float64(lat[runs/2].Microseconds()) / 1000,
+			Extra: map[string]float64{
+				"merge_rows":     float64(d.Sum("citus_merge_rows_total")),
+				"topn_pruned":    float64(d.Sum("vec_topn_pruned_rows_total")),
+				"topn_pushdowns": float64(d.Sum("citus_topn_pushdowns_total")),
+			},
+		})
+		c.Close()
+	}
+	return points, nil
 }
 
 // AblationReplicaRouting measures the replica-aware routing win (A6): the

@@ -69,6 +69,11 @@ type Config struct {
 	// (mirroring DisablePlanCache as the ablation toggle for the pipelined
 	// wire protocol; see docs/wire.md).
 	DisablePipelining bool
+	// DisableTopNPushdown stops the coordinator from shipping
+	// ORDER BY <group col> LIMIT k down to the workers of a cross-shard
+	// grouped aggregate, so every worker returns its full grouped result
+	// (the ablation A5 TopN toggle; see docs/columnar.md).
+	DisableTopNPushdown bool
 	// DisableSSI turns off serializable snapshot isolation cluster-wide
 	// (the ablation A7 toggle): `SET transaction_isolation = 'serializable'`
 	// is still accepted but degrades to plain snapshot isolation — no SIREAD

@@ -8,9 +8,20 @@ import (
 	"citusgo/internal/citus/metadata"
 	"citusgo/internal/engine"
 	"citusgo/internal/expr"
+	"citusgo/internal/obs"
 	"citusgo/internal/sql"
 	"citusgo/internal/types"
 	"citusgo/internal/wire"
+)
+
+// Merge-step observability: ablation A5's TopN variant asserts the
+// pushdown cuts citus_merge_rows_total to O(workers × k) while
+// metTopNPushdowns confirms the plan actually routed through it.
+var (
+	metCitusMergeRows = obs.Default().Counter("citus_merge_rows_total",
+		"worker result rows collected into coordinator merge steps").With()
+	metTopNPushdowns = obs.Default().Counter("citus_topn_pushdowns_total",
+		"distributed grouped plans that shipped ORDER BY/LIMIT to the workers").With()
 )
 
 // distPlan is the distributed query plan a planner hook returns — the
@@ -102,6 +113,7 @@ func (p *distPlan) Execute(s *engine.Session, params []types.Datum) (*engine.Res
 				rows = append(rows, r.Rows...)
 			}
 		}
+		metCitusMergeRows.Add(int64(len(rows)))
 		p.node.Eng.RegisterIntermediateResult(p.mergeName, &engine.IntermediateResult{
 			Columns: cols,
 			Rows:    rows,

@@ -535,7 +535,83 @@ func (n *Node) buildPartialAggMerge(sel *sql.SelectStmt, irName string) (*pushdo
 	worker.Limit = nil
 	worker.Offset = nil
 
+	n.pushTopNToWorkers(sel, pr, worker)
+
 	return &pushdownQueries{worker: worker, merge: merge, columns: columns}, nil
+}
+
+// pushTopNToWorkers ships ORDER BY ... LIMIT down to the workers of a
+// partial-aggregate plan when it is provably sound: every ORDER BY key must
+// be a grouping expression. Groups are complete per worker (each group's
+// rows live on whichever workers hold them, and partials for one group
+// merge across workers — but the group *key* ordering needs no merge), so
+// a group that ranks in the global top k(+offset) ranks within the top
+// k(+offset) on every worker that has it; the per-worker TopN therefore
+// retains a superset of the global answer and the coordinator's existing
+// ORDER BY/LIMIT merge finishes the job. ORDER BY on an aggregate cannot
+// be pushed here: a group's partial on one worker says nothing about its
+// global rank. HAVING also blocks the pushdown — it is applied over merged
+// aggregates at the coordinator, and workers cannot know which of their
+// top-k groups it will discard.
+//
+// Only literal LIMIT/OFFSET values are pushed (parameters would need
+// binding before plan-cache time); anything else leaves the worker query
+// unbounded, exactly as before.
+func (n *Node) pushTopNToWorkers(sel *sql.SelectStmt, pr *partialRewriter, worker *sql.SelectStmt) {
+	if n.Cfg.DisableTopNPushdown || sel.Limit == nil || sel.Having != nil || len(sel.OrderBy) == 0 {
+		return
+	}
+	limit, ok := literalInt(sel.Limit)
+	if !ok || limit < 0 {
+		return
+	}
+	offset := int64(0)
+	if sel.Offset != nil {
+		if offset, ok = literalInt(sel.Offset); !ok || offset < 0 {
+			return
+		}
+	}
+	orderBy := make([]sql.OrderItem, 0, len(sel.OrderBy))
+	for _, o := range sel.OrderBy {
+		e := o.Expr
+		// positional / select-list-alias references resolve to the
+		// projected expression first
+		if lit, isLit := e.(*sql.Literal); isLit {
+			pos, isInt := lit.Value.(int64)
+			if !isInt || pos < 1 || int(pos) > len(sel.Columns) {
+				return
+			}
+			e = sel.Columns[pos-1].Expr
+		} else if cr, isRef := e.(*sql.ColumnRef); isRef && cr.Table == "" {
+			for _, it := range sel.Columns {
+				if it.Alias == cr.Name || outputNameOf(it) == cr.Name {
+					e = it.Expr
+					break
+				}
+			}
+		}
+		gi, isGroup := pr.groupText[e.String()]
+		if !isGroup {
+			return
+		}
+		// group i is worker output column wg<i>, at position i+1
+		orderBy = append(orderBy, sql.OrderItem{
+			Expr: &sql.Literal{Value: int64(gi + 1)},
+			Desc: o.Desc,
+		})
+	}
+	worker.OrderBy = orderBy
+	worker.Limit = &sql.Literal{Value: limit + offset}
+	metTopNPushdowns.Add(1)
+}
+
+func literalInt(e sql.Expr) (int64, bool) {
+	lit, ok := e.(*sql.Literal)
+	if !ok {
+		return 0, false
+	}
+	v, isInt := lit.Value.(int64)
+	return v, isInt
 }
 
 // partialRewriter rewrites an expression for the merge query, accumulating

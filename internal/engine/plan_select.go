@@ -341,24 +341,32 @@ func (s *Session) planSelectNode(sel *sql.SelectStmt, params []types.Datum) (nod
 	if sel.Distinct {
 		out = &distinctNode{child: out}
 	}
+	var limEv, offEv expr.Evaluator
+	if sel.Limit != nil {
+		var err error
+		if limEv, err = expr.Compile(sel.Limit, nil); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Offset != nil {
+		var err error
+		if offEv, err = expr.Compile(sel.Offset, nil); err != nil {
+			return nil, err
+		}
+	}
+	if len(keys) > 0 && sel.Limit != nil {
+		// ORDER BY + LIMIT fuses into a bounded TopN heap: only the
+		// k = limit+offset best rows are retained, which on a Citus worker
+		// is what keeps pushed-down grouped TopN shipments at O(k).
+		return &topNNode{child: out, keys: keys, trim: visible,
+			limit: limEv, offset: offEv}, nil
+	}
 	if len(keys) > 0 {
 		out = &sortNode{child: out, keys: keys, trim: visible}
 	} else if hidden > 0 {
 		out = &projectNode{child: out, evals: identityEvals(visible), cols: outNames[:visible]}
 	}
 	if sel.Limit != nil || sel.Offset != nil {
-		var limEv, offEv expr.Evaluator
-		var err error
-		if sel.Limit != nil {
-			if limEv, err = expr.Compile(sel.Limit, nil); err != nil {
-				return nil, err
-			}
-		}
-		if sel.Offset != nil {
-			if offEv, err = expr.Compile(sel.Offset, nil); err != nil {
-				return nil, err
-			}
-		}
 		out = &limitNode{child: out, limit: limEv, offset: offEv}
 	}
 	return out, nil

@@ -28,17 +28,13 @@ var (
 		"stripes skipped via chunk min/max statistics without reading any chunk").With()
 	metVecParallelScans = obs.Default().Counter("columnar_vec_parallel_scans_total",
 		"vectorized scans that split stripes across a goroutine pool").With()
+	metVecGroupBatches = obs.Default().Counter("columnar_vec_group_batches_total",
+		"column-chunk batches folded through the group-ID vector path").With()
 )
 
-// maxVecGroupCols bounds the fixed-size grouping key of the vectorized
-// aggregate (wider GROUP BY lists fall back to the row path).
-const maxVecGroupCols = 4
-
-// vecKey is a comparable grouping key; unused positions stay nil.
-type vecKey [maxVecGroupCols]types.Datum
-
 // vecFilterSpec is one compiled WHERE conjunct: a column compared against
-// a constant expression. The constant side is bound per execution (it may
+// a constant expression, or an OR chain of such comparisons (or is
+// non-empty). The constant sides are bound per execution (they may
 // reference parameters), then handed to the typed vec.Filter kernels.
 type vecFilterSpec struct {
 	col      int
@@ -48,10 +44,53 @@ type vecFilterSpec struct {
 	notNull  bool
 	k        expr.Evaluator // comparison constant
 	lo, hi   expr.Evaluator // BETWEEN bounds
-	text     string         // for EXPLAIN
+	or       []vecFilterSpec
+	text     string // for EXPLAIN
 }
 
-func (f *vecFilterSpec) bind(ec *execCtx) (vec.Filter, error) {
+// boundFilter is one executable conjunct: either a single column kernel or
+// a disjunction of them. Bound filters are read-only during the scan and
+// shared across the parallel scan goroutines.
+type boundFilter struct {
+	single vec.Filter
+	or     *vec.OrFilter // nil unless the conjunct is an OR chain
+}
+
+func (f *boundFilter) apply(chunk [][]types.Datum, sel vec.Sel, out vec.Sel, sc *vec.OrScratch) vec.Sel {
+	if f.or != nil {
+		return f.or.Apply(chunk, sel, out, sc)
+	}
+	return f.single.Apply(chunk[f.single.Col], sel, out)
+}
+
+// skip reports whether the stripe's chunk statistics prove no row passes.
+func (f *boundFilter) skip(view columnar.StripeView) bool {
+	if f.or != nil {
+		return f.or.Skip(func(col int) (types.Datum, types.Datum, bool) {
+			return view.Stats(col)
+		})
+	}
+	min, max, ok := view.Stats(f.single.Col)
+	return f.single.Skip(min, max, ok)
+}
+
+func (f *vecFilterSpec) bind(ec *execCtx) (boundFilter, error) {
+	if len(f.or) > 0 {
+		of := &vec.OrFilter{Branches: make([]vec.Filter, len(f.or))}
+		for i := range f.or {
+			b, err := f.or[i].bindSingle(ec)
+			if err != nil {
+				return boundFilter{}, err
+			}
+			of.Branches[i] = b
+		}
+		return boundFilter{or: of}, nil
+	}
+	single, err := f.bindSingle(ec)
+	return boundFilter{single: single}, err
+}
+
+func (f *vecFilterSpec) bindSingle(ec *execCtx) (vec.Filter, error) {
 	out := vec.Filter{Col: f.col, Op: f.op, Between: f.between,
 		NullTest: f.nullTest, NotNull: f.notNull}
 	var err error
@@ -152,78 +191,42 @@ func (n *vecAggNode) explain(indent string) []string {
 	return []string{indent + kind, scan}
 }
 
-// vecGroup is one group's accumulator set.
-type vecGroup struct {
-	key    vecKey
-	states []*vec.AggState
-}
-
-// vecPartial is one scan goroutine's private accumulation state.
+// vecPartial is one scan goroutine's private accumulation state. Grouped
+// partials carry a private group dictionary plus one typed per-group
+// accumulator array per aggregate; the cross-partial merge re-interns
+// representative keys into the first partial's dictionary.
 type vecPartial struct {
-	groups     map[vecKey]*vecGroup // nil while cardinality stays small
-	order      []*vecGroup          // first-seen within this partial's stripe range
+	dict       *vec.GroupDict
+	gaggs      []*vec.GroupedAgg
+	ids        []uint32 // per-chunk group-ID vector scratch
 	ungrouped  []*vec.AggState
 	selA, selB vec.Sel
-	idSel      vec.Sel
+	orSc       vec.OrScratch
 	scratch    vec.Scratch
 	batches    int64
 	rows       int64
+	groupBatch int64
 }
 
 func (n *vecAggNode) newPartial() *vecPartial {
 	p := &vecPartial{}
 	if len(n.groupOrds) == 0 {
-		p.ungrouped = n.newStates()
+		p.ungrouped = make([]*vec.AggState, len(n.aggs))
+		for i, a := range n.aggs {
+			p.ungrouped[i] = vec.NewAggState(a.kind)
+		}
+		return p
+	}
+	p.dict = vec.NewGroupDict()
+	p.gaggs = make([]*vec.GroupedAgg, len(n.aggs))
+	for i, a := range n.aggs {
+		p.gaggs[i] = vec.NewGroupedAgg(a.kind)
 	}
 	return p
 }
 
-// smallGroupLimit is the group cardinality below which lookup stays a
-// linear scan of the first-seen list: comparing a vecKey wholesale is far
-// cheaper than hashing four interface values per row, and analytical
-// GROUP BYs are overwhelmingly low-cardinality. Past the limit the
-// partial promotes itself to a hash map.
-const smallGroupLimit = 48
-
-// find returns the group for key, or nil. Interface equality is the same
-// relation the map would use, so promotion never changes grouping.
-func (p *vecPartial) find(key vecKey) *vecGroup {
-	if p.groups == nil {
-		for _, g := range p.order {
-			if g.key == key {
-				return g
-			}
-		}
-		return nil
-	}
-	return p.groups[key]
-}
-
-// insert registers a new group, promoting to a map past smallGroupLimit.
-func (p *vecPartial) insert(grp *vecGroup) {
-	p.order = append(p.order, grp)
-	if p.groups != nil {
-		p.groups[grp.key] = grp
-		return
-	}
-	if len(p.order) > smallGroupLimit {
-		p.groups = make(map[vecKey]*vecGroup, 2*len(p.order))
-		for _, g := range p.order {
-			p.groups[g.key] = g
-		}
-	}
-}
-
-func (n *vecAggNode) newStates() []*vec.AggState {
-	states := make([]*vec.AggState, len(n.aggs))
-	for i, a := range n.aggs {
-		states[i] = vec.NewAggState(a.kind)
-	}
-	return states
-}
-
 // processStripe folds one stripe into the partial.
-func (n *vecAggNode) processStripe(p *vecPartial, filters []vec.Filter, nums []*vec.NumExpr, view columnar.StripeView) error {
+func (n *vecAggNode) processStripe(p *vecPartial, filters []boundFilter, nums []*vec.NumExpr, view columnar.StripeView) error {
 	chunk := n.tab.LoadChunk(view, n.needed)
 	nrows := view.NumRows()
 	p.batches++
@@ -236,7 +239,7 @@ func (n *vecAggNode) processStripe(p *vecPartial, filters []vec.Filter, nums []*
 		if fi%2 == 1 {
 			out = p.selB
 		}
-		sel = filters[fi].Apply(chunk[filters[fi].Col], sel, out)
+		sel = filters[fi].apply(chunk, sel, out, &p.orSc)
 		if fi%2 == 1 {
 			p.selB = sel
 		} else {
@@ -274,42 +277,28 @@ func (n *vecAggNode) processStripe(p *vecPartial, filters []vec.Filter, nums []*
 		return nil
 	}
 
-	// grouped fold
-	if sel == nil {
-		p.idSel = vec.MaterializeAll(nrows, p.idSel)
-		sel = p.idSel
+	// grouped fold: dictionary-encode the key columns into a group-ID
+	// vector, then batch-fold each aggregate by ID into its typed
+	// per-group arrays — no per-row map probe, no interface-keyed lookup.
+	p.groupBatch++
+	p.ids = p.dict.Encode(chunk, n.groupOrds, sel, nrows, p.ids)
+	for _, g := range p.gaggs {
+		g.Grow(p.dict.NumGroups())
 	}
-	vecs := make([]vec.NumVec, len(n.aggs))
 	for ai, a := range n.aggs {
-		if a.num != nil {
+		switch {
+		case a.star:
+			p.gaggs[ai].AddStar(p.ids)
+		case a.num != nil:
 			v, err := nums[ai].Eval(chunk, nrows, sel, &p.scratch)
 			if err != nil {
 				return err
 			}
-			vecs[ai] = v
-		}
-	}
-	for j, i := range sel {
-		var key vecKey
-		for g, ord := range n.groupOrds {
-			key[g] = chunk[ord][i]
-		}
-		grp := p.find(key)
-		if grp == nil {
-			grp = &vecGroup{key: key, states: n.newStates()}
-			p.insert(grp)
-		}
-		for ai, a := range n.aggs {
-			var err error
-			switch {
-			case a.star:
-				grp.states[ai].AddStar(1)
-			case a.num != nil:
-				err = grp.states[ai].AddVecAt(&vecs[ai], j)
-			default:
-				err = grp.states[ai].AddDatum(chunk[a.colOrd][i])
+			if err := p.gaggs[ai].AddVec(&v, p.ids); err != nil {
+				return err
 			}
-			if err != nil {
+		default:
+			if err := p.gaggs[ai].AddCol(chunk[a.colOrd], sel, p.ids); err != nil {
 				return err
 			}
 		}
@@ -322,7 +311,7 @@ func (n *vecAggNode) run(ec *execCtx, emit func(types.Row) error) error {
 	metVecQueries.Add(1)
 
 	// bind per-execution constants (parameters, casts)
-	filters := make([]vec.Filter, len(n.filters))
+	filters := make([]boundFilter, len(n.filters))
 	for i := range n.filters {
 		f, err := n.filters[i].bind(ec)
 		if err != nil {
@@ -351,8 +340,7 @@ func (n *vecAggNode) run(ec *execCtx, emit func(types.Row) error) error {
 	for _, v := range views {
 		skip := false
 		for i := range filters {
-			min, max, ok := v.Stats(filters[i].Col)
-			if filters[i].Skip(min, max, ok) {
+			if filters[i].skip(v) {
 				skip = true
 				break
 			}
@@ -411,14 +399,40 @@ func (n *vecAggNode) run(ec *execCtx, emit func(types.Row) error) error {
 		}
 	}
 
-	var batches, rows int64
+	var batches, rows, groupBatches int64
 	for _, p := range partials {
 		batches += p.batches
 		rows += p.rows
+		groupBatches += p.groupBatch
 	}
 	metVecBatches.Add(batches)
 	metVecRows.Add(rows)
 	metVecStripesSkipped.Add(skipped)
+	metVecGroupBatches.Add(groupBatches)
+
+	// merge partials in stripe order: the first partial's dictionary keeps
+	// the sequential first-seen order, and later partials re-intern their
+	// representative keys so their IDs map onto the merged slots.
+	groups := int64(0)
+	var merged *vecPartial
+	if len(n.groupOrds) > 0 {
+		merged = partials[0]
+		for _, p := range partials[1:] {
+			np := p.dict.NumGroups()
+			if np == 0 {
+				continue
+			}
+			idMap := make([]uint32, np)
+			for g := 0; g < np; g++ {
+				idMap[g] = merged.dict.Intern(p.dict.Key(uint32(g)))
+			}
+			for ai := range merged.gaggs {
+				merged.gaggs[ai].Grow(merged.dict.NumGroups())
+				merged.gaggs[ai].MergeFrom(p.gaggs[ai], idMap)
+			}
+		}
+		groups = int64(merged.dict.NumGroups())
+	}
 
 	if tr := eng.Tracer; tr != nil && ec.sess.TraceID != 0 {
 		sp := tr.StartSpan(ec.sess.TraceID, ec.sess.SpanID, "vec_scan", n.st.table.Name)
@@ -427,11 +441,12 @@ func (n *vecAggNode) run(ec *execCtx, emit func(types.Row) error) error {
 			sp.SetAttr("rows", strconv.FormatInt(rows, 10))
 			sp.SetAttr("stripes_skipped", strconv.FormatInt(skipped, 10))
 			sp.SetAttr("parallelism", strconv.Itoa(degree))
+			sp.SetAttr("groups", strconv.FormatInt(groups, 10))
+			sp.SetAttr("group_batches", strconv.FormatInt(groupBatches, 10))
 			sp.Finish()
 		}
 	}
 
-	// merge partials in stripe order and emit
 	if len(n.groupOrds) == 0 {
 		final := partials[0].ungrouped
 		for _, p := range partials[1:] {
@@ -448,26 +463,11 @@ func (n *vecAggNode) run(ec *execCtx, emit func(types.Row) error) error {
 		return emit(out)
 	}
 
-	merged := partials[0]
-	for _, p := range partials[1:] {
-		for _, grp := range p.order {
-			dst := merged.find(grp.key)
-			if dst == nil {
-				merged.insert(grp)
-				continue
-			}
-			for ai := range dst.states {
-				if err := dst.states[ai].Merge(grp.states[ai]); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	for _, grp := range merged.order {
+	for id := uint32(0); id < uint32(merged.dict.NumGroups()); id++ {
 		out := make(types.Row, 0, len(n.groupOrds)+len(n.aggs))
-		out = append(out, grp.key[:len(n.groupOrds)]...)
-		for _, st := range grp.states {
-			out = append(out, st.Result())
+		out = append(out, merged.dict.Key(id)...)
+		for _, g := range merged.gaggs {
+			out = append(out, g.Result(id))
 		}
 		if err := emit(out); err != nil {
 			return err
@@ -554,9 +554,39 @@ func flipCmp(op vec.CmpOp) vec.CmpOp {
 	return op // Eq, Ne are symmetric
 }
 
+// splitDisjuncts flattens nested OR chains into a branch list.
+func splitDisjuncts(e sql.Expr, out []sql.Expr) []sql.Expr {
+	if b, ok := e.(*sql.BinaryExpr); ok && b.Op == sql.OpOr {
+		out = splitDisjuncts(b.L, out)
+		return splitDisjuncts(b.R, out)
+	}
+	return append(out, e)
+}
+
 // compileVecFilter compiles one WHERE conjunct into a column-vs-constant
-// filter spec, or reports that the conjunct needs the row path.
+// filter spec — or, for an OR chain whose every disjunct is itself a
+// col-vs-const shape, into a selection-vector union spec. Anything else
+// reports that the conjunct needs the row path.
 func compileVecFilter(e sql.Expr, sc *scope) (vecFilterSpec, bool) {
+	if b, ok := e.(*sql.BinaryExpr); ok && b.Op == sql.OpOr {
+		disjuncts := splitDisjuncts(e, nil)
+		branches := make([]vecFilterSpec, 0, len(disjuncts))
+		parts := make([]string, 0, len(disjuncts))
+		for _, d := range disjuncts {
+			spec, okB := compileVecFilter(d, sc)
+			if !okB || len(spec.or) > 0 {
+				return vecFilterSpec{}, false
+			}
+			branches = append(branches, spec)
+			parts = append(parts, spec.text)
+		}
+		return vecFilterSpec{or: branches,
+			text: "(" + strings.Join(parts, " OR ") + ")"}, true
+	}
+	return compileVecFilterSingle(e, sc)
+}
+
+func compileVecFilterSingle(e sql.Expr, sc *scope) (vecFilterSpec, bool) {
 	resolveCol := func(x sql.Expr) (int, bool) {
 		cr, ok := x.(*sql.ColumnRef)
 		if !ok {
@@ -693,17 +723,15 @@ func vecGroupable(t types.Type) bool {
 // through the vectorized path. It returns ok=false — leaving planning to
 // the row-at-a-time buildAggNode — whenever any piece of the query is
 // outside the vectorized subset: non-columnar input, residual filters
-// above the scan, OR/IN/LIKE predicates, DISTINCT aggregates,
-// non-numeric computed arguments, or a GROUP BY that is not plain columns.
+// above the scan, IN/LIKE predicates (or OR chains containing them),
+// DISTINCT aggregates, non-numeric computed arguments, or a GROUP BY
+// that is not plain columns.
 func (s *Session) tryVectorizedAgg(input planned, groupBy []sql.Expr, rw *aggRewriter) (node, *scope, bool) {
 	if s.Eng.vecOff.Load() {
 		return nil, nil, false
 	}
 	scan, ok := input.n.(*seqScanNode)
 	if !ok || scan.st.col == nil {
-		return nil, nil, false
-	}
-	if len(groupBy) > maxVecGroupCols {
 		return nil, nil, false
 	}
 
@@ -716,7 +744,13 @@ func (s *Session) tryVectorizedAgg(input planned, groupBy []sql.Expr, rw *aggRew
 			return nil, nil, false
 		}
 		filters = append(filters, spec)
-		needed[spec.col] = true
+		if len(spec.or) > 0 {
+			for i := range spec.or {
+				needed[spec.or[i].col] = true
+			}
+		} else {
+			needed[spec.col] = true
+		}
 	}
 
 	groupOrds := make([]int, len(groupBy))

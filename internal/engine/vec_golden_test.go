@@ -54,9 +54,35 @@ var vecGoldenQueries = []struct {
 	{"is_not_null_grouped", `SELECT l_returnflag, count(*), avg(l_comment_len) FROM lineitem
 		WHERE l_comment_len IS NOT NULL GROUP BY l_returnflag ORDER BY 1`, true, nil},
 
+	// OR chains of col-vs-const disjuncts compile into selection-vector
+	// unions (the PR-10 eligibility widening)
+	{"or_filter", `SELECT count(*) FROM lineitem
+		WHERE l_returnflag = 'R' OR l_quantity > 30`, true, nil},
+	{"or_chain_three", `SELECT count(*), sum(l_quantity) FROM lineitem
+		WHERE l_returnflag = 'R' OR l_quantity > 45 OR l_comment_len IS NULL`, true, nil},
+	{"or_and_mix", `SELECT count(*) FROM lineitem
+		WHERE (l_returnflag = 'A' OR l_returnflag = 'R') AND l_quantity < 25`, true, nil},
+	{"or_between_grouped", `SELECT l_linestatus, count(*), avg(l_extendedprice) FROM lineitem
+		WHERE l_quantity BETWEEN 5 AND 15 OR l_discount > 0.08
+		GROUP BY l_linestatus ORDER BY 1`, true, nil},
+	{"or_param", `SELECT count(*) FROM lineitem
+		WHERE l_quantity < $1 OR l_orderkey >= $2`, true,
+		[]types.Datum{float64(3), int64(950)}},
+
+	// wide GROUP BY keys go through composite dictionary slots
+	{"group_by_five_cols", `SELECT l_returnflag, l_linestatus, l_linenumber,
+		l_quantity, l_comment_len, count(*) FROM lineitem
+		GROUP BY 1, 2, 3, 4, 5 ORDER BY 1, 2, 3, 4, 5`, true, nil},
+	{"grouped_topn_agg", `SELECT l_returnflag, l_linestatus, count(*), sum(l_extendedprice)
+		FROM lineitem GROUP BY 1, 2 ORDER BY count(*) DESC, 1, 2 LIMIT 3`, true, nil},
+	{"grouped_topn_offset", `SELECT l_linenumber, sum(l_quantity) FROM lineitem
+		GROUP BY l_linenumber ORDER BY l_linenumber LIMIT 3 OFFSET 2`, true, nil},
+
 	// fallback shapes: must stay on the row path and still agree
-	{"fallback_or_filter", `SELECT count(*) FROM lineitem
-		WHERE l_returnflag = 'R' OR l_quantity > 30`, false, nil},
+	{"fallback_or_like_branch", `SELECT count(*) FROM lineitem
+		WHERE l_returnflag LIKE 'R%' OR l_quantity > 30`, false, nil},
+	{"fallback_or_col_vs_col", `SELECT count(*) FROM lineitem
+		WHERE l_quantity > l_discount OR l_returnflag = 'R'`, false, nil},
 	{"fallback_distinct_agg", `SELECT count(DISTINCT l_returnflag) FROM lineitem`, false, nil},
 	{"fallback_like", `SELECT count(*) FROM lineitem WHERE l_returnflag LIKE 'R%'`, false, nil},
 	{"fallback_group_expr", `SELECT l_orderkey % 2, count(*) FROM lineitem

@@ -43,6 +43,7 @@ func (r *runner) checkpoint(label string) {
 	r.checkAckedWrites(label)
 	r.checkBankSums(label)
 	r.checkPlacement()
+	r.sampleLeaks(label)
 	r.mu.Lock()
 	after := len(r.violations)
 	r.mu.Unlock()

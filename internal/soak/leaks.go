@@ -1,0 +1,73 @@
+package soak
+
+// Resource-leak tracking across a soak: every quiesced checkpoint samples
+// the process's goroutine count and live heap (after a forced GC, so the
+// numbers compare like-for-like), and the report flags monotonic growth.
+// Sampling at checkpoints — not on a timer — matters: the cluster is
+// drained, so a rising floor cannot be explained by in-flight work.
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// LeakSample is one resource measurement taken at a quiesced checkpoint.
+type LeakSample struct {
+	Label      string
+	Goroutines int
+	HeapAlloc  uint64 // live heap bytes after runtime.GC()
+}
+
+// leak-flagging thresholds: growth must be strictly monotonic across every
+// checkpoint AND exceed an absolute floor, so normal jitter (a parked
+// worker goroutine, GC laziness) never trips the verdict.
+const (
+	leakMinSamples     = 3
+	leakGoroutineFloor = 32
+	leakHeapFloorBytes = 64 << 20
+)
+
+// sampleLeaks records one checkpoint sample. Called while every workload
+// class gate is held exclusively, i.e. with zero soak operations in flight.
+func (r *runner) sampleLeaks(label string) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := LeakSample{Label: label, Goroutines: runtime.NumGoroutine(), HeapAlloc: ms.HeapAlloc}
+	r.mu.Lock()
+	r.leakSamples = append(r.leakSamples, s)
+	r.mu.Unlock()
+	r.cfg.Logf("soak: checkpoint %q resources: %d goroutines, heap %.1f MiB",
+		label, s.Goroutines, float64(s.HeapAlloc)/(1<<20))
+}
+
+// analyzeLeaks flags monotonic resource growth across the checkpoint
+// samples: every sample strictly above its predecessor, with total growth
+// past the floor. Returns one human-readable flag per leaking resource.
+func analyzeLeaks(samples []LeakSample) []string {
+	if len(samples) < leakMinSamples {
+		return nil
+	}
+	gMono, hMono := true, true
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Goroutines <= samples[i-1].Goroutines {
+			gMono = false
+		}
+		if samples[i].HeapAlloc <= samples[i-1].HeapAlloc {
+			hMono = false
+		}
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	var flags []string
+	if gMono && last.Goroutines-first.Goroutines >= leakGoroutineFloor {
+		flags = append(flags, fmt.Sprintf(
+			"goroutine leak suspected: %d -> %d, strictly rising across %d quiesced checkpoints",
+			first.Goroutines, last.Goroutines, len(samples)))
+	}
+	if hMono && last.HeapAlloc-first.HeapAlloc >= leakHeapFloorBytes {
+		flags = append(flags, fmt.Sprintf(
+			"heap leak suspected: %.1f MiB -> %.1f MiB live after GC, strictly rising across %d quiesced checkpoints",
+			float64(first.HeapAlloc)/(1<<20), float64(last.HeapAlloc)/(1<<20), len(samples)))
+	}
+	return flags
+}

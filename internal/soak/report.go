@@ -54,6 +54,12 @@ type Report struct {
 	Classes    []ClassReport
 	Violations []Violation
 
+	// LeakSamples are the per-checkpoint goroutine/heap measurements;
+	// LeakFlags are the monotonic-growth verdicts derived from them. A
+	// non-empty LeakFlags fails the run like any invariant violation.
+	LeakSamples []LeakSample
+	LeakFlags   []string
+
 	// FailOnSLO mirrors Config.FailOnSLO: when false, SLO misses are
 	// reported but do not fail the run.
 	FailOnSLO bool
@@ -65,7 +71,7 @@ type Report struct {
 // Passed reports whether the run met its gate: zero invariant violations,
 // and (only when FailOnSLO) every class inside its SLOs.
 func (r *Report) Passed() bool {
-	if len(r.Violations) > 0 {
+	if len(r.Violations) > 0 || len(r.LeakFlags) > 0 {
 		return false
 	}
 	if r.FailOnSLO {
@@ -98,6 +104,19 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "%-8s   (open-loop: %d arrivals dropped — class saturated)\n", "", c.Drops)
 		}
 	}
+	if n := len(r.LeakSamples); n > 0 {
+		first, last := r.LeakSamples[0], r.LeakSamples[n-1]
+		verdict := "stable"
+		if len(r.LeakFlags) > 0 {
+			verdict = "LEAK SUSPECTED"
+		}
+		fmt.Fprintf(&b, "resources: goroutines %d -> %d, heap %.1f -> %.1f MiB over %d checkpoints  %s\n",
+			first.Goroutines, last.Goroutines,
+			float64(first.HeapAlloc)/(1<<20), float64(last.HeapAlloc)/(1<<20), n, verdict)
+		for _, f := range r.LeakFlags {
+			fmt.Fprintf(&b, "  [leak] %s\n", f)
+		}
+	}
 	if len(r.Violations) == 0 {
 		b.WriteString("invariants: all clean\n")
 	} else {
@@ -126,15 +145,18 @@ func (r *runner) buildReport(elapsed time.Duration) *Report {
 	r.mu.Lock()
 	violations := append([]Violation(nil), r.violations...)
 	failovers := r.failovers
+	leakSamples := append([]LeakSample(nil), r.leakSamples...)
 	r.mu.Unlock()
 
 	rep := &Report{
-		Seed:       r.seed,
-		Duration:   elapsed,
-		Mode:       modeName(r.cfg.ReplicationMode),
-		Failovers:  failovers,
-		Violations: violations,
-		FailOnSLO:  r.cfg.FailOnSLO,
+		Seed:        r.seed,
+		Duration:    elapsed,
+		Mode:        modeName(r.cfg.ReplicationMode),
+		Failovers:   failovers,
+		Violations:  violations,
+		FailOnSLO:   r.cfg.FailOnSLO,
+		LeakSamples: leakSamples,
+		LeakFlags:   analyzeLeaks(leakSamples),
 	}
 	for _, d := range r.classes {
 		c := ClassReport{

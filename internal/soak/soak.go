@@ -230,9 +230,10 @@ type runner struct {
 
 	lastCatalogVersion atomic.Int64
 
-	mu         sync.Mutex
-	violations []Violation
-	failovers  int
+	mu          sync.Mutex
+	violations  []Violation
+	failovers   int
+	leakSamples []LeakSample
 }
 
 // classDriver is one workload class: its Poisson dispatcher feeds the
@@ -359,7 +360,7 @@ func Run(cfg Config) (*Report, error) {
 	r.checkpoint("final")
 
 	rep := r.buildReport(time.Since(start))
-	if len(rep.Violations) > 0 {
+	if len(rep.Violations) > 0 || len(rep.LeakFlags) > 0 {
 		rep.ArtifactPath = r.dumpArtifact(rep)
 	}
 	return rep, nil

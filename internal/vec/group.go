@@ -1,0 +1,376 @@
+package vec
+
+// Group-ID vectors: the vectorized grouped fold.
+//
+// The row-at-a-time grouped aggregate pays a hash-or-compare of the whole
+// grouping key per input row. The vectorized fold instead dictionary-encodes
+// the group-key columns per chunk: every selected row's key datums are
+// serialized into a type-tagged byte string (no per-row string
+// materialization through types.Format — raw bytes of the datum
+// representation) and interned in a GroupDict, producing a dense []uint32
+// group-ID vector. Aggregate kernels then fold whole chunks into typed
+// per-group accumulator arrays (GroupedAgg) indexed by group ID — one
+// bounds-checked array access per row instead of an interface-keyed map
+// probe per row.
+//
+// Semantics mirror the row path exactly where the row path is well-defined:
+//   - group IDs are assigned in first-seen scan order, so emitting groups in
+//     ID order reproduces the row path's first-seen output order;
+//   - sums accumulate in int64 until the first float64 input of that group
+//     (in scan order), then promote — identical to expr.AggState;
+//   - NULL is a valid grouping value and NULL group keys compare equal.
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"citusgo/internal/types"
+)
+
+// GroupDict interns composite group keys into dense uint32 IDs, first-seen
+// ordered. Multi-column keys occupy one composite dictionary slot: the
+// encoded bytes of all key columns concatenated, so a k-column key costs
+// one map probe, not k.
+type GroupDict struct {
+	ids  map[string]uint32
+	keys []types.Row // representative datums per ID, in first-seen order
+	buf  []byte      // per-row encode scratch
+}
+
+// NewGroupDict returns an empty dictionary.
+func NewGroupDict() *GroupDict {
+	return &GroupDict{ids: make(map[string]uint32)}
+}
+
+// NumGroups returns the number of distinct keys seen so far.
+func (d *GroupDict) NumGroups() int { return len(d.keys) }
+
+// Key returns the representative datums of group id (aliased, read-only).
+func (d *GroupDict) Key(id uint32) types.Row { return d.keys[id] }
+
+// encodeDatum appends a type-tagged binary encoding of v. Two datums encode
+// identically iff Go interface equality would consider them the same
+// grouping value — with one deliberate refinement: floats encode by IEEE
+// bits, so every NaN groups into one slot (interface equality would give
+// each NaN row its own group, which no SQL engine does) and -0.0 stays
+// distinct from 0.0 exactly like the row path's formatted keys.
+func encodeDatum(buf []byte, v types.Datum) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, 'n')
+	case int64:
+		buf = append(buf, 'i')
+		return binary.BigEndian.AppendUint64(buf, uint64(x))
+	case float64:
+		buf = append(buf, 'f')
+		bits := math.Float64bits(x)
+		if x != x { // normalize every NaN payload into one slot
+			bits = math.Float64bits(math.NaN())
+		}
+		return binary.BigEndian.AppendUint64(buf, bits)
+	case bool:
+		if x {
+			return append(buf, 'B', 1)
+		}
+		return append(buf, 'B', 0)
+	case string:
+		buf = append(buf, 's')
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...)
+	case time.Time:
+		buf = append(buf, 't')
+		return binary.BigEndian.AppendUint64(buf, uint64(x.UnixNano()))
+	default:
+		// unknown datum kinds (JSONB, ...) fall back to the textual form the
+		// row path groups by
+		s := types.Format(v)
+		buf = append(buf, 'x')
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+		return append(buf, s...)
+	}
+}
+
+// intern maps the encoded key bytes to an ID, registering reps on first
+// sight. The map lookup with string(d.buf) does not allocate (Go's
+// map-index-by-converted-byte-slice optimization); the string is only
+// materialized when the key is new.
+func (d *GroupDict) intern(reps func() types.Row) uint32 {
+	if id, ok := d.ids[string(d.buf)]; ok {
+		return id
+	}
+	id := uint32(len(d.keys))
+	d.ids[string(d.buf)] = id
+	d.keys = append(d.keys, reps())
+	return id
+}
+
+// Encode computes the group-ID vector for one chunk: for each selected row
+// (all nrows when sel is nil) it serializes the groupOrds columns and
+// interns the composite key, appending the ID to ids[:0]. Element j of the
+// result corresponds to sel[j] (or row j when sel is nil) — the same
+// element correspondence NumExpr.Eval uses, so evaluated aggregate-argument
+// vectors line up index-for-index with the ID vector.
+func (d *GroupDict) Encode(chunk [][]types.Datum, groupOrds []int, sel Sel, nrows int, ids []uint32) []uint32 {
+	ids = ids[:0]
+	encodeRow := func(i int) uint32 {
+		d.buf = d.buf[:0]
+		for _, ord := range groupOrds {
+			d.buf = encodeDatum(d.buf, chunk[ord][i])
+		}
+		return d.intern(func() types.Row {
+			reps := make(types.Row, len(groupOrds))
+			for g, ord := range groupOrds {
+				reps[g] = chunk[ord][i]
+			}
+			return reps
+		})
+	}
+	if sel == nil {
+		for i := 0; i < nrows; i++ {
+			ids = append(ids, encodeRow(i))
+		}
+		return ids
+	}
+	for _, i := range sel {
+		ids = append(ids, encodeRow(int(i)))
+	}
+	return ids
+}
+
+// Intern registers (or finds) one composite key given its datums — the
+// cross-partial merge path: partial B's representative keys re-encode into
+// the merged dictionary.
+func (d *GroupDict) Intern(key types.Row) uint32 {
+	d.buf = d.buf[:0]
+	for _, v := range key {
+		d.buf = encodeDatum(d.buf, v)
+	}
+	return d.intern(func() types.Row { return key })
+}
+
+// ---------------------------------------------------------------------------
+// Typed per-group accumulators
+
+// GroupedAgg folds one aggregate over group-ID vectors into typed per-group
+// arrays. It is the batched equivalent of one AggState per group: counts,
+// int/float sum pairs with a per-group promotion flag, and datum min/max.
+// Array entries are created by Grow and addressed by group ID, so the hot
+// fold loop touches no maps and no interface values for count/sum/avg.
+type GroupedAgg struct {
+	Kind AggKind
+
+	counts []int64 // per-group non-NULL input count (count(*) rows for star)
+	sumI   []int64
+	sumF   []float64
+	// sumSet marks groups whose sum started; sumIsF marks groups promoted
+	// to float64 (expr.AggState's first-float-input rule, per group).
+	sumSet []bool
+	sumIsF []bool
+	mins   []types.Datum
+	maxs   []types.Datum
+}
+
+// NewGroupedAgg returns an empty grouped accumulator.
+func NewGroupedAgg(kind AggKind) *GroupedAgg { return &GroupedAgg{Kind: kind} }
+
+// NumGroups returns how many group slots exist.
+func (g *GroupedAgg) NumGroups() int { return len(g.counts) }
+
+// Grow extends the accumulator arrays to n group slots (new slots zeroed:
+// count 0, sum unset, min/max nil — the empty AggState).
+func (g *GroupedAgg) Grow(n int) {
+	for len(g.counts) < n {
+		g.counts = append(g.counts, 0)
+	}
+	switch g.Kind {
+	case AggSum, AggAvg:
+		for len(g.sumI) < n {
+			g.sumI = append(g.sumI, 0)
+			g.sumF = append(g.sumF, 0)
+			g.sumSet = append(g.sumSet, false)
+			g.sumIsF = append(g.sumIsF, false)
+		}
+	case AggMin:
+		for len(g.mins) < n {
+			g.mins = append(g.mins, nil)
+		}
+	case AggMax:
+		for len(g.maxs) < n {
+			g.maxs = append(g.maxs, nil)
+		}
+	}
+}
+
+// AddStar folds count(*): one row per ID, NULLs included.
+func (g *GroupedAgg) AddStar(ids []uint32) {
+	for _, id := range ids {
+		g.counts[id]++
+	}
+}
+
+func (g *GroupedAgg) addSumInt(id uint32, v int64) {
+	if g.sumIsF[id] {
+		g.sumF[id] += float64(v)
+	} else {
+		g.sumI[id] += v
+		g.sumSet[id] = true
+	}
+	g.counts[id]++
+}
+
+func (g *GroupedAgg) addSumFloat(id uint32, v float64) {
+	if !g.sumIsF[id] {
+		g.sumIsF[id] = true
+		g.sumSet[id] = true
+		g.sumF[id] = float64(g.sumI[id])
+	}
+	g.sumF[id] += v
+	g.counts[id]++
+}
+
+func (g *GroupedAgg) addDatum(id uint32, v types.Datum) error {
+	switch g.Kind {
+	case AggCount:
+		g.counts[id]++
+	case AggMin:
+		if g.mins[id] == nil || types.Compare(v, g.mins[id]) < 0 {
+			g.mins[id] = v
+		}
+		g.counts[id]++
+	case AggMax:
+		if g.maxs[id] == nil || types.Compare(v, g.maxs[id]) > 0 {
+			g.maxs[id] = v
+		}
+		g.counts[id]++
+	case AggSum, AggAvg:
+		switch x := v.(type) {
+		case int64:
+			g.addSumInt(id, x)
+		case float64:
+			g.addSumFloat(id, x)
+		default:
+			s := AggState{Kind: g.Kind}
+			return s.errNonNumeric(v)
+		}
+	}
+	return nil
+}
+
+// AddCol folds a bare-column argument: element-for-element with ids, which
+// must come from Encode over the same sel. NULL inputs are ignored.
+func (g *GroupedAgg) AddCol(col []types.Datum, sel Sel, ids []uint32) error {
+	if sel == nil {
+		for i, id := range ids {
+			if v := col[i]; v != nil {
+				if err := g.addDatum(id, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for j, i := range sel {
+		if v := col[i]; v != nil {
+			if err := g.addDatum(ids[j], v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddVec folds an evaluated numeric vector (computed aggregate arguments);
+// element j corresponds to ids[j].
+func (g *GroupedAgg) AddVec(v *NumVec, ids []uint32) error {
+	switch g.Kind {
+	case AggCount:
+		for j := 0; j < v.N; j++ {
+			if !v.Null[j] {
+				g.counts[ids[j]]++
+			}
+		}
+	case AggMin, AggMax:
+		for j := 0; j < v.N; j++ {
+			if !v.Null[j] {
+				if err := g.addDatum(ids[j], v.At(j)); err != nil {
+					return err
+				}
+			}
+		}
+	case AggSum, AggAvg:
+		if v.Float {
+			for j, f := range v.Floats {
+				if !v.Null[j] {
+					g.addSumFloat(ids[j], f)
+				}
+			}
+			return nil
+		}
+		for j, iv := range v.Ints {
+			if !v.Null[j] {
+				g.addSumInt(ids[j], iv)
+			}
+		}
+	}
+	return nil
+}
+
+// MergeFrom folds another partial's groups into g: o's group i lands in
+// g's group idMap[i]. Call in scan order (earlier partial receives later
+// ones) so int sums and promotion points match a sequential fold.
+func (g *GroupedAgg) MergeFrom(o *GroupedAgg, idMap []uint32) {
+	for i, dst := range idMap {
+		g.counts[dst] += o.counts[i]
+		switch g.Kind {
+		case AggMin:
+			if o.mins[i] != nil && (g.mins[dst] == nil || types.Compare(o.mins[i], g.mins[dst]) < 0) {
+				g.mins[dst] = o.mins[i]
+			}
+		case AggMax:
+			if o.maxs[i] != nil && (g.maxs[dst] == nil || types.Compare(o.maxs[i], g.maxs[dst]) > 0) {
+				g.maxs[dst] = o.maxs[i]
+			}
+		case AggSum, AggAvg:
+			if !o.sumSet[i] {
+				continue
+			}
+			if o.sumIsF[i] {
+				g.addSumFloat(dst, o.sumF[i])
+				g.counts[dst]-- // addSum* counts an input row; merges must not
+			} else {
+				g.addSumInt(dst, o.sumI[i])
+				g.counts[dst]--
+			}
+		}
+	}
+}
+
+// Result finalizes group id, mirroring AggState.Result.
+func (g *GroupedAgg) Result(id uint32) types.Datum {
+	switch g.Kind {
+	case AggCount:
+		return g.counts[id]
+	case AggSum:
+		if !g.sumSet[id] {
+			return nil
+		}
+		if g.sumIsF[id] {
+			return g.sumF[id]
+		}
+		return g.sumI[id]
+	case AggMin:
+		return g.mins[id]
+	case AggMax:
+		return g.maxs[id]
+	case AggAvg:
+		if g.counts[id] == 0 || !g.sumSet[id] {
+			return nil
+		}
+		if g.sumIsF[id] {
+			return g.sumF[id] / float64(g.counts[id])
+		}
+		return float64(g.sumI[id]) / float64(g.counts[id])
+	}
+	return nil
+}
